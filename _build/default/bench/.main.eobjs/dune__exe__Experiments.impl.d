@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Client Float Harness Lazy List Obf Printf Psp_core Psp_graph Psp_index Psp_netgen Psp_pir Psp_storage Response_time

@@ -1,0 +1,1 @@
+bench/harness.ml: Array Calibrate Client Float Hashtbl List Option Printf Psp_core Psp_crypto Psp_graph Psp_index Psp_netgen Psp_pir Psp_storage Response_time String

@@ -1,0 +1,1 @@
+bench/main.ml: Arg Cmd Cmdliner Experiments Fun Harness Kernels List Option Printf String Term Unix

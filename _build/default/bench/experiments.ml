@@ -1,0 +1,363 @@
+(* One function per table/figure of the paper's evaluation (§7).
+   Every function prints the same rows/series the paper reports;
+   EXPERIMENTS.md records the paper-vs-measured comparison. *)
+
+module G = Psp_graph.Graph
+module DB = Psp_index.Database
+module PF = Psp_storage.Page_file
+module CM = Psp_pir.Cost_model
+module QP = Psp_index.Query_plan
+module P = Psp_netgen.Presets
+open Psp_core
+open Harness
+
+let small_networks = [ P.Oldenburg; P.Germany; P.Argentina ]
+let large_networks = [ P.Denmark; P.India; P.North_america ]
+
+(* ------------------------------------------------------------------ *)
+
+let table1 env =
+  header_line "Table 1: Road networks";
+  let rows =
+    List.map
+      (fun p ->
+        let g = graph env p in
+        [ P.full_name p;
+          string_of_int (P.paper_nodes p);
+          string_of_int (P.paper_edges p);
+          string_of_int (G.node_count g);
+          string_of_int (G.edge_count g / 2) ])
+      (Array.to_list P.all)
+  in
+  table
+    ~columns:
+      [ "Network"; "paper nodes"; "paper edges"; Printf.sprintf "nodes (/%.0f)" env.scale;
+        Printf.sprintf "streets (/%.0f)" env.scale ]
+    rows
+
+let table2 env =
+  header_line "Table 2: System specifications (cost model)";
+  let c = CM.ibm4764 in
+  table ~columns:[ "parameter"; "value" ]
+    [ [ "disk page size"; Printf.sprintf "%d B" c.CM.page_size ];
+      [ "disk seek time"; Printf.sprintf "%.0f ms" (c.CM.disk_seek *. 1e3) ];
+      [ "disk read/write rate"; Printf.sprintf "%.0f MB/s" (c.CM.disk_rate /. 1e6) ];
+      [ "SCP read/write rate"; Printf.sprintf "%.0f MB/s" (c.CM.scp_io_rate /. 1e6) ];
+      [ "SCP encryption rate"; Printf.sprintf "%.0f MB/s" (c.CM.scp_crypto_rate /. 1e6) ];
+      [ "communication bandwidth"; Printf.sprintf "%.0f KB/s" (c.CM.bandwidth /. 1e3) ];
+      [ "communication RTT"; Printf.sprintf "%.0f ms" (c.CM.rtt *. 1e3) ];
+      [ "SCP memory"; Printf.sprintf "%d MB" (c.CM.scp_memory / 1024 / 1024) ];
+      [ "derived: one secure page op"; Printf.sprintf "%.2f ms" (CM.page_op_seconds c *. 1e3) ];
+      [ "derived: PIR fetch, 1 GB file";
+        Printf.sprintf "%.2f s" (CM.pir_fetch_seconds c ~file_pages:(1_000_000_000 / 4096)) ];
+      [ "derived: max file (c*sqrt N)";
+        Printf.sprintf "%.2f GB" (float_of_int (CM.max_file_bytes c) /. 1e9) ];
+      [ "scaled max file (this run)"; Printf.sprintf "%.1f MB" (mb env.full_limit) ] ]
+
+(* ------------------------------------------------------------------ *)
+
+let figure5 env =
+  header_line "Figure 5: LM fine-tuning (Argentina)";
+  let preset = P.Argentina in
+  let rows =
+    List.map
+      (fun anchors ->
+        let db = build_lm env preset ~anchors in
+        let t = quick_response env preset db in
+        [ string_of_int anchors; seconds t; megabytes (DB.total_bytes db) ])
+      lm_sweep
+  in
+  table ~columns:[ "landmarks"; "response time (s)"; "space (MB)" ] rows
+
+let scheme_row env preset name db =
+  let m = run env preset db in
+  [ name;
+    seconds (Response_time.total m.time);
+    seconds m.time.Response_time.pir_seconds;
+    seconds m.time.Response_time.comm_seconds;
+    Printf.sprintf "%.3f" m.time.Response_time.client_seconds;
+    Printf.sprintf "%d of %d" m.data_fetches m.data_pages;
+    Printf.sprintf "%d of %d" m.index_fetches m.index_pages;
+    megabytes m.space_bytes;
+    Printf.sprintf "%d/%d" m.correct m.total ]
+
+let columns_t3 =
+  [ "method"; "response (s)"; "PIR (s)"; "comm (s)"; "client (s)"; "Fd pages";
+    "Fi pages"; "space (MB)"; "correct" ]
+
+let table3 env =
+  header_line "Table 3: Components of response time (Argentina)";
+  let preset = P.Argentina in
+  let p = prepared env preset in
+  let g = graph env preset in
+  let rows =
+    [ scheme_row env preset "AF" (tuned_af env preset);
+      scheme_row env preset "LM" (tuned_lm env preset);
+      scheme_row env preset "CI" (DB.build_ci ~prepared:p ~page_size:env.page_size g);
+      scheme_row env preset "PI" (DB.build_pi ~prepared:p ~page_size:env.page_size g) ]
+  in
+  table ~columns:columns_t3 rows
+
+let figure6 env =
+  header_line "Figure 6: OBF vs obfuscation set size (Argentina)";
+  let preset = P.Argentina in
+  let g = graph env preset in
+  let p = prepared env preset in
+  let ci = quick_response env preset (DB.build_ci ~prepared:p ~page_size:env.page_size g) in
+  let pi = quick_response env preset (DB.build_pi ~prepared:p ~page_size:env.page_size g) in
+  let obf = Obf.create ~cost:env.cost ~seed:env.seed g in
+  let sample = Array.sub (workload env preset) 0 (min 20 env.queries) in
+  let rows =
+    List.map
+      (fun set_size ->
+        let times =
+          Array.to_list
+            (Array.map
+               (fun (s, t) -> fst (Obf.query obf ~set_size ~s ~t_node:t))
+               sample)
+        in
+        [ string_of_int set_size;
+          seconds (Response_time.total (Response_time.mean times)) ])
+      [ 20; 30; 40; 50; 60; 70; 80; 90; 100 ]
+  in
+  table ~columns:[ "|S| = |T|"; "OBF response (s)" ] rows;
+  Printf.printf "reference lines: CI = %.2f s, PI = %.2f s\n" ci pi
+
+let figure7 env =
+  header_line "Figure 7: AF / LM / CI / PI across road networks";
+  List.iter
+    (fun preset ->
+      subheader (P.short_name preset);
+      let p = prepared env preset in
+      let g = graph env preset in
+      table ~columns:columns_t3
+        [ scheme_row env preset "AF" (tuned_af env preset);
+          scheme_row env preset "LM" (tuned_lm env preset);
+          scheme_row env preset "CI" (DB.build_ci ~prepared:p ~page_size:env.page_size g);
+          scheme_row env preset "PI" (DB.build_pi ~prepared:p ~page_size:env.page_size g) ])
+    small_networks
+
+let figure8 env =
+  header_line "Figure 8: Effect of packed partitioning (CI/PI vs CI-P/PI-P)";
+  List.iter
+    (fun preset ->
+      subheader (P.short_name preset);
+      let g = graph env preset in
+      let p = prepared env preset in
+      let variants =
+        [ ("CI", DB.build_ci ~prepared:p ~page_size:env.page_size g);
+          ("CI-P", DB.build_ci ~packed:false ~page_size:env.page_size g);
+          ("PI", DB.build_pi ~prepared:p ~page_size:env.page_size g);
+          ("PI-P", DB.build_pi ~packed:false ~page_size:env.page_size g) ]
+      in
+      let rows =
+        List.map
+          (fun (name, db) ->
+            let util = 100.0 *. PF.utilization db.DB.data in
+            let t = quick_response env preset db in
+            [ name; Printf.sprintf "%.1f%%" util; seconds t; megabytes (DB.total_bytes db) ])
+          variants
+      in
+      table ~columns:[ "method"; "Fd utilization"; "response (s)"; "space (MB)" ] rows)
+    small_networks
+
+let figure9 env =
+  header_line "Figure 9: Effect of index compression (CI/PI vs CI-C/PI-C)";
+  List.iter
+    (fun preset ->
+      subheader (P.short_name preset);
+      let g = graph env preset in
+      let p = prepared env preset in
+      let variants =
+        [ ("CI", lazy (DB.build_ci ~prepared:p ~page_size:env.page_size g));
+          ("CI-C", lazy (DB.build_ci ~prepared:p ~compress:false ~page_size:env.page_size g));
+          ("PI", lazy (DB.build_pi ~prepared:p ~page_size:env.page_size g));
+          ("PI-C", lazy (DB.build_pi ~prepared:p ~compress:false ~page_size:env.page_size g)) ]
+      in
+      let rows =
+        List.map
+          (fun (name, db) ->
+            let db = Lazy.force db in
+            if feasible env db then
+              [ name; seconds (quick_response env preset db); megabytes (DB.total_bytes db) ]
+            else [ name; "Nil"; megabytes (DB.total_bytes db) ])
+          variants
+      in
+      table ~columns:[ "method"; "response (s)"; "space (MB)" ] rows)
+    small_networks
+
+let figure10 env =
+  header_line "Figure 10: HY on Denmark";
+  let preset = P.Denmark in
+  let g = graph env preset in
+  let p = prepared env preset in
+  subheader "(a) distribution of |S_ij| in CI";
+  let histogram = DB.prepared_histogram p in
+  let m = Array.length histogram - 1 in
+  let buckets = 10 in
+  let width = max 1 ((m / buckets) + 1) in
+  let rows = ref [] in
+  for b = 0 to buckets - 1 do
+    let lo = b * width and hi = min m ((b + 1) * width - 1) in
+    if lo <= m then begin
+      let count = ref 0 in
+      for c = lo to hi do
+        if c < Array.length histogram then count := !count + histogram.(c)
+      done;
+      rows := [ Printf.sprintf "%d-%d" lo hi; string_of_int !count ] :: !rows
+    end
+  done;
+  table ~columns:[ "|S_ij|"; "pairs" ] (List.rev !rows);
+  Printf.printf "max |S_ij| (m) = %d\n" m;
+  subheader "(b,c) HY vs cardinality threshold";
+  let ci = DB.build_ci ~prepared:p ~page_size:env.page_size g in
+  let thresholds =
+    List.sort_uniq compare (List.init 10 (fun i -> max 1 (m * (i + 1) / 10)))
+  in
+  let rows =
+    List.map
+      (fun threshold ->
+        let db = DB.build_hy ~prepared:p ~threshold ~page_size:env.page_size g in
+        let time = if feasible env db then seconds (quick_response env preset db) else "Nil" in
+        [ string_of_int threshold; time; megabytes (DB.total_bytes db) ])
+      thresholds
+  in
+  table ~columns:[ "threshold on |S_ij|"; "response (s)"; "space (MB)" ] rows;
+  Printf.printf "reference: CI = %.2f s, %.2f MB; DB size limit = %.1f MB\n"
+    (quick_response env preset ci)
+    (mb (DB.total_bytes ci))
+    (mb env.full_limit)
+
+let figure11 env =
+  header_line "Figure 11: PI* vs cluster size (Denmark)";
+  let preset = P.Denmark in
+  let g = graph env preset in
+  let p = prepared env preset in
+  let ci = DB.build_ci ~prepared:p ~page_size:env.page_size g in
+  let rows =
+    List.map
+      (fun cluster ->
+        let db = DB.build_pi_star ~cluster ~page_size:env.page_size g in
+        let time = if feasible env db then seconds (quick_response env preset db) else "Nil" in
+        [ string_of_int cluster; time; megabytes (DB.total_bytes db) ])
+      [ 2; 4; 6; 8; 10; 12; 14; 16; 18; 20 ]
+  in
+  table ~columns:[ "cluster pages"; "response (s)"; "space (MB)" ] rows;
+  Printf.printf "reference: CI = %.2f s, %.2f MB; DB size limit = %.1f MB\n"
+    (quick_response env preset ci)
+    (mb (DB.total_bytes ci))
+    (mb env.full_limit)
+
+let figure12 env =
+  header_line "Figure 12: CI / HY / PI* on larger networks";
+  List.iter
+    (fun preset ->
+      subheader (P.short_name preset);
+      let g = graph env preset in
+      let p = prepared env preset in
+      let entries =
+        [ ("CI", DB.build_ci ~prepared:p ~page_size:env.page_size g);
+          ("HY", tuned_hy env preset);
+          ("PI*", tuned_pi_star env preset) ]
+      in
+      let rows =
+        List.map
+          (fun (name, db) ->
+            let m = run env preset db in
+            [ name;
+              seconds (Response_time.total m.time);
+              megabytes m.space_bytes;
+              Printf.sprintf "%d/%d" m.correct m.total ])
+          entries
+      in
+      table ~columns:[ "method"; "response (s)"; "space (MB)"; "correct" ] rows)
+    large_networks
+
+(* ------------------------------------------------------------------ *)
+(* Extra ablations beyond the paper *)
+
+let extras env =
+  header_line "Extras: page-size sensitivity of CI (Argentina)";
+  let preset = P.Argentina in
+  let g = graph env preset in
+  let rows =
+    List.map
+      (fun page_size ->
+        let db = DB.build_ci ~page_size g in
+        let cost = CM.with_max_file { env.cost with CM.page_size } ~bytes:env.full_limit in
+        let env' = { env with page_size; cost } in
+        [ string_of_int page_size;
+          seconds (quick_response env' preset db);
+          megabytes (DB.total_bytes db);
+          string_of_int db.DB.header.Psp_index.Header.region_count ])
+      [ 1024; 2048; 4096; 8192 ]
+  in
+  table ~columns:[ "page size (B)"; "response (s)"; "space (MB)"; "regions" ] rows;
+  header_line "Extras: PI vs a full-scan trivial PIR bound (Argentina)";
+  (* trivial PIR streams the whole database per query: the information-
+     theoretic baseline the amortized protocol is compared against *)
+  let p = prepared env preset in
+  let pi = DB.build_pi ~prepared:p ~page_size:env.page_size g in
+  let db_bytes = DB.total_bytes pi in
+  let scan_seconds =
+    float_of_int db_bytes /. CM.ibm4764.CM.disk_rate
+    +. (float_of_int db_bytes /. CM.ibm4764.CM.scp_crypto_rate)
+  in
+  Printf.printf "PI per-query PIR time: %.2f s; trivial scan of the %.1f MB DB: %.2f s\n"
+    (quick_response env preset pi) (mb db_bytes) scan_seconds;
+  Printf.printf "(at the paper's full 1.1 GB PI index, the scan alone would take ~2 min)\n";
+  header_line "Extras: approximate schemes (future work, Argentina)";
+  (* epsilon-quantized weights: smaller DBs, answers within (1+eps) *)
+  let g = graph env preset in
+  let queries = Array.sub (workload env preset) 0 (min 100 env.queries) in
+  let rows =
+    List.map
+      (fun epsilon ->
+        let db = DB.build_pi ~prepared:p ~epsilon ~page_size:env.page_size g in
+        let server = Psp_pir.Server.create ~cost:env.cost ~key (DB.files db) in
+        let worst = ref 0.0 in
+        Array.iter
+          (fun (s, t) ->
+            let truth = Psp_graph.Dijkstra.distance g s t in
+            match (Client.query_nodes server g s t).Client.path with
+            | Some (_, got) when truth > 0.0 ->
+                worst := Float.max !worst ((got -. truth) /. truth)
+            | _ -> ())
+          queries;
+        [ Printf.sprintf "%.3f" epsilon;
+          megabytes (DB.total_bytes db);
+          Printf.sprintf "%.3f%%" (100.0 *. !worst);
+          seconds (quick_response env preset db) ])
+      [ 0.0; 0.01; 0.05; 0.1 ]
+  in
+  table
+    ~columns:[ "epsilon"; "PI space (MB)"; "worst deviation"; "response (s)" ]
+    rows;
+  header_line "Extras: response time is workload-independent (CI, Argentina)";
+  (* the fixed query plan makes every query cost the same, whatever the
+     access pattern - the property obfuscation schemes lack *)
+  let ci = DB.build_ci ~prepared:p ~page_size:env.page_size g in
+  let server = Psp_pir.Server.create ~cost:env.cost ~key (DB.files ci) in
+  let rows =
+    List.map
+      (fun dist ->
+        let qs = Psp_netgen.Workload.generate g dist ~count:40 ~seed:env.seed in
+        let times = ref [] and fingerprints = ref [] in
+        Array.iter
+          (fun (s, t) ->
+            let r = Client.query_nodes server g s t in
+            times := Response_time.of_result r :: !times;
+            fingerprints :=
+              Psp_pir.Trace.fingerprint r.Client.stats.Psp_pir.Server.Session.trace
+              :: !fingerprints)
+          qs;
+        let mean = Response_time.mean !times in
+        [ Psp_netgen.Workload.describe dist;
+          seconds (Response_time.total mean);
+          string_of_int (List.length (List.sort_uniq compare !fingerprints)) ])
+      [ Psp_netgen.Workload.Uniform;
+        Psp_netgen.Workload.Local { radius = 300.0 };
+        Psp_netgen.Workload.Commute { hubs = 3 };
+        Psp_netgen.Workload.Repeated { distinct = 2 } ]
+  in
+  table ~columns:[ "workload"; "mean response (s)"; "distinct server views" ] rows

@@ -1,0 +1,76 @@
+(* Bechamel micro-benchmarks of the computational kernels underneath the
+   schemes: exact search, ORAM reads, crypto primitives, record
+   decoding, and one end-to-end private query per scheme.  These measure
+   real wall-clock on this machine (the experiment tables report
+   *simulated* 2012-hardware times instead). *)
+
+open Bechamel
+open Toolkit
+module DB = Psp_index.Database
+module G = Psp_graph.Graph
+
+let tests env =
+  let g = Harness.graph env Psp_netgen.Presets.Oldenburg in
+  let queries = Harness.workload env Psp_netgen.Presets.Oldenburg in
+  let pick =
+    let i = ref 0 in
+    fun () ->
+      let q = queries.(!i mod Array.length queries) in
+      incr i;
+      q
+  in
+  let db = DB.build_ci ~page_size:env.Harness.page_size g in
+  let server = Psp_pir.Server.create ~cost:env.Harness.cost ~key:Harness.key (DB.files db) in
+  let store_file = Psp_storage.Page_file.create ~name:"k" ~page_size:4096 in
+  for i = 0 to 255 do
+    ignore (Psp_storage.Page_file.append store_file (Bytes.make 64 (Char.chr (i land 0xff))))
+  done;
+  let store = Psp_pir.Oblivious_store.create ~key:Harness.key store_file in
+  let blob = Bytes.make 4096 'x' in
+  let chacha_key = Psp_crypto.Sha256.digest_string "bench" in
+  let nonce = Bytes.make 12 'n' in
+  let region_blob =
+    Psp_index.Encoding.encode_region Psp_index.Encoding.plain_config g
+      (Psp_partition.Kdtree.nodes_of_region db.DB.partition 0)
+  in
+  [ Test.make ~name:"dijkstra p2p" (Staged.stage (fun () ->
+        let s, t = pick () in
+        ignore (Psp_graph.Dijkstra.distance g s t)));
+    Test.make ~name:"bidirectional p2p" (Staged.stage (fun () ->
+        let s, t = pick () in
+        ignore (Psp_graph.Bidirectional.distance g s t)));
+    Test.make ~name:"astar euclid p2p" (Staged.stage (fun () ->
+        let s, t = pick () in
+        ignore (Psp_graph.Astar.search_euclidean g ~source:s ~target:t)));
+    Test.make ~name:"sha256 4KB" (Staged.stage (fun () -> ignore (Psp_crypto.Sha256.digest blob)));
+    Test.make ~name:"chacha20 4KB" (Staged.stage (fun () ->
+        ignore (Psp_crypto.Chacha20.encrypt ~key:chacha_key ~nonce blob)));
+    Test.make ~name:"oram read" (Staged.stage (fun () ->
+        ignore (Psp_pir.Oblivious_store.read store 17)));
+    Test.make ~name:"region decode" (Staged.stage (fun () ->
+        ignore (Psp_index.Encoding.decode_region Psp_index.Encoding.plain_config region_blob)));
+    Test.make ~name:"CI private query e2e" (Staged.stage (fun () ->
+        let s, t = pick () in
+        ignore (Psp_core.Client.query_nodes server g s t))) ]
+
+let run env =
+  Harness.header_line "Bechamel kernels (real wall-clock on this machine)";
+  let instances = [ Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"kernels" ~fmt:"%s %s" (tests env))
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let ns =
+        match Analyze.OLS.estimates ols with Some [ e ] -> e | _ -> nan
+      in
+      rows := [ name; Printf.sprintf "%.1f us" (ns /. 1e3) ] :: !rows)
+    results;
+  Harness.table ~columns:[ "kernel"; "time/run" ] (List.sort compare !rows)

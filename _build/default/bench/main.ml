@@ -1,0 +1,85 @@
+(* Experiment driver: regenerates every table and figure of the paper's
+   evaluation (§7) plus extra ablations and Bechamel micro-benchmarks of
+   the computational kernels.
+
+     dune exec bench/main.exe                       # everything
+     dune exec bench/main.exe -- --experiment t3    # one artifact
+     dune exec bench/main.exe -- --scale 4 --queries 500
+*)
+
+let all_experiments : (string * string * (Harness.env -> unit)) list =
+  [ ("t1", "Table 1: road networks", Experiments.table1);
+    ("t2", "Table 2: system specifications", Experiments.table2);
+    ("f5", "Figure 5: LM fine-tuning", Experiments.figure5);
+    ("t3", "Table 3: response-time components", Experiments.table3);
+    ("f6", "Figure 6: OBF vs set size", Experiments.figure6);
+    ("f7", "Figure 7: schemes across networks", Experiments.figure7);
+    ("f8", "Figure 8: packed partitioning", Experiments.figure8);
+    ("f9", "Figure 9: index compression", Experiments.figure9);
+    ("f10", "Figure 10: HY on Denmark", Experiments.figure10);
+    ("f11", "Figure 11: PI* cluster size", Experiments.figure11);
+    ("f12", "Figure 12: larger networks", Experiments.figure12);
+    ("extras", "extra ablations", Experiments.extras);
+    ("kernels", "bechamel kernel micro-benchmarks", fun env -> Kernels.run env) ]
+
+let run_experiments env selected =
+  let wanted =
+    match selected with
+    | [] -> all_experiments
+    | ids ->
+        List.filter_map
+          (fun id ->
+            match List.find_opt (fun (i, _, _) -> i = id) all_experiments with
+            | Some e -> Some e
+            | None ->
+                Printf.eprintf "unknown experiment %S (known: %s)\n" id
+                  (String.concat ", " (List.map (fun (i, _, _) -> i) all_experiments));
+                exit 2)
+          ids
+  in
+  Printf.printf
+    "psp experiment harness | scale 1/%.0f | %d queries/workload | page %d B | file cap %.1f MB\n"
+    env.Harness.scale env.Harness.queries env.Harness.page_size
+    (Harness.mb env.Harness.full_limit);
+  let started = Unix.gettimeofday () in
+  List.iter
+    (fun (id, _, f) ->
+      let t0 = Unix.gettimeofday () in
+      f env;
+      Printf.printf "[%s done in %.1fs]\n%!" id (Unix.gettimeofday () -. t0))
+    wanted;
+  Printf.printf "\nall done in %.1fs\n" (Unix.gettimeofday () -. started)
+
+open Cmdliner
+
+let scale =
+  let doc = "Divide the paper's network sizes (and the PIR file cap) by this factor." in
+  Arg.(value & opt float 8.0 & info [ "scale" ] ~doc)
+
+let queries =
+  let doc = "Queries per workload (the paper uses 1000)." in
+  Arg.(value & opt int 200 & info [ "queries" ] ~doc)
+
+let seed =
+  let doc = "Workload / generator seed." in
+  Arg.(value & opt int 2012 & info [ "seed" ] ~doc)
+
+let experiments =
+  let doc = "Run only the listed experiment ids (t1 t2 f5 t3 f6..f12 extras kernels)." in
+  Arg.(value & opt_all string [] & info [ "experiment"; "e" ] ~doc)
+
+let csv =
+  let doc = "Also append every table's rows to this CSV file (for plotting)." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~doc)
+
+let cmd =
+  let run scale queries seed selected csv =
+    Option.iter Harness.set_csv csv;
+    Fun.protect ~finally:Harness.close_csv (fun () ->
+        run_experiments (Harness.make_env ~scale ~queries ~seed ()) selected)
+  in
+  Cmd.v
+    (Cmd.info "psp-bench" ~doc:"Reproduce the paper's tables and figures")
+    Term.(const run $ scale $ queries $ seed $ experiments $ csv)
+
+let () = exit (Cmd.eval cmd)

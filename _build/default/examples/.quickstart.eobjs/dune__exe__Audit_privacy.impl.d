@@ -1,0 +1,1 @@
+examples/audit_privacy.ml: Array Bytes Format Hashtbl List Option Printf Psp_core Psp_crypto Psp_index Psp_netgen Psp_pir Psp_storage

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Printf Psp_core Psp_crypto Psp_graph Psp_index Psp_netgen Psp_pir String

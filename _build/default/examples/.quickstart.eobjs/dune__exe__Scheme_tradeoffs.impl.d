@@ -1,0 +1,1 @@
+examples/scheme_tradeoffs.ml: Array Float List Printf Psp_core Psp_crypto Psp_graph Psp_index Psp_netgen Psp_pir String

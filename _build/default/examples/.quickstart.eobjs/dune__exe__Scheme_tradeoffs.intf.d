@@ -1,0 +1,1 @@
+examples/scheme_tradeoffs.mli:

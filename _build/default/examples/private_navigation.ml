@@ -1,0 +1,80 @@
+(* Private navigation: the scenario from the paper's introduction.
+
+   Clients ask a location-based service for driving directions to
+   sensitive destinations — a clinic, a place of worship, a lawyer.
+   With plain LBS queries the provider learns all of it; behind the PIR
+   interface it learns only that *a* query happened.
+
+   The example drives several clients through the Passage Index scheme
+   (§6, the fastest one), checks every route against an oracle, and
+   shows that the provider's logs are identical for all of them —
+   including two clients asking for the *same* route.
+
+     dune exec examples/private_navigation.exe
+*)
+
+module DB = Psp_index.Database
+module G = Psp_graph.Graph
+
+type errand = { who : string; about : string; s : int; t : int }
+
+let () =
+  let city =
+    Psp_netgen.Synthetic.generate
+      { Psp_netgen.Synthetic.nodes = 2500;
+        edges = 2800;
+        width = 5000.0;
+        height = 5000.0;
+        seed = 7 }
+  in
+  let db = DB.build_pi ~page_size:4096 city in
+  let server =
+    Psp_pir.Server.create ~cost:Psp_pir.Cost_model.ibm4764
+      ~key:(Psp_crypto.Sha256.digest_string "navigation") (DB.files db)
+  in
+  Printf.printf
+    "LBS online: %d-node road network, PI database (%.2f MB), plan %s\n\n"
+    (G.node_count city)
+    (float_of_int (DB.total_bytes db) /. 1e6)
+    (Format.asprintf "%a" Psp_index.Query_plan.pp db.DB.header.Psp_index.Header.plan);
+
+  let errands =
+    [ { who = "alice"; about = "oncology clinic appointment"; s = 12; t = 2051 };
+      { who = "bob"; about = "addiction support meeting"; s = 830; t = 91 };
+      { who = "carol"; about = "same clinic as alice"; s = 12; t = 2051 };
+      { who = "dan"; about = "divorce lawyer"; s = 1999; t = 404 };
+      { who = "erin"; about = "political rally"; s = 333; t = 1337 } ]
+  in
+  let traces =
+    List.map
+      (fun e ->
+        let r = Psp_core.Client.query_nodes server city e.s e.t in
+        (match r.Psp_core.Client.path with
+        | None -> Printf.printf "%-6s no route?!\n" e.who
+        | Some (nodes, cost) ->
+            let truth = Psp_graph.Dijkstra.distance city e.s e.t in
+            Printf.printf "%-6s gets a %3d-hop route, cost %8.1f (oracle %8.1f) - %s\n"
+              e.who
+              (List.length nodes - 1)
+              cost truth e.about);
+        r.Psp_core.Client.stats.Psp_pir.Server.Session.trace)
+      errands
+  in
+  print_newline ();
+  (match Psp_core.Privacy.indistinguishable traces with
+  | Ok () ->
+      Printf.printf
+        "the LBS cannot tell any of these %d queries apart - not even\n\
+         alice's and carol's identical ones. All it logged, per query:\n"
+        (List.length traces);
+      Format.printf "%a@." Psp_pir.Trace.pp (List.hd traces)
+  | Error e -> Printf.printf "PRIVACY VIOLATION: %s\n" e);
+
+  (* contrast: the obfuscation baseline leaks candidate sets *)
+  let obf = Psp_core.Obf.create ~cost:Psp_pir.Cost_model.ibm4764 ~seed:3 city in
+  let rt, _ = Psp_core.Obf.query obf ~set_size:20 ~s:12 ~t_node:2051 in
+  Printf.printf
+    "\nfor comparison, OBF with |S|=|T|=20 responds in %.1f s and still\n\
+     hands the LBS 20 candidate sources and 20 candidate destinations\n\
+     (alice's clinic is one of them).\n"
+    (Psp_core.Response_time.total rt)

@@ -1,0 +1,69 @@
+(* Scheme trade-offs: build every scheme of the paper over one network
+   and print the space/time/privacy matrix a deployment would choose
+   from (§5-§7 condensed into one table).
+
+     dune exec examples/scheme_tradeoffs.exe
+*)
+
+module DB = Psp_index.Database
+module G = Psp_graph.Graph
+module QP = Psp_index.Query_plan
+
+let () =
+  let city =
+    Psp_netgen.Synthetic.generate
+      { Psp_netgen.Synthetic.nodes = 3000;
+        edges = 3350;
+        width = 6000.0;
+        height = 6000.0;
+        seed = 11 }
+  in
+  let queries = Psp_netgen.Synthetic.random_queries city ~count:60 ~seed:1 in
+  let page_size = 4096 in
+  Printf.printf "network: %d nodes, %d directed edges; %d random queries/scheme\n\n"
+    (G.node_count city) (G.edge_count city) (Array.length queries);
+
+  let prepared = DB.prepare ~page_size city in
+  let lm, _ = DB.build_lm ~anchors:5 ~seed:4 ~page_size city in
+  let af, _ = DB.build_af ~target_regions:12 ~page_size city in
+  let threshold = max 1 (DB.prepared_max_cardinality prepared / 3) in
+  let schemes =
+    [ ("CI", "4 rounds, tiny index", DB.build_ci ~prepared ~page_size city);
+      ("PI", "3 rounds, big index", DB.build_pi ~prepared ~page_size city);
+      ("HY", "tunable middle ground", DB.build_hy ~prepared ~threshold ~page_size city);
+      ("PI*", "clustered regions", DB.build_pi_star ~cluster:2 ~page_size city);
+      ("LM", "baseline: ALT + A*", Psp_core.Calibrate.lm lm ~queries);
+      ("AF", "baseline: arc-flags", Psp_core.Calibrate.af af ~queries) ]
+  in
+  Printf.printf "%-5s %-22s %10s %10s %9s %8s %9s\n" "name" "character" "time (s)"
+    "space(MB)" "fetches" "rounds" "correct";
+  print_endline (String.make 78 '-');
+  List.iter
+    (fun (name, character, db) ->
+      let server =
+        Psp_pir.Server.create ~cost:Psp_pir.Cost_model.ibm4764
+          ~key:(Psp_crypto.Sha256.digest_string "tradeoffs") (DB.files db)
+      in
+      let correct = ref 0 in
+      let times = ref [] in
+      Array.iter
+        (fun (s, t) ->
+          let r = Psp_core.Client.query_nodes server city s t in
+          times := Psp_core.Response_time.of_result r :: !times;
+          let truth = Psp_graph.Dijkstra.distance city s t in
+          match r.Psp_core.Client.path with
+          | Some (_, got) when Float.abs (got -. truth) <= 1e-3 *. Float.max 1.0 truth ->
+              incr correct
+          | _ -> ())
+        queries;
+      let mean = Psp_core.Response_time.mean !times in
+      let plan = db.DB.header.Psp_index.Header.plan in
+      Printf.printf "%-5s %-22s %10.2f %10.2f %9d %8d %6d/%d\n" name character
+        (Psp_core.Response_time.total mean)
+        (float_of_int (DB.total_bytes db) /. 1e6)
+        (QP.total_pir_fetches plan) (QP.rounds plan) !correct (Array.length queries))
+    schemes;
+  print_endline
+    "\nall six give exact shortest paths and identical per-query server views;\n\
+     they differ only in where they sit on the space/time curve.";
+  Printf.printf "(HY built with |S_ij| threshold %d = m/3)\n" threshold

@@ -1,0 +1,1 @@
+lib/core/calibrate.ml: Array Bytes Client Psp_index Psp_pir

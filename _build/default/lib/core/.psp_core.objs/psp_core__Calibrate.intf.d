@@ -1,0 +1,1 @@
+lib/core/calibrate.mli: Psp_index

@@ -1,0 +1,1 @@
+lib/core/client.ml: Array Bytes Float Hashtbl List Option Printf Psp_graph Psp_index Psp_partition Psp_pir Psp_storage Psp_util Sys

@@ -1,0 +1,1 @@
+lib/core/client.mli: Psp_graph Psp_pir

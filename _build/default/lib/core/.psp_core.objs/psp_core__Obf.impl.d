@@ -1,0 +1,1 @@
+lib/core/obf.ml: Array Psp_graph Psp_pir Psp_util Response_time Sys

@@ -1,0 +1,1 @@
+lib/core/obf.mli: Psp_graph Psp_pir Response_time

@@ -1,0 +1,1 @@
+lib/core/privacy.ml: Format Printf Psp_index Psp_pir

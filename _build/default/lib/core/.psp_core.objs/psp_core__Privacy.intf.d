@@ -1,0 +1,1 @@
+lib/core/privacy.mli: Psp_index Psp_pir Stdlib

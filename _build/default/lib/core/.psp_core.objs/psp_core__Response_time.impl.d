@@ -1,0 +1,1 @@
+lib/core/response_time.ml: Client Format List Psp_pir

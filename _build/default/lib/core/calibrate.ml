@@ -1,0 +1,29 @@
+module DB = Psp_index.Database
+module QP = Psp_index.Query_plan
+
+(* Run the real (unpadded) client over the workload on a scratch
+   simulated server and record the largest number of regions fetched. *)
+let max_regions_needed db ~queries =
+  let server =
+    Psp_pir.Server.create ~mode:`Simulated ~cost:Psp_pir.Cost_model.ibm4764
+      ~key:(Bytes.make 32 'k') (DB.files db)
+  in
+  Array.fold_left
+    (fun acc (s, t) ->
+      let r = Client.query_nodes ~pad:false server db.DB.graph s t in
+      max acc r.Client.regions_fetched)
+    2 queries
+
+let lm db ~queries =
+  match db.DB.header.Psp_index.Header.plan with
+  | QP.Lm _ ->
+      let regions = max_regions_needed db ~queries in
+      DB.with_plan db (QP.Lm { total_data_pages = regions })
+  | _ -> invalid_arg "Calibrate.lm: not an LM database"
+
+let af db ~queries =
+  match db.DB.header.Psp_index.Header.plan with
+  | QP.Af { pages_per_region; _ } ->
+      let regions = max_regions_needed db ~queries in
+      DB.with_plan db (QP.Af { pages_per_region; max_regions = regions })
+  | _ -> invalid_arg "Calibrate.af: not an AF database"

@@ -1,0 +1,17 @@
+(** Query-plan calibration for the LM and AF baselines (§4).
+
+    Their plans are a single page budget: the maximum number of data
+    pages any query needs.  The paper derives it by executing the
+    algorithm for *every* source–destination pair; that is quadratic in
+    the network, so we derive it from a query workload (use the same
+    workload the experiment will run, or a superset).  The budget is
+    computed by running the real client algorithm unpadded against a
+    scratch server and taking the maximum. *)
+
+val lm :
+  Psp_index.Database.t -> queries:(int * int) array -> Psp_index.Database.t
+(** Returns the database with its [Lm] plan bound to the workload
+    maximum. *)
+
+val af :
+  Psp_index.Database.t -> queries:(int * int) array -> Psp_index.Database.t

@@ -1,0 +1,495 @@
+module PF = Psp_storage.Page_file
+module Server = Psp_pir.Server
+module Session = Psp_pir.Server.Session
+module H = Psp_index.Header
+module QP = Psp_index.Query_plan
+module E = Psp_index.Encoding
+module FB = Psp_index.Fi_builder
+
+type result = {
+  path : (int list * float) option;
+  stats : Psp_pir.Server.Session.stats;
+  client_seconds : float;
+  regions_fetched : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Client-side store of downloaded network data                        *)
+
+type store = {
+  records : (int, E.node_record) Hashtbl.t;
+  adj : (int, (int * float) Psp_util.Dyn_array.t) Hashtbl.t;
+  by_region : (int, E.node_record list) Hashtbl.t;
+}
+
+let store_create () =
+  { records = Hashtbl.create 256; adj = Hashtbl.create 256; by_region = Hashtbl.create 8 }
+
+let adj_of store v =
+  match Hashtbl.find_opt store.adj v with
+  | Some a -> a
+  | None ->
+      let a = Psp_util.Dyn_array.create () in
+      Hashtbl.replace store.adj v a;
+      a
+
+let add_record store region (r : E.node_record) =
+  if not (Hashtbl.mem store.records r.E.id) then begin
+    Hashtbl.replace store.records r.E.id r;
+    Hashtbl.replace store.by_region region
+      (r :: Option.value ~default:[] (Hashtbl.find_opt store.by_region region));
+    let a = adj_of store r.E.id in
+    List.iter (fun e -> Psp_util.Dyn_array.push a (e.E.target, e.E.weight)) r.E.adj
+  end
+
+let add_triple store (t : E.edge_triple) =
+  Psp_util.Dyn_array.push (adj_of store t.E.e_src) (t.E.e_dst, t.E.e_weight)
+
+let snap store region ~x ~y =
+  match Hashtbl.find_opt store.by_region region with
+  | None | Some [] -> failwith "Client: located region holds no nodes"
+  | Some records ->
+      let best = ref (List.hd records) and best_d = ref infinity in
+      List.iter
+        (fun (r : E.node_record) ->
+          let dx = r.E.x -. x and dy = r.E.y -. y in
+          let d = (dx *. dx) +. (dy *. dy) in
+          if d < !best_d then begin
+            best := r;
+            best_d := d
+          end)
+        records;
+      !best.E.id
+
+(* Plain Dijkstra over the downloaded adjacency. *)
+let dijkstra_store store ~source ~target =
+  if source = target then Some ([ source ], 0.0)
+  else begin
+    let dist = Hashtbl.create 256 and parent = Hashtbl.create 256 in
+    let closed = Hashtbl.create 256 in
+    let heap = Psp_util.Min_heap.create () in
+    Hashtbl.replace dist source 0.0;
+    Psp_util.Min_heap.push heap ~priority:0.0 source;
+    let found = ref false in
+    while (not !found) && not (Psp_util.Min_heap.is_empty heap) do
+      match Psp_util.Min_heap.pop heap with
+      | None -> ()
+      | Some (d, u) ->
+          if not (Hashtbl.mem closed u) then begin
+            Hashtbl.replace closed u ();
+            if u = target then found := true
+            else
+              match Hashtbl.find_opt store.adj u with
+              | None -> ()
+              | Some edges ->
+                  Psp_util.Dyn_array.iter
+                    (fun (v, w) ->
+                      let nd = d +. w in
+                      let better =
+                        match Hashtbl.find_opt dist v with
+                        | Some old -> nd < old
+                        | None -> true
+                      in
+                      if better then begin
+                        Hashtbl.replace dist v nd;
+                        Hashtbl.replace parent v u;
+                        Psp_util.Min_heap.push heap ~priority:nd v
+                      end)
+                    edges
+          end
+    done;
+    if not !found then None
+    else begin
+      let rec build v acc =
+        match Hashtbl.find_opt parent v with
+        | None -> v :: acc
+        | Some p -> build p (v :: acc)
+      in
+      Some (build target [], Hashtbl.find dist target)
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Protocol plumbing                                                   *)
+
+let fetch_window session ~file ~first ~count =
+  Array.init count (fun k -> Session.fetch session ~file ~page:(first + k))
+
+let dummy_fetch session ~file = ignore (Session.fetch session ~file ~page:0)
+
+let lookup_entry session header ~psize rs rt =
+  let region_count = header.H.region_count in
+  let per_page = psize / E.lookup_entry_bytes in
+  let idx = (rs * region_count) + rt in
+  let page = idx / per_page in
+  let blob = Session.fetch session ~file:"lookup" ~page in
+  E.decode_lookup_entry blob ~pos:(idx mod per_page * E.lookup_entry_bytes)
+
+let decode_region_window header pages =
+  let blob = Bytes.concat Bytes.empty (Array.to_list pages) in
+  E.decode_region header.H.config blob
+
+let fetch_region session header store ~file region =
+  let first = header.H.region_first_page.(region) in
+  let pages = fetch_window session ~file ~first ~count:header.H.pages_per_region in
+  let records = decode_region_window header pages in
+  List.iter (add_record store region) records
+
+(* ------------------------------------------------------------------ *)
+(* CI (§5.4)                                                           *)
+
+let query_ci session header ~pad ~psize ~rs ~rt ~sx ~sy ~tx ~ty =
+  let fi_span, m =
+    match header.H.plan with
+    | QP.Ci { fi_span; m } -> (fi_span, m)
+    | _ -> failwith "Client: CI database with non-CI plan"
+  in
+  Session.next_round session;
+  let page, offset, _span = lookup_entry session header ~psize rs rt in
+  Session.next_round session;
+  let start = max 0 (min page (header.H.index_pages - fi_span)) in
+  let window = fetch_window session ~file:"index" ~first:start ~count:fi_span in
+  let regions =
+    match
+      FB.decode ~quantize:header.H.config.E.quantize ~pages:window
+        ~base_page:(page - start) ~offset
+    with
+    | FB.Regions r -> r
+    | FB.Edges _ -> failwith "Client: CI look-up led to a subgraph record"
+  in
+  Session.next_round session;
+  let to_fetch =
+    List.sort_uniq compare (rs :: rt :: Array.to_list regions)
+  in
+  let budget = m + 2 in
+  if List.length to_fetch > budget then
+    failwith "Client: CI fetch set exceeds the query plan budget";
+  let store = store_create () in
+  List.iter (fetch_region session header store ~file:"data") to_fetch;
+  if pad then
+    for _ = List.length to_fetch + 1 to budget do
+      dummy_fetch session ~file:"data"
+    done;
+  let s = snap store rs ~x:sx ~y:sy and t = snap store rt ~x:tx ~y:ty in
+  (dijkstra_store store ~source:s ~target:t, List.length to_fetch)
+
+(* ------------------------------------------------------------------ *)
+(* PI and PI* (§6)                                                     *)
+
+let query_pi session header ~pad ~psize ~rs ~rt ~sx ~sy ~tx ~ty =
+  ignore pad;
+  let fi_span =
+    match header.H.plan with
+    | QP.Pi { fi_span } -> fi_span
+    | QP.Pi_star { fi_span; _ } -> fi_span
+    | _ -> failwith "Client: PI database with non-PI plan"
+  in
+  Session.next_round session;
+  let page, offset, _span = lookup_entry session header ~psize rs rt in
+  Session.next_round session;
+  let start = max 0 (min page (header.H.index_pages - fi_span)) in
+  let window = fetch_window session ~file:"index" ~first:start ~count:fi_span in
+  let triples =
+    match
+      FB.decode ~quantize:header.H.config.E.quantize ~pages:window
+        ~base_page:(page - start) ~offset
+    with
+    | FB.Edges e -> e
+    | FB.Regions _ -> failwith "Client: PI look-up led to a region-set record"
+  in
+  let store = store_create () in
+  fetch_region session header store ~file:"data" rs;
+  if rt <> rs then fetch_region session header store ~file:"data" rt
+  else
+    (* the plan always reads two regions' worth of data pages *)
+    for _ = 1 to header.H.pages_per_region do
+      dummy_fetch session ~file:"data"
+    done;
+  Array.iter (add_triple store) triples;
+  let s = snap store rs ~x:sx ~y:sy and t = snap store rt ~x:tx ~y:ty in
+  (dijkstra_store store ~source:s ~target:t, 2)
+
+(* ------------------------------------------------------------------ *)
+(* HY (§6): one combined index+data file                               *)
+
+let query_hy session header ~pad ~psize ~rs ~rt ~sx ~sy ~tx ~ty =
+  let r_pages, round4 =
+    match header.H.plan with
+    | QP.Hy { r; round4 } -> (r, round4)
+    | _ -> failwith "Client: HY database with non-HY plan"
+  in
+  Session.next_round session;
+  let page, offset, span = lookup_entry session header ~psize rs rt in
+  Session.next_round session;
+  let store = store_create () in
+  let fetch_data_page region =
+    let first = header.H.region_first_page.(region) in
+    let pages = fetch_window session ~file:"combined" ~first ~count:1 in
+    List.iter (add_record store region) (decode_region_window header pages)
+  in
+  let fetched_data = ref 0 in
+  let finish_with_regions regions =
+    let to_fetch = List.sort_uniq compare (rs :: rt :: Array.to_list regions) in
+    if List.length to_fetch > round4 then
+      failwith "Client: HY fetch set exceeds the query plan budget";
+    List.iter fetch_data_page to_fetch;
+    fetched_data := !fetched_data + List.length to_fetch;
+    let s = snap store rs ~x:sx ~y:sy and t = snap store rt ~x:tx ~y:ty in
+    (dijkstra_store store ~source:s ~target:t, List.length to_fetch)
+  in
+  let finish_with_triples triples =
+    fetch_data_page rs;
+    if rt <> rs then fetch_data_page rt else dummy_fetch session ~file:"combined";
+    fetched_data := !fetched_data + 2;
+    Array.iter (add_triple store) triples;
+    let s = snap store rs ~x:sx ~y:sy and t = snap store rt ~x:tx ~y:ty in
+    (dijkstra_store store ~source:s ~target:t, 2)
+  in
+  let answer =
+    if span <= r_pages then begin
+      (* the whole record (and its reference chain) fits in round 3 *)
+      let start = max 0 (min page (header.H.data_offset - r_pages)) in
+      let window = fetch_window session ~file:"combined" ~first:start ~count:r_pages in
+      let decoded =
+        FB.decode ~quantize:header.H.config.E.quantize ~pages:window
+          ~base_page:(page - start) ~offset
+      in
+      Session.next_round session;
+      match decoded with
+      | FB.Regions regions -> finish_with_regions regions
+      | FB.Edges triples -> finish_with_triples triples
+    end
+    else begin
+      (* only subgraph records may span past r (r bounds region sets) *)
+      let head = fetch_window session ~file:"combined" ~first:page ~count:r_pages in
+      Session.next_round session;
+      let tail =
+        fetch_window session ~file:"combined" ~first:(page + r_pages)
+          ~count:(span - r_pages)
+      in
+      fetched_data := span - r_pages;
+      match
+        FB.decode ~quantize:header.H.config.E.quantize ~pages:(Array.append head tail)
+          ~base_page:0 ~offset
+      with
+      | FB.Edges triples -> finish_with_triples triples
+      | FB.Regions _ -> failwith "Client: HY record past r is not a subgraph"
+    end
+  in
+  if pad then
+    for _ = !fetched_data + 1 to round4 do
+      dummy_fetch session ~file:"combined"
+    done;
+  answer
+
+(* ------------------------------------------------------------------ *)
+(* LM and AF (§4): incremental region fetching                         *)
+
+let alt_heuristic (v : E.node_record) (t : E.node_record) =
+  match (v.E.landmark, t.E.landmark) with
+  | Some (to_v, from_v), Some (to_t, from_t) ->
+      let bound = ref 0.0 in
+      for a = 0 to Array.length to_v - 1 do
+        bound := Float.max !bound (to_v.(a) -. to_t.(a));
+        bound := Float.max !bound (from_t.(a) -. from_v.(a))
+      done;
+      Float.max !bound 0.0
+  | _ -> 0.0
+
+(* Leaf bounding rectangles of the header's KD-tree; the root box is
+   unbounded, so sides may be infinite. *)
+let region_rects header =
+  let rects = Array.make header.H.region_count (neg_infinity, neg_infinity, infinity, infinity) in
+  let rec walk tree ((x0, y0, x1, y1) as box) =
+    match tree with
+    | Psp_partition.Kdtree.Leaf { region } -> rects.(region) <- box
+    | Psp_partition.Kdtree.Split { axis; coord; less; geq } -> (
+        match axis with
+        | Psp_partition.Kdtree.X ->
+            walk less (x0, y0, coord, y1);
+            walk geq (coord, y0, x1, y1)
+        | Psp_partition.Kdtree.Y ->
+            walk less (x0, y0, x1, coord);
+            walk geq (x0, coord, x1, y1))
+  in
+  walk header.H.tree (neg_infinity, neg_infinity, infinity, infinity);
+  rects
+
+let rect_distance (x0, y0, x1, y1) ~x ~y =
+  let dx = Float.max 0.0 (Float.max (x0 -. x) (x -. x1)) in
+  let dy = Float.max 0.0 (Float.max (y0 -. y) (y -. y1)) in
+  sqrt ((dx *. dx) +. (dy *. dy))
+
+(* Best-first search that fetches a region the first time it pops a node
+   living there.  [heuristic = true] uses ALT (LM); otherwise plain
+   Dijkstra, optionally pruned by arc-flags towards [rt] (AF).
+
+   A frontier node in a not-yet-fetched region has no ALT vector, but
+   its region's rectangle (public, from the header) gives an admissible
+   stand-in: heuristic_scale times the rectangle's distance to the
+   destination.  Without this, distant regions look free and get
+   fetched eagerly. *)
+let query_incremental session header ~pad ~rs ~rt ~sx ~sy ~tx ~ty ~use_alt ~use_flags =
+  let budget_pages =
+    match header.H.plan with
+    | QP.Lm { total_data_pages } -> total_data_pages
+    | QP.Af { pages_per_region; max_regions } -> pages_per_region * max_regions
+    | _ -> failwith "Client: LM/AF database with wrong plan"
+  in
+  let store = store_create () in
+  let fetched = Hashtbl.create 16 in
+  let pages_fetched = ref 0 in
+  let fetch region =
+    if not (Hashtbl.mem fetched region) then begin
+      Hashtbl.replace fetched region ();
+      fetch_region session header store ~file:"data" region;
+      pages_fetched := !pages_fetched + header.H.pages_per_region
+    end
+  in
+  (* round 2: the source and destination regions *)
+  Session.next_round session;
+  fetch rs;
+  if rt <> rs then fetch rt
+  else begin
+    for _ = 1 to header.H.pages_per_region do
+      dummy_fetch session ~file:"data"
+    done;
+    pages_fetched := !pages_fetched + header.H.pages_per_region
+  end;
+  let s = snap store rs ~x:sx ~y:sy and t = snap store rt ~x:tx ~y:ty in
+  let t_record = Hashtbl.find store.records t in
+  let rects = if use_alt then Some (region_rects header) else None in
+  let dist = Hashtbl.create 1024 and parent = Hashtbl.create 1024 in
+  let closed = Hashtbl.create 1024 in
+  let region_of_frontier = Hashtbl.create 64 in
+  let h v =
+    if not use_alt then 0.0
+    else
+      match Hashtbl.find_opt store.records v with
+      | Some r -> alt_heuristic r t_record
+      | None -> (
+          (* unfetched: bound by its region's rectangle *)
+          match (rects, Hashtbl.find_opt region_of_frontier v) with
+          | Some rects, Some region ->
+              header.H.heuristic_scale
+              *. rect_distance rects.(region) ~x:t_record.E.x ~y:t_record.E.y
+          | _ -> 0.0)
+  in
+  let heap = Psp_util.Min_heap.create () in
+  Hashtbl.replace dist s 0.0;
+  Psp_util.Min_heap.push heap ~priority:(h s) s;
+  let found = ref false in
+  while (not !found) && not (Psp_util.Min_heap.is_empty heap) do
+    match Psp_util.Min_heap.pop heap with
+    | None -> ()
+    | Some (key, u) ->
+        if not (Hashtbl.mem closed u) then begin
+          match Hashtbl.find_opt store.records u with
+          | None ->
+              (* node lives in a region we have not fetched yet *)
+              let region =
+                match Hashtbl.find_opt region_of_frontier u with
+                | Some r -> r
+                | None -> failwith "Client: frontier node with unknown region"
+              in
+              Session.next_round session;
+              fetch region;
+              Psp_util.Min_heap.push heap ~priority:(Hashtbl.find dist u +. h u) u
+          | Some record when key +. 1e-12 < Hashtbl.find dist u +. h u ->
+              (* the node was queued before its region (and heuristic)
+                 was known: its key understates g + h, and closing it now
+                 could be premature — re-queue at the proper key *)
+              ignore record;
+              Psp_util.Min_heap.push heap ~priority:(Hashtbl.find dist u +. h u) u
+          | Some record ->
+              Hashtbl.replace closed u ();
+              if u = t then found := true
+              else begin
+                let du = Hashtbl.find dist u in
+                List.iter
+                  (fun (e : E.adj) ->
+                    let usable =
+                      (not use_flags)
+                      ||
+                      match e.E.flags with
+                      | Some flags -> Psp_util.Bitset.mem flags rt
+                      | None -> failwith "Client: AF database lacks arc-flags"
+                    in
+                    if usable then begin
+                      let nd = du +. e.E.weight in
+                      let better =
+                        match Hashtbl.find_opt dist e.E.target with
+                        | Some old -> nd < old
+                        | None -> true
+                      in
+                      if better then begin
+                        Hashtbl.replace dist e.E.target nd;
+                        Hashtbl.replace parent e.E.target u;
+                        (* the mixed (rect / ALT) heuristic is admissible
+                           but not consistent, so a strict improvement
+                           must reopen an already-closed node; with
+                           reopening, stopping at t's first pop stays
+                           exact *)
+                        Hashtbl.remove closed e.E.target;
+                        if e.E.target_region >= 0 then
+                          Hashtbl.replace region_of_frontier e.E.target e.E.target_region;
+                        Psp_util.Min_heap.push heap ~priority:(nd +. h e.E.target) e.E.target
+                      end
+                    end)
+                  record.E.adj
+              end
+        end
+  done;
+  if pad then
+    while !pages_fetched < budget_pages do
+      Session.next_round session;
+      for _ = 1 to header.H.pages_per_region do
+        dummy_fetch session ~file:"data"
+      done;
+      pages_fetched := !pages_fetched + header.H.pages_per_region
+    done;
+  let path =
+    if not !found then None
+    else begin
+      let rec build v acc =
+        match Hashtbl.find_opt parent v with
+        | None -> v :: acc
+        | Some p -> build p (v :: acc)
+      in
+      Some (build t [], Hashtbl.find dist t)
+    end
+  in
+  (* report the page budget consumed (in region units) rather than the
+     distinct-region count: the rs = rt dummy slot counts against the
+     plan, and calibration must budget for it *)
+  (path, !pages_fetched / header.H.pages_per_region)
+
+(* ------------------------------------------------------------------ *)
+
+let query ?(pad = true) server ~sx ~sy ~tx ~ty =
+  let started = Sys.time () in
+  let session = Session.start server in
+  let header_pages = Session.download session ~file:"header" in
+  let header = H.of_pages header_pages in
+  let psize = Bytes.length header_pages.(0) in
+  let rs = H.locate header ~x:sx ~y:sy and rt = H.locate header ~x:tx ~y:ty in
+  let path, regions_fetched =
+    match header.H.scheme with
+    | "CI" -> query_ci session header ~pad ~psize ~rs ~rt ~sx ~sy ~tx ~ty
+    | "PI" | "PI*" -> query_pi session header ~pad ~psize ~rs ~rt ~sx ~sy ~tx ~ty
+    | "HY" -> query_hy session header ~pad ~psize ~rs ~rt ~sx ~sy ~tx ~ty
+    | "LM" ->
+        query_incremental session header ~pad ~rs ~rt ~sx ~sy ~tx ~ty ~use_alt:true
+          ~use_flags:false
+    | "AF" ->
+        query_incremental session header ~pad ~rs ~rt ~sx ~sy ~tx ~ty ~use_alt:false
+          ~use_flags:true
+    | scheme -> failwith (Printf.sprintf "Client: unknown scheme %S" scheme)
+  in
+  let stats = Session.finish session in
+  { path; stats; client_seconds = Sys.time () -. started; regions_fetched }
+
+let query_nodes ?pad server g s t =
+  let sx, sy = Psp_graph.Graph.coords g s in
+  let tx, ty = Psp_graph.Graph.coords g t in
+  query ?pad server ~sx ~sy ~tx ~ty

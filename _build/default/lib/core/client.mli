@@ -1,0 +1,41 @@
+(** The querying client — the left side of Figure 1.
+
+    A client knows only its own source/destination coordinates and what
+    the public header tells it; everything else arrives over the PIR
+    interface.  [query] drives the complete multi-round protocol of
+    whichever scheme the header announces (CI §5.4, PI/PI* §6, HY §6,
+    LM/AF §4), including the dummy padding that makes its trace conform
+    to the published plan.
+
+    Returns the path (as a node-id sequence with its cost), the server
+    session statistics (PIR time, communication time, per-file page
+    counts, the adversary-visible trace) and the client-side CPU time —
+    the three response-time components of Table 3. *)
+
+type result = {
+  path : (int list * float) option;
+      (** node sequence (source first) and total cost; [None] if the
+          destination is unreachable *)
+  stats : Psp_pir.Server.Session.stats;
+  client_seconds : float;
+  regions_fetched : int;
+      (** region-page budget the query consumed, in region units (for
+          LM/AF this counts the rs = rt dummy slot too — it is what plan
+          calibration must budget for) *)
+}
+
+val query :
+  ?pad:bool ->
+  Psp_pir.Server.t ->
+  sx:float -> sy:float -> tx:float -> ty:float ->
+  result
+(** Execute one shortest-path query from (sx, sy) to (tx, ty).  Source
+    and destination are snapped to the nearest network node of their
+    regions.  [pad] (default true) enforces the query plan with dummy
+    retrievals; calibration passes disable it.
+    @raise Failure on a malformed database or a plan the query cannot
+    fit into. *)
+
+val query_nodes : ?pad:bool -> Psp_pir.Server.t -> Psp_graph.Graph.t -> int -> int -> result
+(** Convenience for harnesses: look up the nodes' coordinates in the
+    (server-side) graph and query by coordinates. *)

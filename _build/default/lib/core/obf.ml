@@ -1,0 +1,63 @@
+module G = Psp_graph.Graph
+
+type placement = Uniform | Near of float
+
+type t = { graph : G.t; cost : Psp_pir.Cost_model.t; rng : Psp_util.Rng.t }
+
+let create ~cost ~seed graph = { graph; cost; rng = Psp_util.Rng.create seed }
+
+(* Encoded size of one returned path: a node id (4 bytes) per hop plus
+   the cost. *)
+let path_bytes p = (4 * (Psp_graph.Path.hop_count p + 1)) + 8
+
+let query ?(placement = Uniform) t ~set_size ~s ~t_node =
+  if set_size < 1 then invalid_arg "Obf.query: set_size must be >= 1";
+  let n = G.node_count t.graph in
+  let pick_decoy real =
+    match placement with
+    | Uniform -> Psp_util.Rng.int t.rng n
+    | Near radius ->
+        (* rejection-sample near the real endpoint; fall back to uniform
+           so sparse corners cannot loop forever *)
+        let rec attempt k =
+          if k = 0 then Psp_util.Rng.int t.rng n
+          else begin
+            let v = Psp_util.Rng.int t.rng n in
+            if G.euclidean t.graph real v <= radius then v else attempt (k - 1)
+          end
+        in
+        attempt 64
+  in
+  let decoys k real = Array.init k (fun i -> if i = 0 then real else pick_decoy real) in
+  let sources = decoys set_size s in
+  let targets = decoys set_size t_node in
+  (* server side: all |S| x |T| paths, computed for real and timed *)
+  let started = Sys.time () in
+  let result = ref None in
+  let bytes = ref 0 in
+  Array.iter
+    (fun src ->
+      let spt =
+        Psp_graph.Dijkstra.tree_until t.graph ~source:src ~targets:(Array.to_list targets)
+      in
+      Array.iter
+        (fun dst ->
+          match Psp_graph.Dijkstra.path_to t.graph spt dst with
+          | None -> ()
+          | Some p ->
+              bytes := !bytes + path_bytes p;
+              if src = s && dst = t_node then result := Some p)
+        targets)
+    sources;
+  let server_cpu = Sys.time () -. started in
+  (* client -> server request: the two obfuscation sets *)
+  let request_bytes = 2 * 4 * set_size in
+  let comm =
+    t.cost.Psp_pir.Cost_model.rtt
+    +. Psp_pir.Cost_model.transfer_seconds t.cost ~bytes:(request_bytes + !bytes)
+  in
+  ( { Response_time.pir_seconds = 0.0;
+      comm_seconds = comm;
+      server_cpu_seconds = server_cpu;
+      client_seconds = 0.0 },
+    !result )

@@ -1,0 +1,35 @@
+(** The obfuscation baseline OBF [Lee et al., CIKM 2009] (§2.1, §7.3).
+
+    The client hides s among a set S of decoy sources and t among a set
+    T of decoy destinations; the LBS computes all |S|·|T| shortest paths
+    in plaintext and ships them back; the client keeps the real one.
+    Decoys are drawn uniformly from the network (as in the paper's
+    experiment, which randomizes decoys to leak a little less than the
+    near-by placement of the original scheme).
+
+    This scheme is *not* private — the LBS learns S and T — and is
+    benchmarked only to position the PIR schemes' overhead (Figure 6).
+    Server processing is measured (real path computations on the
+    hosted graph); communication is modeled as the encoded size of all
+    returned paths over the Table 2 client link. *)
+
+type t
+
+type placement =
+  | Uniform
+      (** decoys anywhere on the network — the paper's experiment (§7.3),
+          leaking a little less *)
+  | Near of float
+      (** decoys within a Euclidean radius of the real endpoints — the
+          original scheme [Lee et al.], faster for the server but telling
+          the LBS roughly where s and t are *)
+
+val create :
+  cost:Psp_pir.Cost_model.t -> seed:int -> Psp_graph.Graph.t -> t
+
+val query :
+  ?placement:placement -> t -> set_size:int -> s:int -> t_node:int ->
+  Response_time.t * Psp_graph.Path.t option
+(** One obfuscated query with |S| = |T| = [set_size]; decoys drawn per
+    [placement] (default [Uniform]).
+    @raise Invalid_argument if [set_size < 1]. *)

@@ -1,0 +1,63 @@
+module T = Psp_pir.Trace
+module H = Psp_index.Header
+module QP = Psp_index.Query_plan
+
+let indistinguishable traces =
+  match traces with
+  | [] | [ _ ] -> Ok ()
+  | first :: rest ->
+      let rec check i = function
+        | [] -> Ok ()
+        | t :: tl ->
+            if T.equal first t then check (i + 1) tl
+            else
+              Error
+                (Printf.sprintf "trace %d differs from trace 0 (%s vs %s)" i
+                   (T.fingerprint t) (T.fingerprint first))
+      in
+      check 1 rest
+
+let expected_trace header ~header_pages =
+  let t = T.create () in
+  T.record t (T.Plain_download { round = 1; file = "header"; pages = header_pages });
+  let fetches round file count =
+    for _ = 1 to count do
+      T.record t (T.Pir_fetch { round; file })
+    done
+  in
+  (match header.H.plan with
+  | QP.Ci { fi_span; m } ->
+      fetches 2 "lookup" 1;
+      fetches 3 "index" fi_span;
+      fetches 4 "data" (m + 2)
+  | QP.Pi { fi_span } ->
+      fetches 2 "lookup" 1;
+      fetches 3 "index" fi_span;
+      fetches 3 "data" (2 * header.H.pages_per_region)
+  | QP.Pi_star { fi_span; cluster } ->
+      fetches 2 "lookup" 1;
+      fetches 3 "index" fi_span;
+      fetches 3 "data" (2 * cluster)
+  | QP.Hy { r; round4 } ->
+      fetches 2 "lookup" 1;
+      fetches 3 "combined" r;
+      fetches 4 "combined" round4
+  | QP.Lm { total_data_pages } ->
+      fetches 2 "data" 2;
+      for round = 3 to total_data_pages do
+        fetches round "data" 1
+      done
+  | QP.Af { pages_per_region; max_regions } ->
+      fetches 2 "data" (2 * pages_per_region);
+      for k = 3 to max_regions do
+        fetches k "data" pages_per_region
+      done);
+  t
+
+let conforms header ~header_pages trace =
+  let expected = expected_trace header ~header_pages in
+  if T.equal expected trace then Ok ()
+  else
+    Error
+      (Format.asprintf "trace deviates from plan.@ expected:@ %a@ got:@ %a" T.pp expected
+         T.pp trace)

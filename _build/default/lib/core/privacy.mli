@@ -1,0 +1,26 @@
+(** Theorem 1 as executable checks.
+
+    The security argument has two parts the code can verify:
+
+    + every query produces a byte-for-byte identical adversary view
+      (same rounds, same files, same page counts, in the same order);
+    + that view matches the published query plan, so it was knowable
+      before any query ran — the adversary learns nothing it did not
+      already know.
+
+    The test suite runs these checks for every scheme over random
+    workloads; the [audit_privacy] example demonstrates them
+    interactively. *)
+
+val indistinguishable :
+  Psp_pir.Trace.t list -> (unit, string) Stdlib.result
+(** [Ok ()] iff all traces are pairwise equal (vacuously for <2). *)
+
+val expected_trace :
+  Psp_index.Header.t -> header_pages:int -> Psp_pir.Trace.t
+(** The trace any conforming query must produce, derived from the plan
+    alone. *)
+
+val conforms :
+  Psp_index.Header.t -> header_pages:int -> Psp_pir.Trace.t -> (unit, string) Stdlib.result
+(** Check one observed trace against the plan-derived expectation. *)

@@ -1,0 +1,26 @@
+(** Response-time decomposition (§7.1, Table 3).
+
+    The paper reports elapsed time from query submission to the client
+    holding the shortest path, split into (i) server processing — PIR
+    time for the private schemes, plaintext query processing for OBF —
+    (ii) communication time and (iii) client-side computation. *)
+
+type t = {
+  pir_seconds : float;
+  comm_seconds : float;
+  server_cpu_seconds : float;
+  client_seconds : float;
+}
+
+val total : t -> float
+
+val of_result : Client.result -> t
+
+val zero : t
+val add : t -> t -> t
+val scale : float -> t -> t
+
+val mean : t list -> t
+(** Component-wise mean (the 1,000-query workload average). *)
+
+val pp : Format.formatter -> t -> unit

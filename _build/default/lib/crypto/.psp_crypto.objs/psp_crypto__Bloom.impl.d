@@ -1,0 +1,1 @@
+lib/crypto/bloom.ml: Float List Prf Psp_util

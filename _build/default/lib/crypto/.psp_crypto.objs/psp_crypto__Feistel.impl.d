@@ -1,0 +1,1 @@
+lib/crypto/feistel.ml: Array Prf Printf

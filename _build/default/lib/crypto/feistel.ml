@@ -1,0 +1,60 @@
+type t = {
+  domain : int;
+  half_bits : int; (* bits per Feistel half; total width = 2*half_bits *)
+  round_keys : Prf.t array;
+}
+
+let rounds = 4
+
+let create ~key ~domain =
+  if domain <= 0 then invalid_arg "Feistel.create: domain must be positive";
+  (* Smallest even bit-width covering the domain. *)
+  let rec bits_for n acc = if n <= 1 then acc else bits_for ((n + 1) / 2) (acc + 1) in
+  let width = max 2 (bits_for domain 0) in
+  let width = if width mod 2 = 0 then width else width + 1 in
+  let round_keys =
+    Array.init rounds (fun i -> Prf.create ~key ~label:(Printf.sprintf "feistel-round-%d" i))
+  in
+  { domain; half_bits = width / 2; round_keys }
+
+let domain t = t.domain
+
+let split t x =
+  let half_mask = (1 lsl t.half_bits) - 1 in
+  ((x lsr t.half_bits) land half_mask, x land half_mask)
+
+let join t (left, right) = (left lsl t.half_bits) lor right
+
+(* One pass of the full network.  Forward round i maps (l, r) to
+   (r, l xor F_i(r)); backward inverts rounds in reverse order. *)
+let once_fwd t x =
+  let half_mask = (1 lsl t.half_bits) - 1 in
+  let state = ref (split t x) in
+  for i = 0 to rounds - 1 do
+    let l, r = !state in
+    state := (r, l lxor (Prf.int t.round_keys.(i) r land half_mask))
+  done;
+  join t !state
+
+let once_bwd t x =
+  let half_mask = (1 lsl t.half_bits) - 1 in
+  let state = ref (split t x) in
+  for i = rounds - 1 downto 0 do
+    let l, r = !state in
+    state := (r lxor (Prf.int t.round_keys.(i) l land half_mask), l)
+  done;
+  join t !state
+
+(* Cycle-walk: iterate the width-wide permutation until we land back
+   inside the domain; this restriction is itself a permutation. *)
+let walk t step x =
+  if x < 0 || x >= t.domain then invalid_arg "Feistel: point out of domain";
+  let rec loop y =
+    let y = step t y in
+    if y < t.domain then y else loop y
+  in
+  loop x
+
+let forward t x = walk t once_fwd x
+let backward t x = walk t once_bwd x
+let to_array t = Array.init t.domain (forward t)

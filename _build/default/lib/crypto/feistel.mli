@@ -1,0 +1,25 @@
+(** Small-domain pseudo-random permutations via a balanced Feistel
+    network with cycle-walking.
+
+    The Williams–Sion construction scrambles each ORAM level with a
+    secret permutation of its slots.  A four-round Feistel network over
+    [ceil(log2 n)] bits, keyed per level and epoch, gives an invertible
+    permutation of [[0,n)] without materializing it — the SCP can map a
+    slot in O(1) space. *)
+
+type t
+
+val create : key:bytes -> domain:int -> t
+(** Permutation of [[0, domain)].
+    @raise Invalid_argument if [domain <= 0]. *)
+
+val domain : t -> int
+
+val forward : t -> int -> int
+(** Image of a point.  @raise Invalid_argument if out of domain. *)
+
+val backward : t -> int -> int
+(** Pre-image of a point; [backward t (forward t x) = x]. *)
+
+val to_array : t -> int array
+(** Materialize the full permutation (testing/shuffles of small levels). *)

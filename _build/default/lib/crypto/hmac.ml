@@ -1,0 +1,36 @@
+let block_size = 64
+
+let normalize_key key =
+  let key = if Bytes.length key > block_size then Sha256.digest key else key in
+  let padded = Bytes.make block_size '\000' in
+  Bytes.blit key 0 padded 0 (Bytes.length key);
+  padded
+
+let xor_pad key byte =
+  Bytes.map (fun c -> Char.chr (Char.code c lxor byte)) key
+
+let mac ~key data =
+  let key = normalize_key key in
+  let inner = Sha256.init () in
+  Sha256.feed inner (xor_pad key 0x36);
+  Sha256.feed inner data;
+  let inner_hash = Sha256.finalize inner in
+  let outer = Sha256.init () in
+  Sha256.feed outer (xor_pad key 0x5C);
+  Sha256.feed outer inner_hash;
+  Sha256.finalize outer
+
+let mac_string ~key s = mac ~key (Bytes.of_string s)
+
+let verify ~key data ~tag =
+  let expected = mac ~key data in
+  if Bytes.length expected <> Bytes.length tag then false
+  else begin
+    let diff = ref 0 in
+    for i = 0 to Bytes.length expected - 1 do
+      diff := !diff lor (Char.code (Bytes.get expected i) lxor Char.code (Bytes.get tag i))
+    done;
+    !diff = 0
+  end
+
+let derive ~key ~label = mac_string ~key ("psp-derive:" ^ label)

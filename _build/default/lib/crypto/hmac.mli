@@ -1,0 +1,16 @@
+(** HMAC-SHA-256 (RFC 2104) and an HKDF-style key deriver.
+
+    Keys in the simulated SCP are 32-byte strings; all session keys and
+    per-level ORAM keys are derived from a master key with [derive]. *)
+
+val mac : key:bytes -> bytes -> bytes
+(** 32-byte authentication tag. *)
+
+val mac_string : key:bytes -> string -> bytes
+
+val verify : key:bytes -> bytes -> tag:bytes -> bool
+(** Constant-time tag comparison. *)
+
+val derive : key:bytes -> label:string -> bytes
+(** [derive ~key ~label] is a 32-byte subkey bound to [label];
+    distinct labels give independent subkeys. *)

@@ -1,0 +1,26 @@
+(** Keyed pseudo-random functions over integers.
+
+    Thin, typed wrappers over HMAC-SHA-256 used by the oblivious store:
+    mapping logical page ids to level positions, deriving per-epoch
+    nonces, and hashing into Bloom filters. *)
+
+type t
+(** A keyed PRF instance. *)
+
+val create : key:bytes -> label:string -> t
+(** Instance keyed by [derive key label]; distinct labels are
+    independent PRFs. *)
+
+val int : t -> int -> int
+(** [int t x] is a 62-bit non-negative pseudo-random value of [x]. *)
+
+val int_mod : t -> int -> int -> int
+(** [int_mod t x m] is uniform-ish in [[0,m)].
+    @raise Invalid_argument if [m <= 0]. *)
+
+val bytes : t -> int -> int -> bytes
+(** [bytes t x n] is an [n]-byte pseudo-random string for input [x]. *)
+
+val indices : t -> int -> count:int -> modulus:int -> int list
+(** [count] independent values in [[0,modulus)] for input [x] —
+    the Bloom-filter probe positions for element [x]. *)

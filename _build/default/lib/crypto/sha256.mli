@@ -1,0 +1,23 @@
+(** SHA-256 (FIPS 180-4), pure OCaml.
+
+    The hash underlying every keyed primitive in the simulated secure
+    co-processor: HMAC, the PRF, the Feistel round functions and Bloom
+    filter indexing.  Verified against the FIPS test vectors in the test
+    suite. *)
+
+type ctx
+(** Streaming hash context. *)
+
+val init : unit -> ctx
+val feed : ctx -> bytes -> unit
+val feed_string : ctx -> string -> unit
+
+val finalize : ctx -> bytes
+(** 32-byte digest.  The context must not be reused afterwards. *)
+
+val digest : bytes -> bytes
+(** One-shot hash. *)
+
+val digest_string : string -> bytes
+val hex : bytes -> string
+(** Lowercase hexadecimal rendering of a digest. *)

@@ -1,0 +1,1 @@
+lib/graph/arcflag.ml: Array Graph Path Psp_util

@@ -1,0 +1,1 @@
+lib/graph/arcflag.mli: Graph Path Psp_util

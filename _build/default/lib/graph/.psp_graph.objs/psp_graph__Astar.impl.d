@@ -1,0 +1,1 @@
+lib/graph/astar.ml: Array Graph List Path Psp_util

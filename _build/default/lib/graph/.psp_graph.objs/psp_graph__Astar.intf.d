@@ -1,0 +1,1 @@
+lib/graph/astar.mli: Graph Path

@@ -1,0 +1,1 @@
+lib/graph/bidirectional.ml: Array Graph List Path Psp_util

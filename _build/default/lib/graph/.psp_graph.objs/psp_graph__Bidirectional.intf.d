@@ -1,0 +1,1 @@
+lib/graph/bidirectional.mli: Graph Path

@@ -1,0 +1,1 @@
+lib/graph/landmark.ml: Array Dijkstra Float Graph Psp_util

@@ -1,0 +1,1 @@
+lib/graph/path.ml: Array Float Format Graph List Psp_util

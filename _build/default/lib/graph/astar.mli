@@ -1,0 +1,25 @@
+(** A* search [Hart, Nilsson & Raphael 1968].
+
+    The search procedure of the LM baseline (§4): expansion is ordered
+    by g(v) + h(v) where h is an admissible lower bound on the remaining
+    cost — either the scaled Euclidean distance or the Landmark (ALT)
+    bound.  Statistics expose how many nodes were settled, which drives
+    the page-access counts of the baseline schemes. *)
+
+type result = { path : Path.t option; settled : int; relaxed : int }
+
+val search :
+  Graph.t -> heuristic:(int -> float) -> source:int -> target:int -> result
+(** Generic A*.  [heuristic v] must lower-bound the v→target cost for
+    correctness (admissibility is the caller's contract). *)
+
+val euclidean_heuristic : Graph.t -> target:int -> int -> float
+(** h(v) = scale · ‖v − target‖₂ with scale = {!Graph.min_weight_per_distance},
+    always admissible. *)
+
+val search_euclidean : Graph.t -> source:int -> target:int -> result
+
+val visited_order :
+  Graph.t -> heuristic:(int -> float) -> source:int -> target:int -> int list
+(** Nodes in settlement order (stops at target) — used by LM to replay
+    which regions the search enters. *)

@@ -1,0 +1,15 @@
+(** Bidirectional Dijkstra.
+
+    Included in the graph engine as a faster exact point-to-point solver
+    for workload generation and as an independent oracle in tests (its
+    results must match unidirectional Dijkstra on every query). *)
+
+type result = { path : Path.t option; settled : int }
+
+val search : Graph.t -> source:int -> target:int -> result
+(** Alternates forward search from [source] and backward search from
+    [target]; stops when the frontiers' top keys exceed the best meeting
+    cost. *)
+
+val distance : Graph.t -> int -> int -> float
+(** Cost only; [infinity] if unreachable. *)

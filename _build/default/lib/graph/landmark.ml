@@ -1,0 +1,63 @@
+type t = {
+  anchors : int array;
+  to_anchor : float array array; (* to_anchor.(a).(v) = d(v, anchor_a) *)
+  from_anchor : float array array; (* from_anchor.(a).(v) = d(anchor_a, v) *)
+}
+
+let select_farthest g ~count ~seed =
+  let n = Graph.node_count g in
+  if n = 0 then invalid_arg "Landmark.select_farthest: empty graph";
+  if count < 1 then invalid_arg "Landmark.select_farthest: count must be >= 1";
+  let count = min count n in
+  let rng = Psp_util.Rng.create seed in
+  let rev = Graph.reverse g in
+  let anchors = Psp_util.Dyn_array.create () in
+  (* distance from each node to its closest already-chosen anchor *)
+  let closest = Array.make n infinity in
+  let add_anchor a =
+    Psp_util.Dyn_array.push anchors a;
+    let spt = Dijkstra.tree g ~source:a in
+    for v = 0 to n - 1 do
+      closest.(v) <- Float.min closest.(v) spt.Dijkstra.dist.(v)
+    done
+  in
+  add_anchor (Psp_util.Rng.int rng n);
+  while Psp_util.Dyn_array.length anchors < count do
+    let best = ref 0 and best_d = ref neg_infinity in
+    for v = 0 to n - 1 do
+      let d = closest.(v) in
+      let d = if d = infinity then -1.0 else d in
+      if d > !best_d then begin
+        best := v;
+        best_d := d
+      end
+    done;
+    add_anchor !best
+  done;
+  let anchors = Psp_util.Dyn_array.to_array anchors in
+  let to_anchor =
+    Array.map (fun a -> (Dijkstra.tree rev ~source:a).Dijkstra.dist) anchors
+  in
+  let from_anchor =
+    Array.map (fun a -> (Dijkstra.tree g ~source:a).Dijkstra.dist) anchors
+  in
+  { anchors; to_anchor; from_anchor }
+
+let anchor_count t = Array.length t.anchors
+let anchors t = Array.copy t.anchors
+let to_anchor t a v = t.to_anchor.(a).(v)
+let from_anchor t a v = t.from_anchor.(a).(v)
+
+let heuristic t ~target v =
+  let bound = ref 0.0 in
+  for a = 0 to anchor_count t - 1 do
+    let dv_a = t.to_anchor.(a).(v) and dt_a = t.to_anchor.(a).(target) in
+    let da_v = t.from_anchor.(a).(v) and da_t = t.from_anchor.(a).(target) in
+    if dv_a < infinity && dt_a < infinity then
+      bound := Float.max !bound (dv_a -. dt_a);
+    if da_v < infinity && da_t < infinity then
+      bound := Float.max !bound (da_t -. da_v)
+  done;
+  Float.max !bound 0.0
+
+let vector_bytes t = 2 * 4 * anchor_count t

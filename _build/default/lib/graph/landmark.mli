@@ -1,0 +1,33 @@
+(** Landmark (ALT) pre-computation [Goldberg & Harrelson 2005].
+
+    Chooses anchor nodes and stores, for every node, the shortest-path
+    costs to and from each anchor.  The triangle inequality then yields
+    an admissible A* heuristic:
+      h(v) = max_a max(d(v,a) − d(t,a), d(a,t) − d(a,v)).
+    This is the pre-computed payload of the LM baseline (§4): the
+    landmark vector is stored with each node in the region data file,
+    so the anchor count directly sizes F_d (Figure 5b). *)
+
+type t
+
+val select_farthest : Graph.t -> count:int -> seed:int -> t
+(** Greedy farthest-point anchor selection (standard ALT heuristic):
+    start from a random node, repeatedly add the node maximizing the
+    distance to the chosen set.  Pre-computes both distance directions.
+    @raise Invalid_argument if [count < 1] or the graph is empty. *)
+
+val anchor_count : t -> int
+val anchors : t -> int array
+
+val to_anchor : t -> int -> int -> float
+(** [to_anchor t a v] = d(v, anchor_a). *)
+
+val from_anchor : t -> int -> int -> float
+(** [from_anchor t a v] = d(anchor_a, v). *)
+
+val heuristic : t -> target:int -> int -> float
+(** The ALT lower bound towards [target]. *)
+
+val vector_bytes : t -> int
+(** Serialized size of one node's landmark vector (two float32 per
+    anchor) — used when laying out the LM region data file. *)

@@ -1,0 +1,45 @@
+type t = { nodes : int array; edges : int array; cost : float }
+
+let trivial v = { nodes = [| v |]; edges = [||]; cost = 0.0 }
+
+let make g ~edges =
+  match edges with
+  | [] -> invalid_arg "Path.make: empty edge list (use trivial)"
+  | first :: _ ->
+      let first = Graph.edge g first in
+      let nodes = Psp_util.Dyn_array.create () in
+      Psp_util.Dyn_array.push nodes first.Graph.src;
+      let cost = ref 0.0 in
+      let cursor = ref first.Graph.src in
+      List.iter
+        (fun id ->
+          let e = Graph.edge g id in
+          if e.Graph.src <> !cursor then
+            invalid_arg "Path.make: edges are not contiguous";
+          Psp_util.Dyn_array.push nodes e.Graph.dst;
+          cost := !cost +. e.Graph.weight;
+          cursor := e.Graph.dst)
+        edges;
+      { nodes = Psp_util.Dyn_array.to_array nodes;
+        edges = Array.of_list edges;
+        cost = !cost }
+
+let source t = t.nodes.(0)
+let target t = t.nodes.(Array.length t.nodes - 1)
+let cost t = t.cost
+let hop_count t = Array.length t.edges
+
+let is_valid g t =
+  if Array.length t.edges = 0 then Array.length t.nodes = 1
+  else begin
+    try
+      let rebuilt = make g ~edges:(Array.to_list t.edges) in
+      rebuilt.nodes = t.nodes && Float.abs (rebuilt.cost -. t.cost) < 1e-9
+    with Invalid_argument _ -> false
+  end
+
+let equal a b = a.nodes = b.nodes && a.edges = b.edges
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>path %d->%d cost=%.3f hops=%d@]" (source t) (target t)
+    t.cost (hop_count t)

@@ -1,0 +1,25 @@
+(** Paths in a road network.
+
+    A path is the query result SP(s, t): the node sequence, the edge ids
+    traversed, and the summed cost.  Construction validates contiguity
+    so a malformed result cannot be represented. *)
+
+type t = private { nodes : int array; edges : int array; cost : float }
+
+val make : Graph.t -> edges:int list -> t
+(** Path from a contiguous edge-id sequence; cost is recomputed from the
+    graph.  @raise Invalid_argument if edges are not contiguous. *)
+
+val trivial : int -> t
+(** The zero-cost path at a single node (s = t). *)
+
+val source : t -> int
+val target : t -> int
+val cost : t -> float
+val hop_count : t -> int
+
+val is_valid : Graph.t -> t -> bool
+(** Re-checks contiguity and cost against the graph. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/index/bundle.ml: Array Buffer Database Filename Fun Header List Printf Psp_storage String Sys

@@ -1,0 +1,1 @@
+lib/index/bundle.mli: Database Header Psp_storage

@@ -1,0 +1,1 @@
+lib/index/database.ml: Array Buffer Bytes Encoding Fi_builder Hashtbl Header List Option Precompute Psp_graph Psp_partition Psp_storage Query_plan

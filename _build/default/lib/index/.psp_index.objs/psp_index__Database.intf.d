@@ -1,0 +1,1 @@
+lib/index/database.mli: Header Psp_graph Psp_partition Psp_storage Query_plan

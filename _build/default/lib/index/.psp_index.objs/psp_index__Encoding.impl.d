@@ -1,0 +1,1 @@
+lib/index/encoding.ml: Array Int32 List Psp_graph Psp_util

@@ -1,0 +1,1 @@
+lib/index/encoding.mli: Psp_graph Psp_util

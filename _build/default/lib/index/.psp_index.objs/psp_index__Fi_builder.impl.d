@@ -1,0 +1,1 @@
+lib/index/fi_builder.ml: Array Buffer Bytes Encoding Hashtbl List Printf Psp_graph Psp_storage Psp_util

@@ -1,0 +1,1 @@
+lib/index/fi_builder.mli: Encoding Psp_graph Psp_storage

@@ -1,0 +1,1 @@
+lib/index/header.ml: Array Bytes Encoding Psp_partition Psp_storage Psp_util Query_plan

@@ -1,0 +1,1 @@
+lib/index/header.mli: Encoding Psp_partition Psp_storage Query_plan

@@ -1,0 +1,1 @@
+lib/index/precompute.ml: Array Domain Hashtbl List Psp_graph Psp_partition Psp_util

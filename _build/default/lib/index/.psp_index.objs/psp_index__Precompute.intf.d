@@ -1,0 +1,1 @@
+lib/index/precompute.mli: Psp_graph Psp_partition

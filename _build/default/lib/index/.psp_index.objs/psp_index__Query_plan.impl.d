@@ -1,0 +1,1 @@
+lib/index/query_plan.ml: Format List Printf Psp_util

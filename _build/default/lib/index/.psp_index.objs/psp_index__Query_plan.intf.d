@@ -1,0 +1,1 @@
+lib/index/query_plan.mli: Format

@@ -1,0 +1,74 @@
+module PF = Psp_storage.Page_file
+
+type t = {
+  scheme : string;
+  page_size : int;
+  header : Header.t;
+  files : PF.t list;
+}
+
+let of_database db =
+  { scheme = db.Database.scheme;
+    page_size = PF.page_size db.Database.data;
+    header = db.Database.header;
+    files = Database.files db }
+
+let files t = t.files
+
+let manifest_name = "manifest"
+
+let save t ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let manifest = Buffer.create 128 in
+  Buffer.add_string manifest "psp-bundle 1\n";
+  Buffer.add_string manifest (Printf.sprintf "scheme %s\n" t.scheme);
+  Buffer.add_string manifest (Printf.sprintf "page_size %d\n" t.page_size);
+  List.iter
+    (fun f ->
+      Buffer.add_string manifest (Printf.sprintf "file %s\n" (PF.name f));
+      PF.save f ~path:(Filename.concat dir (PF.name f) ^ ".pages"))
+    t.files;
+  let oc = open_out_bin (Filename.concat dir manifest_name) in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (Buffer.contents manifest))
+
+let load ~dir =
+  let path = Filename.concat dir manifest_name in
+  if not (Sys.file_exists path) then
+    invalid_arg (Printf.sprintf "Bundle.load: no manifest in %s" dir);
+  let ic = open_in_bin path in
+  let body =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let lines = String.split_on_char '\n' body in
+  let scheme = ref "" and page_size = ref 0 and names = ref [] in
+  List.iter
+    (fun line ->
+      match String.split_on_char ' ' line with
+      | [ "psp-bundle"; "1" ] | [ "" ] -> ()
+      | [ "scheme"; s ] -> scheme := s
+      | [ "page_size"; n ] -> page_size := int_of_string n
+      | [ "file"; n ] -> names := n :: !names
+      | _ -> invalid_arg (Printf.sprintf "Bundle.load: bad manifest line %S" line))
+    lines;
+  if !scheme = "" || !page_size = 0 || !names = [] then
+    invalid_arg "Bundle.load: incomplete manifest";
+  let files =
+    List.rev_map
+      (fun name -> PF.load ~path:(Filename.concat dir name ^ ".pages"))
+      !names
+  in
+  let header_file =
+    match List.find_opt (fun f -> PF.name f = "header") files with
+    | Some f -> f
+    | None -> invalid_arg "Bundle.load: bundle has no header file"
+  in
+  let header =
+    Header.of_pages (Array.init (PF.page_count header_file) (PF.read header_file))
+  in
+  if header.Header.scheme <> !scheme then
+    invalid_arg "Bundle.load: manifest scheme disagrees with the header";
+  { scheme = !scheme; page_size = !page_size; header; files }

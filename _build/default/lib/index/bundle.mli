@@ -1,0 +1,27 @@
+(** Persisted scheme databases.
+
+    The offline pipeline (partitioning, pre-computation, file formation)
+    runs once at the data owner; the LBS then only needs the resulting
+    page files.  A bundle is exactly that deployable artifact: the files
+    plus a manifest, written to a directory and reloadable into a
+    servable form without the original graph. *)
+
+type t = {
+  scheme : string;
+  page_size : int;
+  header : Header.t;          (** decoded from the header file *)
+  files : Psp_storage.Page_file.t list;  (** header first, as served *)
+}
+
+val of_database : Database.t -> t
+
+val save : t -> dir:string -> unit
+(** Write `manifest` plus one `<name>.pages` file per page file.  The
+    directory is created if missing.
+    @raise Sys_error on I/O failure. *)
+
+val load : dir:string -> t
+(** @raise Invalid_argument on a malformed bundle. *)
+
+val files : t -> Psp_storage.Page_file.t list
+(** What to hand to {!Psp_pir.Server.create}. *)

@@ -1,0 +1,199 @@
+module G = Psp_graph.Graph
+module W = Psp_util.Byte_io.Writer
+module R = Psp_util.Byte_io.Reader
+
+type config = {
+  with_region_ids : bool;
+  landmark_anchors : int;
+  flag_bits : int;
+  quantize : float;
+}
+
+let plain_config =
+  { with_region_ids = false; landmark_anchors = 0; flag_bits = 0; quantize = 0.0 }
+
+(* Multiplicative weight grid: index k represents (1+eps)^(k - bias);
+   weights round *up*, so quantized shortest paths never undercost and
+   the found path's true cost is within (1+eps) of optimal. *)
+let grid_bias = 16384
+
+let grid_index ~epsilon w =
+  if w <= 0.0 then invalid_arg "Encoding.grid_index: weight must be positive";
+  let k = int_of_float (ceil (log w /. log (1.0 +. epsilon))) + grid_bias in
+  max 0 (min 65535 k)
+
+let grid_value ~epsilon k = (1.0 +. epsilon) ** float_of_int (k - grid_bias)
+
+let quantize_up ~epsilon w =
+  if epsilon <= 0.0 then w else grid_value ~epsilon (grid_index ~epsilon w)
+
+type adj = {
+  target : int;
+  weight : float;
+  target_region : int;
+  flags : Psp_util.Bitset.t option;
+}
+
+type node_record = {
+  id : int;
+  x : float;
+  y : float;
+  adj : adj list;
+  landmark : (float array * float array) option;
+}
+
+let f32 w v = W.u32 w (Int32.to_int (Int32.bits_of_float v) land 0xFFFFFFFF)
+
+let read_f32 r =
+  let bits = R.u32 r in
+  (* sign-extend back into an Int32 *)
+  Int32.float_of_bits (Int32.of_int bits)
+
+let flag_bytes bits = (bits + 7) / 8
+
+let weight_bytes config w =
+  if config.quantize <= 0.0 then 4
+  else Psp_util.Byte_io.varint_size (grid_index ~epsilon:config.quantize w)
+
+let write_weight config w v =
+  if config.quantize <= 0.0 then f32 w v
+  else W.varint w (grid_index ~epsilon:config.quantize v)
+
+let read_weight config r =
+  if config.quantize <= 0.0 then read_f32 r
+  else grid_value ~epsilon:config.quantize (R.varint r)
+
+let node_bytes config g v =
+  let base = Psp_util.Byte_io.varint_size v + 8 (* two f32 coords *) + 1 in
+  let per_edge e =
+    Psp_util.Byte_io.varint_size e.G.dst
+    + weight_bytes config e.G.weight
+    + (if config.with_region_ids then 2 else 0)
+    + flag_bytes config.flag_bits
+  in
+  let adj = G.fold_out g v (fun acc e -> acc + per_edge e) 0 in
+  base + adj + (2 * 4 * config.landmark_anchors)
+
+let encode_node config g ?region_of ?landmark ?flags w v =
+  W.varint w v;
+  f32 w (G.x g v);
+  f32 w (G.y g v);
+  (match landmark with
+  | None -> ()
+  | Some lm ->
+      for a = 0 to Psp_graph.Landmark.anchor_count lm - 1 do
+        f32 w (Psp_graph.Landmark.to_anchor lm a v);
+        f32 w (Psp_graph.Landmark.from_anchor lm a v)
+      done);
+  W.varint w (G.out_degree g v);
+  G.iter_out g v (fun e ->
+      W.varint w e.G.dst;
+      write_weight config w e.G.weight;
+      if config.with_region_ids then
+        W.u16 w
+          (match region_of with
+          | Some regions -> regions.(e.G.dst)
+          | None -> invalid_arg "Encoding.encode_node: region ids requested but absent");
+      if config.flag_bits > 0 then
+        match flags with
+        | Some flag_of -> W.bytes w (Psp_util.Bitset.to_bytes (flag_of e.G.id))
+        | None -> invalid_arg "Encoding.encode_node: flags requested but absent")
+
+let encode_region config g ?region_of ?landmark ?flags nodes =
+  let w = W.create ~capacity:4096 () in
+  W.varint w (Array.length nodes);
+  Array.iter (fun v -> encode_node config g ?region_of ?landmark ?flags w v) nodes;
+  W.contents w
+
+let decode_node config r =
+  let id = R.varint r in
+  let x = read_f32 r in
+  let y = read_f32 r in
+  let landmark =
+    if config.landmark_anchors = 0 then None
+    else begin
+      let to_a = Array.make config.landmark_anchors 0.0 in
+      let from_a = Array.make config.landmark_anchors 0.0 in
+      for a = 0 to config.landmark_anchors - 1 do
+        to_a.(a) <- read_f32 r;
+        from_a.(a) <- read_f32 r
+      done;
+      Some (to_a, from_a)
+    end
+  in
+  let degree = R.varint r in
+  let adj =
+    List.init degree (fun _ ->
+        let target = R.varint r in
+        let weight = read_weight config r in
+        let target_region = if config.with_region_ids then R.u16 r else -1 in
+        let flags =
+          if config.flag_bits = 0 then None
+          else
+            Some
+              (Psp_util.Bitset.of_bytes config.flag_bits
+                 (R.bytes r (flag_bytes config.flag_bits)))
+        in
+        { target; weight; target_region; flags })
+  in
+  { id; x; y; adj; landmark }
+
+let decode_region config blob =
+  let r = R.of_bytes blob in
+  let count = R.varint r in
+  List.init count (fun _ -> decode_node config r)
+
+let lookup_entry_bytes = 10
+
+let encode_lookup_entry ~page ~offset ~span =
+  let w = W.create ~capacity:10 () in
+  W.u32 w page;
+  W.u32 w offset;
+  W.u16 w span;
+  W.contents w
+
+let decode_lookup_entry blob ~pos =
+  let r = R.of_bytes ~pos blob in
+  let page = R.u32 r in
+  let offset = R.u32 r in
+  let span = R.u16 r in
+  (page, offset, span)
+
+let encode_region_ids w ids =
+  let prev = ref 0 in
+  Array.iter
+    (fun id ->
+      W.varint w (id - !prev);
+      prev := id)
+    ids
+
+let decode_region_ids r ~count =
+  let prev = ref 0 in
+  Array.init count (fun _ ->
+      let id = !prev + R.varint r in
+      prev := id;
+      id)
+
+type edge_triple = { e_src : int; e_dst : int; e_weight : float }
+
+let encode_edge_triples ?(quantize = 0.0) w triples =
+  Array.iter
+    (fun t ->
+      W.varint w t.e_src;
+      W.varint w t.e_dst;
+      if quantize <= 0.0 then f32 w t.e_weight
+      else W.varint w (grid_index ~epsilon:quantize t.e_weight))
+    triples
+
+let decode_edge_triples ?(quantize = 0.0) r ~count =
+  Array.init count (fun _ ->
+      let e_src = R.varint r in
+      let e_dst = R.varint r in
+      let e_weight =
+        if quantize <= 0.0 then read_f32 r else grid_value ~epsilon:quantize (R.varint r)
+      in
+      { e_src; e_dst; e_weight })
+
+let triple_of_edge g id =
+  let e = G.edge g id in
+  { e_src = e.G.src; e_dst = e.G.dst; e_weight = e.G.weight }

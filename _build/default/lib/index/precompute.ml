@@ -1,0 +1,205 @@
+module G = Psp_graph.Graph
+
+type t = {
+  region_count : int;
+  sets : int array array option; (* pair index -> sorted region ids *)
+  subgraphs : int array array option; (* pair index -> sorted edge ids *)
+}
+
+let pair_index ~region_count i j =
+  let i, j = if i <= j then (i, j) else (j, i) in
+  if i < 0 || j >= region_count then invalid_arg "Precompute.pair_index: out of range";
+  (i * region_count) - (i * (i - 1) / 2) + (j - i)
+
+let npairs region_count = region_count * (region_count + 1) / 2
+
+(* A tiny int-set accumulator with O(1) dedup via an epoch-stamped
+   mark array; reused across walks to avoid allocation. *)
+module Marked = struct
+  type t = { marks : int array; mutable epoch : int; items : int Psp_util.Dyn_array.t }
+
+  let create n = { marks = Array.make n 0; epoch = 0; items = Psp_util.Dyn_array.create () }
+
+  let reset t =
+    t.epoch <- t.epoch + 1;
+    Psp_util.Dyn_array.clear t.items
+
+  let add t v =
+    if t.marks.(v) <> t.epoch then begin
+      t.marks.(v) <- t.epoch;
+      Psp_util.Dyn_array.push t.items v
+    end
+
+  let items t = Psp_util.Dyn_array.to_array t.items
+end
+
+let default_domains () = max 1 (min 4 (Domain.recommended_domain_count () - 1))
+
+(* The per-source work: one shortest-path tree, then a parent-chain walk
+   to every other border node, accumulating region ids and edge ids into
+   the caller's pair-indexed tables.  Used by both the sequential path
+   and each worker domain (tables are then per-domain and merged). *)
+let process_source g ~assignment ~borders_of ~sources ~idx ~set_acc ~sub_acc
+    ~walk_regions ~walk_edges src =
+  let spt = Psp_graph.Dijkstra.tree g ~source:src in
+  let rows = borders_of.(src) in
+  Array.iter
+    (fun dst ->
+      if spt.Psp_graph.Dijkstra.dist.(dst) < infinity then begin
+        let cols = borders_of.(dst) in
+        Marked.reset walk_regions;
+        Psp_util.Dyn_array.clear walk_edges;
+        (* walk the tree chain dst -> src *)
+        let v = ref dst in
+        Marked.add walk_regions assignment.(!v);
+        while spt.Psp_graph.Dijkstra.parent_edge.(!v) >= 0 do
+          Psp_util.Dyn_array.push walk_edges spt.Psp_graph.Dijkstra.parent_edge.(!v);
+          v := spt.Psp_graph.Dijkstra.parent.(!v);
+          Marked.add walk_regions assignment.(!v)
+        done;
+        let regions = Marked.items walk_regions in
+        let edges = Psp_util.Dyn_array.to_array walk_edges in
+        List.iter
+          (fun i ->
+            List.iter
+              (fun j ->
+                let p = idx i j in
+                (match set_acc with
+                | Some acc ->
+                    let table = acc.(p) in
+                    Array.iter
+                      (fun r -> if r <> i && r <> j then Hashtbl.replace table r ())
+                      regions
+                | None -> ());
+                match sub_acc with
+                | Some acc ->
+                    let table = acc.(p) in
+                    Array.iter (fun e -> Hashtbl.replace table e ()) edges
+                | None -> ())
+              cols)
+          rows
+      end)
+    sources
+
+let compute ?domains g ~assignment ~border ~want_sets ~want_subgraphs =
+  let n = G.node_count g in
+  if Array.length assignment <> n then
+    invalid_arg "Precompute.compute: assignment length mismatch";
+  let domains = match domains with Some d -> max 1 d | None -> default_domains () in
+  let region_count = Psp_partition.Border.region_count border in
+  let pairs = npairs region_count in
+  let idx = pair_index ~region_count in
+  (* node -> regions for which it is a border node *)
+  let borders_of = Array.make n [] in
+  for r = 0 to region_count - 1 do
+    Array.iter
+      (fun v -> borders_of.(v) <- r :: borders_of.(v))
+      (Psp_partition.Border.border_nodes border r)
+  done;
+  let sources = Psp_partition.Border.all_border_nodes border in
+  let make_acc want =
+    if want then
+      Some (Array.init pairs (fun _ : (int, unit) Hashtbl.t -> Hashtbl.create 4))
+    else None
+  in
+  let set_acc = make_acc want_sets in
+  let sub_acc = make_acc want_subgraphs in
+  let run_chunk ~set_acc ~sub_acc lo hi =
+    let walk_regions = Marked.create region_count in
+    let walk_edges = Psp_util.Dyn_array.create () in
+    for k = lo to hi - 1 do
+      process_source g ~assignment ~borders_of ~sources ~idx ~set_acc ~sub_acc
+        ~walk_regions ~walk_edges sources.(k)
+    done
+  in
+  let total = Array.length sources in
+  if domains <= 1 || total < 2 * domains then
+    run_chunk ~set_acc ~sub_acc 0 total
+  else begin
+    (* each worker fills private tables over its source chunk; the
+       results are set unions, so the merge order is irrelevant and the
+       output is identical to a sequential run *)
+    let chunk = (total + domains - 1) / domains in
+    let workers =
+      List.init domains (fun d ->
+          let lo = d * chunk and hi = min total ((d + 1) * chunk) in
+          Domain.spawn (fun () ->
+              let local_set = make_acc want_sets in
+              let local_sub = make_acc want_subgraphs in
+              if lo < hi then run_chunk ~set_acc:local_set ~sub_acc:local_sub lo hi;
+              (local_set, local_sub)))
+    in
+    let merge ~into from =
+      match (into, from) with
+      | Some dst, Some src ->
+          Array.iteri
+            (fun p table -> Hashtbl.iter (fun k () -> Hashtbl.replace dst.(p) k ()) table)
+            src
+      | _ -> ()
+    in
+    List.iter
+      (fun worker ->
+        let local_set, local_sub = Domain.join worker in
+        merge ~into:set_acc local_set;
+        merge ~into:sub_acc local_sub)
+      workers
+  end;
+  let sets =
+    match set_acc with
+    | None -> None
+    | Some acc ->
+        Some
+          (Array.map
+             (fun table ->
+               let out = Hashtbl.fold (fun r () acc -> r :: acc) table [] in
+               Array.of_list (List.sort compare out))
+             acc)
+  in
+  let subgraphs =
+    match sub_acc with
+    | None -> None
+    | Some acc ->
+        (* add the crossing edges entering each endpoint region *)
+        for i = 0 to region_count - 1 do
+          let entering = Psp_partition.Border.entering_edges border i in
+          for j = 0 to region_count - 1 do
+            let p = idx i j in
+            let table = acc.(p) in
+            Array.iter (fun e -> Hashtbl.replace table e ()) entering
+          done
+        done;
+        Some
+          (Array.map
+             (fun table ->
+               let out = Hashtbl.fold (fun e () acc -> e :: acc) table [] in
+               Array.of_list (List.sort compare out))
+             acc)
+  in
+  { region_count; sets; subgraphs }
+
+let region_count t = t.region_count
+let pair_count t = npairs t.region_count
+
+let region_set t i j =
+  match t.sets with
+  | None -> invalid_arg "Precompute.region_set: sets were not computed"
+  | Some sets -> sets.(pair_index ~region_count:t.region_count i j)
+
+let subgraph t i j =
+  match t.subgraphs with
+  | None -> invalid_arg "Precompute.subgraph: subgraphs were not computed"
+  | Some subs -> subs.(pair_index ~region_count:t.region_count i j)
+
+let max_set_cardinality t =
+  match t.sets with
+  | None -> invalid_arg "Precompute.max_set_cardinality: sets were not computed"
+  | Some sets -> Array.fold_left (fun acc s -> max acc (Array.length s)) 0 sets
+
+let set_cardinality_histogram t =
+  match t.sets with
+  | None -> invalid_arg "Precompute.set_cardinality_histogram: sets were not computed"
+  | Some sets ->
+      let m = Array.fold_left (fun acc s -> max acc (Array.length s)) 0 sets in
+      let histogram = Array.make (m + 1) 0 in
+      Array.iter (fun s -> histogram.(Array.length s) <- histogram.(Array.length s) + 1) sets;
+      histogram

@@ -1,0 +1,52 @@
+(** Border-pair shortest-path pre-computation (§5.2, §6).
+
+    For every unordered region pair (i, j), i ≤ j (our networks are
+    undirected, so S_{i,j} = S_{j,i}; the paper makes the same
+    reduction), grow a shortest-path tree from every border node and
+    walk it to every other border node, accumulating:
+
+    - the *region set* S_{i,j}: identifiers of intermediate regions
+      crossed by at least one border-to-border shortest path (excluding
+      i and j themselves) — the CI payload;
+    - the *passage subgraph* G_{i,j}: the exact edges on those paths,
+      plus the crossing edges entering R_i and R_j (which a client
+      cannot otherwise see, since their sources lie outside the two
+      fetched regions) — the PI payload.
+
+    The i = j diagonal is included: a shortest path between two nodes of
+    the same region may detour through neighbours. *)
+
+type t
+
+val compute :
+  ?domains:int ->
+  Psp_graph.Graph.t ->
+  assignment:int array ->
+  border:Psp_partition.Border.t ->
+  want_sets:bool ->
+  want_subgraphs:bool ->
+  t
+(** One pass computes whichever payloads are requested (HY needs both).
+    [domains] parallelizes over border-node sources with OCaml 5
+    domains (default: up to 4, per the machine); the result is
+    identical for any value, because the accumulators are set unions. *)
+
+val region_count : t -> int
+
+val pair_index : region_count:int -> int -> int -> int
+(** Dense index of the unordered pair; arguments in any order. *)
+
+val pair_count : t -> int
+
+val region_set : t -> int -> int -> int array
+(** S_{i,j}, sorted.  @raise Invalid_argument if sets were not computed. *)
+
+val subgraph : t -> int -> int -> int array
+(** G_{i,j} as sorted edge ids.
+    @raise Invalid_argument if subgraphs were not computed. *)
+
+val max_set_cardinality : t -> int
+(** The paper's m: max |S_{i,j}| over all pairs. *)
+
+val set_cardinality_histogram : t -> int array
+(** histogram.(c) = number of pairs with |S_{i,j}| = c — Figure 10(a). *)

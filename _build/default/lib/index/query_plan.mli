@@ -1,0 +1,43 @@
+(** Published query plans (§3.1, §5.4).
+
+    The plan is part of the public header: it dictates, for every query,
+    the number of rounds, which files are touched in each round and how
+    many pages are fetched from each — the invariant that makes all
+    queries indistinguishable (Theorem 1).  Clients pad their real needs
+    with dummy retrievals up to the plan.
+
+    Per scheme:
+    - CI: header; 1 page F_l; [fi_span] pages F_i; [m] + 2 pages F_d.
+    - PI: header; 1 page F_l; [fi_span] pages F_i and 2 pages F_d in the
+      same round (3 rounds total).
+    - HY: header; 1 page F_l; [r] pages of the combined index+data file;
+      [round4] further pages of the combined file.
+    - PI*: PI with [cluster] pages per region: 2·cluster F_d pages.
+    - LM: header; then data pages one region per round (two in the first
+      data round), [total_data_pages] in total.
+    - AF: like LM but regions span [pages_per_region] pages each;
+      [max_regions] regions fetched in total. *)
+
+type t =
+  | Ci of { fi_span : int; m : int }
+  | Pi of { fi_span : int }
+  | Hy of { r : int; round4 : int }
+  | Pi_star of { fi_span : int; cluster : int }
+  | Lm of { total_data_pages : int }
+  | Af of { pages_per_region : int; max_regions : int }
+
+val pir_fetches : t -> (string * int) list
+(** Expected total private page fetches per file name (files named
+    "lookup", "index", "data", "combined") — the budget a conforming
+    execution must consume exactly. *)
+
+val total_pir_fetches : t -> int
+
+val rounds : t -> int
+(** Total protocol rounds including the header round. *)
+
+val encode : t -> bytes
+val decode : bytes -> t
+(** @raise Invalid_argument on malformed input. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/netgen/dimacs.ml: Buffer Float Fun Hashtbl List Printf Psp_graph String

@@ -1,0 +1,1 @@
+lib/netgen/dimacs.mli: Psp_graph

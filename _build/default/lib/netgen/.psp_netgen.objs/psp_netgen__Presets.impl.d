@@ -1,0 +1,1 @@
+lib/netgen/presets.ml: String Synthetic

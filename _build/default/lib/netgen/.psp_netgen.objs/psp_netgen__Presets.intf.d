@@ -1,0 +1,1 @@
+lib/netgen/presets.mli: Psp_graph Synthetic

@@ -1,0 +1,1 @@
+lib/netgen/synthetic.ml: Array Float List Psp_graph Psp_util Queue

@@ -1,0 +1,1 @@
+lib/netgen/synthetic.mli: Psp_graph

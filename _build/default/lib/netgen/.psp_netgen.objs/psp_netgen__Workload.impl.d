@@ -1,0 +1,1 @@
+lib/netgen/workload.ml: Array Float Printf Psp_graph Psp_util

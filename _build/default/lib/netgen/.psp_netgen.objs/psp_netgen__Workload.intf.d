@@ -1,0 +1,1 @@
+lib/netgen/workload.mli: Psp_graph

@@ -1,0 +1,92 @@
+module G = Psp_graph.Graph
+
+exception Parse_error of string * int
+
+let fail line fmt = Printf.ksprintf (fun m -> raise (Parse_error (m, line))) fmt
+
+let lines_of s = String.split_on_char '\n' s
+
+let tokens line = String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
+
+let parse ~gr ~co =
+  (* first pass over .co to learn coordinates, ids are 1-based *)
+  let coords = Hashtbl.create 1024 in
+  let expected_nodes = ref None in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      match tokens line with
+      | [] | "c" :: _ -> ()
+      | [ "p"; "aux"; "sp"; "co"; n ] ->
+          expected_nodes := int_of_string_opt n
+      | [ "v"; id; x; y ] -> (
+          match (int_of_string_opt id, float_of_string_opt x, float_of_string_opt y) with
+          | Some id, Some x, Some y -> Hashtbl.replace coords id (x, y)
+          | _ -> fail lineno "co: malformed v line %S" line)
+      | _ -> fail lineno "co: unrecognized line %S" line)
+    (lines_of co);
+  (match !expected_nodes with
+  | Some n when Hashtbl.length coords <> n ->
+      fail 0 "co: header declares %d nodes but %d v-lines found" n (Hashtbl.length coords)
+  | _ -> ());
+  let n = Hashtbl.length coords in
+  let b = G.Builder.create () in
+  for id = 1 to n do
+    match Hashtbl.find_opt coords id with
+    | None -> fail 0 "co: node ids are not contiguous (missing %d)" id
+    | Some (x, y) -> ignore (G.Builder.add_node b ~x ~y)
+  done;
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      match tokens line with
+      | [] | "c" :: _ | "p" :: _ -> ()
+      | [ "a"; u; v; w ] -> (
+          match (int_of_string_opt u, int_of_string_opt v, float_of_string_opt w) with
+          | Some u, Some v, Some w when u >= 1 && u <= n && v >= 1 && v <= n ->
+              if w <= 0.0 then fail lineno "gr: non-positive weight"
+              else G.Builder.add_edge b (u - 1) (v - 1) w
+          | _ -> fail lineno "gr: malformed a line %S" line)
+      | _ -> fail lineno "gr: unrecognized line %S" line)
+    (lines_of gr);
+  G.Builder.freeze b
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_files ~gr_path ~co_path =
+  parse ~gr:(read_file gr_path) ~co:(read_file co_path)
+
+let render g ~comment =
+  let n = G.node_count g and m = G.edge_count g in
+  let gr = Buffer.create (32 * m) in
+  Buffer.add_string gr (Printf.sprintf "c %s\n" comment);
+  Buffer.add_string gr (Printf.sprintf "p sp %d %d\n" n m);
+  G.iter_edges g (fun e ->
+      Buffer.add_string gr
+        (Printf.sprintf "a %d %d %d\n" (e.G.src + 1) (e.G.dst + 1)
+           (max 1 (int_of_float (Float.round e.G.weight)))));
+  let co = Buffer.create (24 * n) in
+  Buffer.add_string co (Printf.sprintf "c %s\n" comment);
+  Buffer.add_string co (Printf.sprintf "p aux sp co %d\n" n);
+  for v = 0 to n - 1 do
+    Buffer.add_string co
+      (Printf.sprintf "v %d %d %d\n" (v + 1)
+         (int_of_float (Float.round (G.x g v)))
+         (int_of_float (Float.round (G.y g v))))
+  done;
+  (Buffer.contents gr, Buffer.contents co)
+
+let write_files g ~comment ~gr_path ~co_path =
+  let gr, co = render g ~comment in
+  let write path data =
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc data)
+  in
+  write gr_path gr;
+  write co_path co

@@ -1,0 +1,25 @@
+(** DIMACS shortest-path challenge format I/O.
+
+    Real road maps (e.g. the 9th DIMACS Implementation Challenge files
+    used throughout the literature) come as a `.gr` graph file (`a u v w`
+    arc lines, 1-based ids) and a `.co` coordinate file (`v id x y`).
+    Parsing them makes the whole framework runnable on real data when it
+    is available; writing lets generated networks be exported. *)
+
+exception Parse_error of string * int
+(** (message, line number). *)
+
+val parse : gr:string -> co:string -> Psp_graph.Graph.t
+(** Build a graph from the contents of a `.gr` and a `.co` file.
+    Integer DIMACS weights and coordinates are used as-is (floats).
+    @raise Parse_error on malformed input, unknown node ids, or a node
+    count mismatch between the two files. *)
+
+val parse_files : gr_path:string -> co_path:string -> Psp_graph.Graph.t
+(** Same, reading from disk. *)
+
+val render : Psp_graph.Graph.t -> comment:string -> string * string
+(** [(gr, co)] file contents for a graph. *)
+
+val write_files :
+  Psp_graph.Graph.t -> comment:string -> gr_path:string -> co_path:string -> unit

@@ -1,0 +1,69 @@
+type name = Oldenburg | Germany | Argentina | Denmark | India | North_america
+
+let all = [| Oldenburg; Germany; Argentina; Denmark; India; North_america |]
+
+let short_name = function
+  | Oldenburg -> "Old."
+  | Germany -> "Ger."
+  | Argentina -> "Arg."
+  | Denmark -> "Den."
+  | India -> "Ind."
+  | North_america -> "Nor."
+
+let full_name = function
+  | Oldenburg -> "Oldenburg"
+  | Germany -> "Germany"
+  | Argentina -> "Argentina"
+  | Denmark -> "Denmark"
+  | India -> "India"
+  | North_america -> "North America"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "old" | "old." | "oldenburg" -> Some Oldenburg
+  | "ger" | "ger." | "germany" -> Some Germany
+  | "arg" | "arg." | "argentina" -> Some Argentina
+  | "den" | "den." | "denmark" -> Some Denmark
+  | "ind" | "ind." | "india" -> Some India
+  | "nor" | "nor." | "north america" | "north_america" -> Some North_america
+  | _ -> None
+
+(* Table 1 of the paper. *)
+let paper_nodes = function
+  | Oldenburg -> 6_105
+  | Germany -> 28_867
+  | Argentina -> 85_287
+  | Denmark -> 136_377
+  | India -> 149_566
+  | North_america -> 175_813
+
+let paper_edges = function
+  | Oldenburg -> 7_029
+  | Germany -> 30_429
+  | Argentina -> 88_357
+  | Denmark -> 143_612
+  | India -> 155_483
+  | North_america -> 179_179
+
+let default_seed = function
+  | Oldenburg -> 0x01d
+  | Germany -> 0x6e7
+  | Argentina -> 0xa76
+  | Denmark -> 0xde2
+  | India -> 0x12d
+  | North_america -> 0x207
+
+let spec ?(scale = 1.0) ?seed name =
+  if scale <= 0.0 then invalid_arg "Presets.spec: scale must be positive";
+  let scaled v = max 16 (int_of_float (float_of_int v /. scale)) in
+  let nodes = scaled (paper_nodes name) in
+  let edges = max (nodes + 4) (scaled (paper_edges name)) in
+  (* Extent grows with sqrt(n) so road density stays constant. *)
+  let extent = 1_000.0 *. sqrt (float_of_int nodes /. 1_000.0) in
+  { Synthetic.nodes;
+    edges;
+    width = extent;
+    height = extent;
+    seed = (match seed with Some s -> s | None -> default_seed name) }
+
+let graph ?scale ?seed name = Synthetic.generate (spec ?scale ?seed name)

@@ -1,0 +1,30 @@
+(** The six road networks of the paper's Table 1, as generator presets.
+
+    Every preset mirrors the published node and edge counts; [scale]
+    divides both so the heavy index pre-computations stay tractable in
+    continuous-integration runs (the paper's own pre-computation ran
+    offline).  [scale = 1.0] reproduces the full published sizes. *)
+
+type name = Oldenburg | Germany | Argentina | Denmark | India | North_america
+
+val all : name array
+(** In the paper's order (ascending size). *)
+
+val of_string : string -> name option
+(** Accepts the paper's abbreviations ("old", "ger", "arg", "den",
+    "ind", "nor") and full names, case-insensitively. *)
+
+val short_name : name -> string
+(** "Old.", "Ger.", ... as printed in the paper's charts. *)
+
+val full_name : name -> string
+
+val paper_nodes : name -> int
+val paper_edges : name -> int
+
+val spec : ?scale:float -> ?seed:int -> name -> Synthetic.spec
+(** Generator spec with node/edge counts = paper counts / scale
+    (default scale 1.0; default seed fixed per network). *)
+
+val graph : ?scale:float -> ?seed:int -> name -> Psp_graph.Graph.t
+(** Generate the network. *)

@@ -1,0 +1,193 @@
+module G = Psp_graph.Graph
+
+type spec = { nodes : int; edges : int; width : float; height : float; seed : int }
+
+(* Mutable construction state: node coordinates plus a list of
+   undirected streets.  [factor] models road curvature: the traversal
+   cost is factor * straight-line length, always >= 1 so the Euclidean
+   heuristic stays admissible. *)
+type street = { mutable u : int; mutable v : int; factor : float }
+
+type state = {
+  xs : float Psp_util.Dyn_array.t;
+  ys : float Psp_util.Dyn_array.t;
+  streets : street Psp_util.Dyn_array.t;
+  rng : Psp_util.Rng.t;
+}
+
+let add_node st x y =
+  Psp_util.Dyn_array.push st.xs x;
+  Psp_util.Dyn_array.push st.ys y;
+  Psp_util.Dyn_array.length st.xs - 1
+
+let node_count st = Psp_util.Dyn_array.length st.xs
+
+(* Highways carry a lower cost-per-distance factor than side streets, so
+   shortest paths collapse onto shared corridors — the hierarchy that
+   makes real-world passage subgraphs (and goal-directed search) small. *)
+let add_street ?(highway = false) st u v =
+  let factor =
+    if highway then 0.55 +. Psp_util.Rng.float st.rng 0.1
+    else 1.0 +. Psp_util.Rng.float st.rng 0.3
+  in
+  Psp_util.Dyn_array.push st.streets { u; v; factor }
+
+let connected_without st skip =
+  (* BFS over streets, ignoring street index [skip] (-1 = none). *)
+  let n = node_count st in
+  if n = 0 then true
+  else begin
+    let adj = Array.make n [] in
+    Psp_util.Dyn_array.iteri
+      (fun i s ->
+        if i <> skip then begin
+          adj.(s.u) <- s.v :: adj.(s.u);
+          adj.(s.v) <- s.u :: adj.(s.v)
+        end)
+      st.streets;
+    let seen = Array.make n false in
+    let queue = Queue.create () in
+    Queue.add 0 queue;
+    seen.(0) <- true;
+    let visited = ref 0 in
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      incr visited;
+      List.iter
+        (fun v ->
+          if not seen.(v) then begin
+            seen.(v) <- true;
+            Queue.add v queue
+          end)
+        adj.(u)
+    done;
+    !visited = n
+  end
+
+(* Junction grid sized so that (edges - nodes) matches the target
+   cyclomatic surplus [k]: a c x r grid has rc nodes and
+   r(c-1) + c(r-1) streets, surplus rc - r - c. *)
+let grid_dims k =
+  let c = max 3 (int_of_float (ceil (1.0 +. sqrt (float_of_int (max 1 k) +. 1.0)))) in
+  (c, c)
+
+let build_grid st spec rows cols =
+  let jitter extent = Psp_util.Rng.float st.rng (0.5 *. extent) -. (0.25 *. extent) in
+  let dx = spec.width /. float_of_int (max 1 (cols - 1)) in
+  let dy = spec.height /. float_of_int (max 1 (rows - 1)) in
+  let id = Array.make_matrix rows cols 0 in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      let x = (float_of_int c *. dx) +. jitter dx in
+      let y = (float_of_int r *. dy) +. jitter dy in
+      id.(r).(c) <- add_node st x y
+    done
+  done;
+  (* every [spacing]-th grid line is a highway corridor *)
+  let spacing = 5 in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then
+        add_street ~highway:(r mod spacing = 2) st id.(r).(c) id.(r).(c + 1);
+      if r + 1 < rows then
+        add_street ~highway:(c mod spacing = 2) st id.(r).(c) id.(r + 1).(c)
+    done
+  done;
+  id
+
+let surplus st = Psp_util.Dyn_array.length st.streets - node_count st
+
+(* Remove random non-bridge streets until the surplus drops to [k]. *)
+let trim_streets st k =
+  let attempts = ref 0 in
+  while surplus st > k && !attempts < 20 * Psp_util.Dyn_array.length st.streets do
+    incr attempts;
+    let i = Psp_util.Rng.int st.rng (Psp_util.Dyn_array.length st.streets) in
+    if connected_without st i then begin
+      (* swap-remove street i *)
+      let last = Psp_util.Dyn_array.length st.streets - 1 in
+      Psp_util.Dyn_array.set st.streets i (Psp_util.Dyn_array.get st.streets last);
+      ignore (Psp_util.Dyn_array.pop st.streets)
+    end
+  done
+
+(* Add random short-range diagonal streets until the surplus rises to [k]. *)
+let densify st k id rows cols =
+  while surplus st < k do
+    let r = Psp_util.Rng.int st.rng (rows - 1) in
+    let c = Psp_util.Rng.int st.rng (cols - 1) in
+    if Psp_util.Rng.bool st.rng then add_street st id.(r).(c) id.(r + 1).(c + 1)
+    else add_street st id.(r).(c + 1) id.(r + 1).(c)
+  done
+
+(* Split a random street with a jittered midpoint node: +1 node,
+   +1 street, surplus preserved. *)
+let subdivide st =
+  let i = Psp_util.Rng.int st.rng (Psp_util.Dyn_array.length st.streets) in
+  let s = Psp_util.Dyn_array.get st.streets i in
+  let ux = Psp_util.Dyn_array.get st.xs s.u and uy = Psp_util.Dyn_array.get st.ys s.u in
+  let vx = Psp_util.Dyn_array.get st.xs s.v and vy = Psp_util.Dyn_array.get st.ys s.v in
+  let len = sqrt (((vx -. ux) ** 2.0) +. ((vy -. uy) ** 2.0)) in
+  let t = 0.35 +. Psp_util.Rng.float st.rng 0.3 in
+  let mx = ux +. (t *. (vx -. ux)) and my = uy +. (t *. (vy -. uy)) in
+  (* perpendicular jitter bends the polyline like a real road *)
+  let off = Psp_util.Rng.gaussian st.rng ~mean:0.0 ~stddev:(0.08 *. len) in
+  let nx, ny =
+    if len > 1e-9 then (mx -. (off *. (vy -. uy) /. len), my +. (off *. (vx -. ux) /. len))
+    else (mx, my)
+  in
+  let w = add_node st nx ny in
+  let old_v = s.v in
+  s.v <- w;
+  Psp_util.Dyn_array.push st.streets { u = w; v = old_v; factor = s.factor }
+
+let generate spec =
+  if spec.nodes < 4 then invalid_arg "Synthetic.generate: nodes must be >= 4";
+  if spec.edges < spec.nodes - 1 then
+    invalid_arg "Synthetic.generate: edges must be >= nodes - 1";
+  let st =
+    { xs = Psp_util.Dyn_array.create ();
+      ys = Psp_util.Dyn_array.create ();
+      streets = Psp_util.Dyn_array.create ();
+      rng = Psp_util.Rng.create spec.seed }
+  in
+  let k = spec.edges - spec.nodes in
+  let rows, cols = grid_dims k in
+  (* the junction grid must not exceed the target node count *)
+  let rows, cols =
+    let shrink d = max 2 (int_of_float (sqrt (float_of_int spec.nodes)) - 1) |> min d in
+    (shrink rows, shrink cols)
+  in
+  let id = build_grid st spec rows cols in
+  if surplus st > k then trim_streets st k;
+  if surplus st < k then densify st k id rows cols;
+  while node_count st < spec.nodes do
+    subdivide st
+  done;
+  let b = G.Builder.create () in
+  for v = 0 to node_count st - 1 do
+    ignore
+      (G.Builder.add_node b ~x:(Psp_util.Dyn_array.get st.xs v)
+         ~y:(Psp_util.Dyn_array.get st.ys v))
+  done;
+  Psp_util.Dyn_array.iter
+    (fun s ->
+      let ux = Psp_util.Dyn_array.get st.xs s.u and uy = Psp_util.Dyn_array.get st.ys s.u in
+      let vx = Psp_util.Dyn_array.get st.xs s.v and vy = Psp_util.Dyn_array.get st.ys s.v in
+      let len = sqrt (((vx -. ux) ** 2.0) +. ((vy -. uy) ** 2.0)) in
+      let weight = Float.max (s.factor *. len) 1e-6 in
+      G.Builder.add_undirected b s.u s.v weight)
+    st.streets;
+  G.Builder.freeze b
+
+let random_queries g ~count ~seed =
+  let rng = Psp_util.Rng.create seed in
+  let n = G.node_count g in
+  if n < 2 then invalid_arg "Synthetic.random_queries: need at least two nodes";
+  Array.init count (fun _ ->
+      let s = Psp_util.Rng.int rng n in
+      let rec other () =
+        let t = Psp_util.Rng.int rng n in
+        if t = s then other () else t
+      in
+      (s, other ()))

@@ -1,0 +1,41 @@
+(** Synthetic road-network generation.
+
+    The paper evaluates on six real maps (Table 1) that we cannot ship.
+    Real road networks are extremely sparse — edge/node ratios of
+    1.02–1.15, because most nodes are degree-2 polyline points along
+    road segments.  The generator reproduces exactly that structure:
+
+    + a jittered grid of junctions sized so its cyclomatic number
+      (edges − nodes, the count of independent cycles) matches the
+      target network's;
+    + random junction-junction streets deleted (keeping connectivity)
+      to fine-tune the cyclomatic number;
+    + edges repeatedly subdivided with intermediate polyline nodes —
+      each subdivision adds one node and one edge, preserving the
+      cyclomatic number — until the target node count is reached.
+
+    Weights are Euclidean lengths times a per-street curvature factor;
+    every fifth backbone line is a highway with a lower factor, giving
+    the road hierarchy real maps have (shortest paths collapse onto
+    shared corridors).  The Euclidean A* heuristic stays admissible via
+    {!Psp_graph.Graph.min_weight_per_distance} scaling.
+    All randomness is seeded: a spec generates the same network
+    everywhere. *)
+
+type spec = {
+  nodes : int;        (** target node count (±0) *)
+  edges : int;        (** target undirected street count (approximate, ±2%) *)
+  width : float;      (** extent of the Euclidean bounding box *)
+  height : float;
+  seed : int;
+}
+
+val generate : spec -> Psp_graph.Graph.t
+(** Connected, undirected (each street is two directed edges) road-like
+    network with exactly [spec.nodes] nodes.
+    @raise Invalid_argument if [nodes < 4] or [edges < nodes - 1]. *)
+
+val random_queries :
+  Psp_graph.Graph.t -> count:int -> seed:int -> (int * int) array
+(** Uniformly random source–destination node pairs (s ≠ t) — the
+    1,000-query workloads of §7.1. *)

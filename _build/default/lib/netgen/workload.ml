@@ -1,0 +1,65 @@
+module G = Psp_graph.Graph
+
+type distribution =
+  | Uniform
+  | Local of { radius : float }
+  | Commute of { hubs : int }
+  | Repeated of { distinct : int }
+
+let describe = function
+  | Uniform -> "uniform"
+  | Local { radius } -> Printf.sprintf "local(r=%.0f)" radius
+  | Commute { hubs } -> Printf.sprintf "commute(%d hubs)" hubs
+  | Repeated { distinct } -> Printf.sprintf "repeated(%d)" distinct
+
+let generate g distribution ~count ~seed =
+  let rng = Psp_util.Rng.create seed in
+  let n = G.node_count g in
+  if n < 2 then invalid_arg "Workload.generate: need at least two nodes";
+  let uniform_other s =
+    let rec draw () =
+      let t = Psp_util.Rng.int rng n in
+      if t = s then draw () else t
+    in
+    draw ()
+  in
+  (* rejection-sample a node within radius; give up to uniform after a
+     bounded number of attempts (isolated corners of sparse maps) *)
+  let near ~of_ ~radius =
+    let rec attempt k =
+      if k = 0 then uniform_other of_
+      else begin
+        let v = Psp_util.Rng.int rng n in
+        if v <> of_ && G.euclidean g of_ v <= radius then v else attempt (k - 1)
+      end
+    in
+    attempt 64
+  in
+  match distribution with
+  | Uniform ->
+      Array.init count (fun _ ->
+          let s = Psp_util.Rng.int rng n in
+          (s, uniform_other s))
+  | Local { radius } ->
+      if radius <= 0.0 then invalid_arg "Workload.generate: radius must be positive";
+      Array.init count (fun _ ->
+          let s = Psp_util.Rng.int rng n in
+          (s, near ~of_:s ~radius))
+  | Commute { hubs } ->
+      if hubs < 1 then invalid_arg "Workload.generate: hubs must be >= 1";
+      let hub_nodes = Array.init hubs (fun _ -> Psp_util.Rng.int rng n) in
+      let x0, y0, x1, y1 = G.bounding_box g in
+      let radius = 0.08 *. Float.max (x1 -. x0) (y1 -. y0) in
+      Array.init count (fun _ ->
+          let s = Psp_util.Rng.int rng n in
+          let hub = Psp_util.Rng.pick rng hub_nodes in
+          let t = near ~of_:hub ~radius in
+          if t = s then (s, uniform_other s) else (s, t))
+  | Repeated { distinct } ->
+      if distinct < 1 then invalid_arg "Workload.generate: distinct must be >= 1";
+      let base =
+        Array.init distinct (fun _ ->
+            let s = Psp_util.Rng.int rng n in
+            (s, uniform_other s))
+      in
+      Array.init count (fun i -> base.(i mod distinct))

@@ -1,0 +1,26 @@
+(** Query workload generation.
+
+    The paper's evaluation uses uniformly random source–destination
+    pairs (§7.1); real deployments see skewed patterns.  Because every
+    query is padded to the same plan, the private schemes' response
+    times are *identical* across all of these distributions — a property
+    the benchmark's extras section demonstrates with this module. *)
+
+type distribution =
+  | Uniform
+      (** independent uniform endpoints (the paper's workload) *)
+  | Local of { radius : float }
+      (** destination within Euclidean [radius] of the source —
+          neighbourhood errands *)
+  | Commute of { hubs : int }
+      (** destinations concentrated near a few hub nodes — rush-hour
+          traffic into business districts *)
+  | Repeated of { distinct : int }
+      (** the same few queries over and over — exactly the pattern
+          access-pattern attacks exploit against weaker schemes *)
+
+val generate :
+  Psp_graph.Graph.t -> distribution -> count:int -> seed:int -> (int * int) array
+(** [count] queries with s <> t; deterministic in [seed]. *)
+
+val describe : distribution -> string

@@ -1,0 +1,1 @@
+lib/partition/border.ml: Array Psp_graph Psp_util

@@ -1,0 +1,1 @@
+lib/partition/border.mli: Psp_graph

@@ -1,0 +1,1 @@
+lib/partition/geometric.ml: Array Float Hashtbl Kdtree List Psp_graph

@@ -1,0 +1,1 @@
+lib/partition/geometric.mli: Kdtree Psp_graph

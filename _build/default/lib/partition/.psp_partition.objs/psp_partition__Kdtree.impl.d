@@ -1,0 +1,1 @@
+lib/partition/kdtree.ml: Array Printf Psp_graph Psp_util

@@ -1,0 +1,1 @@
+lib/partition/kdtree.mli: Psp_graph

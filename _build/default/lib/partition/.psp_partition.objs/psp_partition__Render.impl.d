@@ -1,0 +1,1 @@
+lib/partition/render.ml: Buffer Float Fun Kdtree List Printf Psp_graph String

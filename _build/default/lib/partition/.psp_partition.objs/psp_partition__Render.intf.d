@@ -1,0 +1,1 @@
+lib/partition/render.mli: Kdtree Psp_graph

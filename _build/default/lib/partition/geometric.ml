@@ -1,0 +1,121 @@
+module G = Psp_graph.Graph
+
+type t = {
+  graph : G.t;
+  original_nodes : int;
+  orig_edge : int array;
+  border_nodes : int array array;
+}
+
+(* Split segments of the tree, each clipped to its node's bounding box:
+   (axis, coord, lo, hi) where [lo, hi] is the perpendicular extent. *)
+let split_segments tree bbox =
+  let segments = ref [] in
+  let rec walk tree (x0, y0, x1, y1) =
+    match tree with
+    | Kdtree.Leaf _ -> ()
+    | Kdtree.Split { axis; coord; less; geq } -> (
+        match axis with
+        | Kdtree.X ->
+            segments := (Kdtree.X, coord, y0, y1) :: !segments;
+            walk less (x0, y0, coord, y1);
+            walk geq (coord, y0, x1, y1)
+        | Kdtree.Y ->
+            segments := (Kdtree.Y, coord, x0, x1) :: !segments;
+            walk less (x0, y0, x1, coord);
+            walk geq (x0, coord, x1, y1))
+  in
+  walk tree bbox;
+  !segments
+
+(* Parameters t in (0,1) where the segment (ux,uy)-(vx,vy) crosses a
+   split segment. *)
+let crossings segments ~ux ~uy ~vx ~vy =
+  List.filter_map
+    (fun (axis, coord, lo, hi) ->
+      let a, b, pa, pb =
+        match axis with
+        | Kdtree.X -> (ux, vx, uy, vy)
+        | Kdtree.Y -> (uy, vy, ux, vx)
+      in
+      if (a -. coord) *. (b -. coord) >= 0.0 || Float.abs (b -. a) < 1e-12 then None
+      else begin
+        let t = (coord -. a) /. (b -. a) in
+        let perp = pa +. (t *. (pb -. pa)) in
+        if t > 1e-9 && t < 1.0 -. 1e-9 && perp >= lo -. 1e-9 && perp <= hi +. 1e-9 then
+          Some t
+        else None
+      end)
+    segments
+  |> List.sort_uniq compare
+
+let augment g (part : Kdtree.t) =
+  let n = G.node_count g in
+  if n = 0 then invalid_arg "Geometric.augment: empty graph";
+  let segments = split_segments part.Kdtree.tree (G.bounding_box g) in
+  let b = G.Builder.create () in
+  for v = 0 to n - 1 do
+    ignore (G.Builder.add_node b ~x:(G.x g v) ~y:(G.y g v))
+  done;
+  (* the two directions of an undirected street share virtual nodes *)
+  let virtuals : (int * int * int * int, int) Hashtbl.t = Hashtbl.create 256 in
+  let virtual_node ~u ~v ~x ~y =
+    let key = (min u v, max u v, int_of_float (x *. 1e6), int_of_float (y *. 1e6)) in
+    match Hashtbl.find_opt virtuals key with
+    | Some id -> id
+    | None ->
+        let id = G.Builder.add_node b ~x ~y in
+        Hashtbl.replace virtuals key id;
+        id
+  in
+  (* one pass collects the augmented edge pieces with their origins;
+     freeze re-sorts edges, so origins are recovered afterwards by an
+     (endpoints, weight) key *)
+  let weight_key w = int_of_float (w *. 1e6) in
+  let origin_of : (int * int * int, int) Hashtbl.t = Hashtbl.create 1024 in
+  G.iter_edges g (fun e ->
+      let ux, uy = G.coords g e.G.src and vx, vy = G.coords g e.G.dst in
+      let points =
+        List.map
+          (fun t ->
+            let x = ux +. (t *. (vx -. ux)) and y = uy +. (t *. (vy -. uy)) in
+            (t, virtual_node ~u:e.G.src ~v:e.G.dst ~x ~y))
+          (crossings segments ~ux ~uy ~vx ~vy)
+      in
+      let stops = ((0.0, e.G.src) :: points) @ [ (1.0, e.G.dst) ] in
+      let rec pieces = function
+        | (ta, a) :: ((tb, bn) :: _ as rest) ->
+            let w = Float.max 1e-9 (e.G.weight *. (tb -. ta)) in
+            G.Builder.add_edge b a bn w;
+            Hashtbl.replace origin_of (a, bn, weight_key w) e.G.id;
+            pieces rest
+        | _ -> ()
+      in
+      pieces stops);
+  let graph = G.Builder.freeze b in
+  let orig_edge = Array.make (G.edge_count graph) (-1) in
+  G.iter_edges graph (fun e ->
+      match Hashtbl.find_opt origin_of (e.G.src, e.G.dst, weight_key e.G.weight) with
+      | Some orig -> orig_edge.(e.G.id) <- orig
+      | None -> ());
+  (* border sets: a virtual node borders the regions its incident pieces
+     lead into (located at piece midpoints) *)
+  let region_count = part.Kdtree.region_count in
+  let border_sets = Array.make region_count [] in
+  for v = n to G.node_count graph - 1 do
+    let regions = ref [] in
+    G.iter_out graph v (fun e ->
+        let mx = 0.5 *. (G.x graph v +. G.x graph e.G.dst) in
+        let my = 0.5 *. (G.y graph v +. G.y graph e.G.dst) in
+        let r = Kdtree.locate part ~x:mx ~y:my in
+        if not (List.mem r !regions) then regions := r :: !regions);
+    List.iter (fun r -> border_sets.(r) <- v :: border_sets.(r)) !regions
+  done;
+  { graph;
+    original_nodes = n;
+    orig_edge;
+    border_nodes =
+      Array.map (fun l -> Array.of_list (List.sort_uniq compare l)) border_sets }
+
+let virtual_count t = G.node_count t.graph - t.original_nodes
+let border_count t r = Array.length t.border_nodes.(r)

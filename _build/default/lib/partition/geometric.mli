@@ -1,0 +1,34 @@
+(** The paper's exact geometric border nodes (§5.2).
+
+    Border nodes are the intersection points of network edges with the
+    KD-tree's split lines: virtual nodes that exist only during
+    pre-computation and are discarded afterwards.  The production
+    pipeline ({!Border}) uses the graph-theoretic realization (outside
+    endpoints of crossing edges), which has the same covering guarantee;
+    this module materializes the geometric construction so the two can
+    be compared and the substitution audited.
+
+    [augment] splits every region-crossing edge at each split-line
+    crossing, producing a graph whose shortest-path metric is identical
+    to the original's (each edge's pieces keep cost proportional to
+    their length and sum to the original weight). *)
+
+type t = {
+  graph : Psp_graph.Graph.t;
+      (** the augmented graph: original nodes first, then virtual
+          border nodes *)
+  original_nodes : int;
+  orig_edge : int array;
+      (** augmented edge id -> the original edge it is a piece of *)
+  border_nodes : int array array;
+      (** region -> virtual border nodes on its boundary *)
+}
+
+val augment : Psp_graph.Graph.t -> Kdtree.t -> t
+(** @raise Invalid_argument on an empty graph. *)
+
+val virtual_count : t -> int
+(** Number of geometric border nodes created. *)
+
+val border_count : t -> int -> int
+(** Geometric border nodes on region [r]'s boundary. *)

@@ -1,0 +1,72 @@
+(** KD-tree partitioning of a road network into disk-page regions.
+
+    §5.1: regions are the leaves of a KD-tree superimposed on the
+    Euclidean plane.  The tree is concise (one split coordinate per
+    internal node), lets any client map a coordinate pair to a region
+    id, and produces spatially compact regions.
+
+    Two constructions:
+
+    - {!build_plain}: classic middle-of-the-byte-stream splitting until
+      a leaf's node information fits in the page capacity.  Leaf
+      payloads land anywhere in (capacity/2, capacity], wasting up to
+      half of every page — the CI-P / PI-P configuration of Figure 8.
+    - {!build_packed}: the §5.6 packing construction.  With z the
+      largest single node's byte size, a "root-type" split is made at
+      byte 2^i·(capacity − z) for the smallest i putting the split past
+      the middle of the stream; its left subtree is then split plainly
+      for exactly i levels (each leaf receiving ≈ capacity − z bytes),
+      and the procedure recurses on the right subtree with the
+      alternate axis.  Every page but possibly the last of each packed
+      run is guaranteed at least capacity − 2z payload bytes — over
+      95 % utilization on our networks.
+
+    Node payload sizes are supplied by the caller ([node_bytes]),
+    because they depend on the scheme (LM stores landmark vectors with
+    each node, PI* enlarges capacity to several pages). *)
+
+type axis = X | Y
+
+type tree =
+  | Leaf of { region : int }
+  | Split of { axis : axis; coord : float; less : tree; geq : tree }
+      (** points with axis-coordinate < coord go to [less] *)
+
+type t = private {
+  tree : tree;
+  region_count : int;
+  assignment : int array;    (** graph node -> region id *)
+  region_nodes : int array array;  (** region id -> member nodes *)
+}
+
+val build_packed :
+  Psp_graph.Graph.t -> node_bytes:(int -> int) -> capacity:int -> t
+(** @raise Invalid_argument if any node's payload exceeds [capacity] or
+    the graph is empty. *)
+
+val build_plain :
+  Psp_graph.Graph.t -> node_bytes:(int -> int) -> capacity:int -> t
+
+val locate : t -> x:float -> y:float -> int
+(** Region containing a point (clients map their source/destination
+    coordinates with this, using only header information). *)
+
+val region_of_node : t -> int -> int
+val nodes_of_region : t -> int -> int array
+
+val region_bytes : t -> node_bytes:(int -> int) -> int -> int
+(** Total payload bytes of a region under the given encoding. *)
+
+val utilization : t -> node_bytes:(int -> int) -> capacity:int -> float
+(** Mean payload/capacity over regions — Figure 8(a). *)
+
+val serialize : t -> bytes
+(** Concise header form: structure tags + split coordinates + region
+    ids (preorder). *)
+
+val deserialize : bytes -> tree * int
+(** [(tree, region_count)] back from {!serialize} output — what a
+    client reconstructs from the header (it has no assignment array). *)
+
+val locate_tree : tree -> x:float -> y:float -> int
+(** Point location on a client-side deserialized tree. *)

@@ -1,0 +1,121 @@
+module G = Psp_graph.Graph
+
+type options = {
+  width : int;
+  show_splits : bool;
+  highlight_regions : int list;
+  path : int list;
+}
+
+let default_options =
+  { width = 900; show_splits = true; highlight_regions = []; path = [] }
+
+(* Walk the tree tracking each node's bounding box to materialize split
+   segments and leaf rectangles. *)
+let rec walk tree (x0, y0, x1, y1) ~on_split ~on_leaf =
+  match tree with
+  | Kdtree.Leaf { region } -> on_leaf region (x0, y0, x1, y1)
+  | Kdtree.Split { axis; coord; less; geq } -> (
+      match axis with
+      | Kdtree.X ->
+          on_split (coord, y0, coord, y1);
+          walk less (x0, y0, coord, y1) ~on_split ~on_leaf;
+          walk geq (coord, y0, x1, y1) ~on_split ~on_leaf
+      | Kdtree.Y ->
+          on_split (x0, coord, x1, coord);
+          walk less (x0, y0, x1, coord) ~on_split ~on_leaf;
+          walk geq (x0, coord, x1, y1) ~on_split ~on_leaf)
+
+let svg ?(options = default_options) g partition =
+  let x0, y0, x1, y1 = G.bounding_box g in
+  let margin = 0.03 *. Float.max (x1 -. x0) (y1 -. y0) in
+  let x0 = x0 -. margin and y0 = y0 -. margin in
+  let x1 = x1 +. margin and y1 = y1 +. margin in
+  let w = float_of_int options.width in
+  let scale = w /. (x1 -. x0) in
+  let h = (y1 -. y0) *. scale in
+  let px x = (x -. x0) *. scale in
+  (* SVG y grows downward; flip so north stays up *)
+  let py y = h -. ((y -. y0) *. scale) in
+  let buf = Buffer.create 65536 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" height=\"%.0f\" \
+     viewBox=\"0 0 %.0f %.0f\">\n"
+    w h w h;
+  out "<rect width=\"100%%\" height=\"100%%\" fill=\"#fdfdf8\"/>\n";
+  (* shaded regions first (underneath everything) *)
+  (match partition with
+  | Some part when options.highlight_regions <> [] ->
+      walk part.Kdtree.tree (x0, y0, x1, y1)
+        ~on_split:(fun _ -> ())
+        ~on_leaf:(fun region (rx0, ry0, rx1, ry1) ->
+          if List.mem region options.highlight_regions then
+            out
+              "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" \
+               fill=\"#ffd54a\" fill-opacity=\"0.45\"/>\n"
+              (px rx0) (py ry1)
+              ((rx1 -. rx0) *. scale)
+              ((ry1 -. ry0) *. scale))
+  | _ -> ());
+  (* edges: highways (fast factor) drawn heavier *)
+  let ratio e = e.G.weight /. Float.max 1e-9 (G.euclidean g e.G.src e.G.dst) in
+  G.iter_edges g (fun e ->
+      if e.G.src < e.G.dst then begin
+        let sx, sy = G.coords g e.G.src and tx, ty = G.coords g e.G.dst in
+        let highway = ratio e < 0.9 in
+        out
+          "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"%s\" \
+           stroke-width=\"%.1f\"/>\n"
+          (px sx) (py sy) (px tx) (py ty)
+          (if highway then "#7a7a72" else "#c4c4ba")
+          (if highway then 1.8 else 0.8)
+      end);
+  (* KD split lines *)
+  (match partition with
+  | Some part when options.show_splits ->
+      walk part.Kdtree.tree (x0, y0, x1, y1)
+        ~on_leaf:(fun _ _ -> ())
+        ~on_split:(fun (ax, ay, bx, by) ->
+          out
+            "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"#4a7ab5\" \
+             stroke-width=\"0.9\" stroke-dasharray=\"5,4\" stroke-opacity=\"0.8\"/>\n"
+            (px ax) (py ay) (px bx) (py by))
+  | _ -> ());
+  (* path on top *)
+  (match options.path with
+  | [] | [ _ ] -> ()
+  | nodes ->
+      let points =
+        String.concat " "
+          (List.map
+             (fun v ->
+               let x, y = G.coords g v in
+               Printf.sprintf "%.1f,%.1f" (px x) (py y))
+             nodes)
+      in
+      out
+        "<polyline points=\"%s\" fill=\"none\" stroke=\"#c0392b\" stroke-width=\"3\" \
+         stroke-linejoin=\"round\" stroke-linecap=\"round\"/>\n"
+        points;
+      let mark v label =
+        let x, y = G.coords g v in
+        out
+          "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"6\" fill=\"#c0392b\"/>\n\
+           <text x=\"%.1f\" y=\"%.1f\" font-family=\"sans-serif\" font-size=\"14\" \
+           fill=\"#222\">%s</text>\n"
+          (px x) (py y)
+          (px x +. 9.0)
+          (py y -. 9.0)
+          label
+      in
+      mark (List.hd nodes) "s";
+      mark (List.nth nodes (List.length nodes - 1)) "t");
+  out "</svg>\n";
+  Buffer.contents buf
+
+let save ~path document =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc document)

@@ -1,0 +1,23 @@
+(** SVG rendering of road networks, KD-tree partitions and query
+    footprints.
+
+    Produces self-contained SVG documents for documentation and
+    debugging: the network's edges, the partition's split lines, shaded
+    regions (e.g. the set a CI query fetches), and a highlighted path.
+    `pspc render` exposes this on the command line. *)
+
+type options = {
+  width : int;            (** pixel width; height follows the aspect ratio *)
+  show_splits : bool;     (** draw KD-tree split lines *)
+  highlight_regions : int list;  (** regions to shade *)
+  path : int list;        (** node sequence to draw on top *)
+}
+
+val default_options : options
+
+val svg : ?options:options -> Psp_graph.Graph.t -> Kdtree.t option -> string
+(** An SVG document.  With a partition, split lines and shaded regions
+    are available; without, just the network (and path). *)
+
+val save : path:string -> string -> unit
+(** Write an SVG document to a file. *)

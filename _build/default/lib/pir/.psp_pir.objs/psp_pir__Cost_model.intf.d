@@ -1,0 +1,1 @@
+lib/pir/cost_model.mli:

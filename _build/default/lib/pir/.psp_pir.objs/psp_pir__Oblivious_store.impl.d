@@ -1,0 +1,1 @@
+lib/pir/oblivious_store.ml: Array Bytes Char Hashtbl Printf Psp_crypto Psp_storage Psp_util

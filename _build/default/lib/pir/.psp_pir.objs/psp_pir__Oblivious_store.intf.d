@@ -1,0 +1,1 @@
+lib/pir/oblivious_store.mli: Psp_storage

@@ -1,0 +1,1 @@
+lib/pir/pyramid_store.ml: Array Bytes Char Hashtbl List Printf Psp_crypto Psp_storage Psp_util

@@ -1,0 +1,1 @@
+lib/pir/pyramid_store.mli: Psp_storage

@@ -1,0 +1,1 @@
+lib/pir/server.ml: Array Cost_model Hashtbl List Oblivious_store Option Printf Psp_storage Pyramid_store Trace

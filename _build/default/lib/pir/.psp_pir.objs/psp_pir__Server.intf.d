@@ -1,0 +1,1 @@
+lib/pir/server.mli: Cost_model Psp_storage Trace

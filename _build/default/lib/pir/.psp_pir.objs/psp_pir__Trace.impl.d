@@ -1,0 +1,1 @@
+lib/pir/trace.ml: Buffer Format Hashtbl List Option Printf Psp_crypto Psp_util

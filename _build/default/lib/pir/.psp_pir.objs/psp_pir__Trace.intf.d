@@ -1,0 +1,1 @@
+lib/pir/trace.mli: Format

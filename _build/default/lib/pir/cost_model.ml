@@ -1,0 +1,61 @@
+type t = {
+  page_size : int;
+  disk_seek : float;
+  disk_rate : float;
+  scp_io_rate : float;
+  scp_crypto_rate : float;
+  bandwidth : float;
+  rtt : float;
+  scp_memory : int;
+  pir_memory_factor : int;
+  pir_calibration : float;
+}
+
+let ibm4764 =
+  { page_size = 4096;
+    disk_seek = 0.011;
+    disk_rate = 125.0e6;
+    scp_io_rate = 80.0e6;
+    scp_crypto_rate = 10.0e6;
+    bandwidth = 48.0e3;
+    rtt = 0.7;
+    scp_memory = 32 * 1024 * 1024;
+    pir_memory_factor = 10;
+    pir_calibration = 0.26 }
+
+let page_op_seconds t =
+  let p = float_of_int t.page_size in
+  t.disk_seek +. (p /. t.disk_rate) +. (p /. t.scp_io_rate)
+  +. (2.0 *. p /. t.scp_crypto_rate)
+
+let log2 x = log x /. log 2.0
+
+let pir_fetch_seconds t ~file_pages =
+  let n = float_of_int (max 2 file_pages) in
+  let ops = Float.max 1.0 (t.pir_calibration *. (log2 n ** 2.0)) in
+  ops *. page_op_seconds t
+
+let plain_fetch_seconds t =
+  t.disk_seek +. (float_of_int t.page_size /. t.disk_rate)
+
+let transfer_seconds t ~bytes = float_of_int bytes /. t.bandwidth
+
+let max_file_bytes t =
+  (* memory(N) = c * sqrt(N) * page_size <= scp_memory *)
+  let c = float_of_int t.pir_memory_factor in
+  let max_pages = (float_of_int t.scp_memory /. (c *. float_of_int t.page_size)) ** 2.0 in
+  int_of_float max_pages * t.page_size
+
+let supports_file t ~bytes = bytes <= max_file_bytes t
+
+let scp_memory_needed t ~file_pages =
+  let pages = ceil (float_of_int t.pir_memory_factor *. sqrt (float_of_int file_pages)) in
+  int_of_float pages * t.page_size
+
+let with_max_file t ~bytes =
+  if bytes <= 0 then invalid_arg "Cost_model.with_max_file: bytes must be positive";
+  let pages = float_of_int bytes /. float_of_int t.page_size in
+  let memory =
+    float_of_int t.pir_memory_factor *. sqrt pages *. float_of_int t.page_size
+  in
+  { t with scp_memory = int_of_float (ceil memory) }

@@ -1,0 +1,61 @@
+(** Timing and capacity model of the hardware-aided PIR deployment.
+
+    The paper (§7.1, Table 2) does not run queries on a live IBM 4764 —
+    it "strictly simulates" the co-processor from published device
+    constants.  This module is that simulation: every retrieval's
+    latency is derived from the disk, SCP and network parameters, with
+    the Williams–Sion amortized O(log² N) page-operation count
+    calibrated to the protocol's reported absolute speed (≈1 s per
+    retrieval from a 1 GByte file on the IBM 4764).
+
+    The SCP memory bound [c·√N] (§3.2, c = 10) yields the maximum
+    supported file size; with 32 MByte of SCP RAM this lands at the
+    2.5 GByte limit quoted in the paper. *)
+
+type t = {
+  page_size : int;            (** bytes per disk page *)
+  disk_seek : float;          (** seconds per random page access *)
+  disk_rate : float;          (** disk read/write, bytes/second *)
+  scp_io_rate : float;        (** SCP read/write, bytes/second *)
+  scp_crypto_rate : float;    (** SCP encryption/decryption, bytes/second *)
+  bandwidth : float;          (** client link, bytes/second *)
+  rtt : float;                (** client link round-trip time, seconds *)
+  scp_memory : int;           (** SCP RAM, bytes *)
+  pir_memory_factor : int;    (** the c in c·√N *)
+  pir_calibration : float;    (** page-ops per retrieval = calibration·log2(N)² *)
+}
+
+val ibm4764 : t
+(** Table 2: 4 KByte pages, 11 ms seek, 125 MB/s disk, 80 MB/s SCP I/O,
+    10 MB/s SCP crypto, 48 KByte/s & 700 ms RTT 3G link, 32 MByte SCP
+    RAM, c = 10, calibration 0.26 (≈1 s/page on a 1 GByte file). *)
+
+val page_op_seconds : t -> float
+(** One secure page operation: seek + disk transfer + SCP transfer +
+    decrypt + re-encrypt of one page. *)
+
+val pir_fetch_seconds : t -> file_pages:int -> float
+(** Amortized latency of one private page retrieval from a file of
+    [file_pages] pages. *)
+
+val plain_fetch_seconds : t -> float
+(** One unsecured page read (seek + disk transfer) — the cost unit of
+    the non-private OBF baseline. *)
+
+val transfer_seconds : t -> bytes:int -> float
+(** Client-link transmission time for a payload. *)
+
+val max_file_bytes : t -> int
+(** Largest file the PIR interface supports: the N at which c·√N pages
+    exhaust SCP memory. *)
+
+val supports_file : t -> bytes:int -> bool
+
+val scp_memory_needed : t -> file_pages:int -> int
+(** c·√N pages, in bytes. *)
+
+val with_max_file : t -> bytes:int -> t
+(** A model whose SCP memory is resized so that [max_file_bytes] is
+    (approximately) the given bound.  Scaled-down experiment runs use
+    this to shrink the 2.5 GByte limit together with the networks, so
+    "file too large for the PIR interface" events reproduce at scale. *)

@@ -1,0 +1,128 @@
+exception Tampering_detected of { slot : int }
+
+type physical_event =
+  | Slot of { epoch : int; slot : int }
+  | Reshuffle of { epoch : int }
+
+type t = {
+  master_key : bytes;
+  page_size : int;
+  n : int; (* logical pages *)
+  dummies : int;
+  plain : bytes array; (* the database content, SCP-side ground truth *)
+  mutable slots : bytes array; (* encrypted physical slots, host-side *)
+  mutable perm : Psp_crypto.Feistel.t; (* logical index -> physical slot *)
+  mutable epoch : int;
+  shelter : (int, bytes) Hashtbl.t; (* sheltered logical pages *)
+  mutable dummy_cursor : int; (* dummies consumed this epoch *)
+  trace : physical_event Psp_util.Dyn_array.t;
+}
+
+let isqrt_up n = int_of_float (ceil (sqrt (float_of_int n)))
+
+let epoch_key t = Psp_crypto.Hmac.derive ~key:t.master_key ~label:(Printf.sprintf "epoch-%d" t.epoch)
+
+let slot_nonce slot =
+  let nonce = Bytes.make 12 '\000' in
+  for i = 0 to 7 do
+    Bytes.set nonce i (Char.chr ((slot lsr (8 * i)) land 0xFF))
+  done;
+  nonce
+
+(* encrypt-then-MAC: ciphertext followed by a 32-byte tag over it *)
+let encrypt_slot ~key ~slot plaintext =
+  let cipher = Psp_crypto.Chacha20.encrypt ~key ~nonce:(slot_nonce slot) plaintext in
+  let mac_key = Psp_crypto.Hmac.derive ~key ~label:"slot-mac" in
+  Bytes.cat cipher (Psp_crypto.Hmac.mac ~key:mac_key (Bytes.cat (slot_nonce slot) cipher))
+
+let decrypt_slot ~key ~slot stored =
+  let n = Bytes.length stored - 32 in
+  if n < 0 then raise (Tampering_detected { slot });
+  let cipher = Bytes.sub stored 0 n in
+  let tag = Bytes.sub stored n 32 in
+  let mac_key = Psp_crypto.Hmac.derive ~key ~label:"slot-mac" in
+  if not (Psp_crypto.Hmac.verify ~key:mac_key (Bytes.cat (slot_nonce slot) cipher) ~tag)
+  then raise (Tampering_detected { slot });
+  Psp_crypto.Chacha20.decrypt ~key ~nonce:(slot_nonce slot) cipher
+
+(* Re-scatter every page (and fresh dummies) under this epoch's keys. *)
+let shuffle t =
+  let key = epoch_key t in
+  let perm_key = Psp_crypto.Hmac.derive ~key ~label:"perm" in
+  let enc_key = Psp_crypto.Hmac.derive ~key ~label:"enc" in
+  let total = t.n + t.dummies in
+  t.perm <- Psp_crypto.Feistel.create ~key:perm_key ~domain:total;
+  let slots = Array.make total Bytes.empty in
+  for i = 0 to total - 1 do
+    let slot = Psp_crypto.Feistel.forward t.perm i in
+    let plaintext = if i < t.n then t.plain.(i) else Bytes.make t.page_size '\000' in
+    slots.(slot) <- encrypt_slot ~key:enc_key ~slot plaintext
+  done;
+  t.slots <- slots;
+  Hashtbl.reset t.shelter;
+  t.dummy_cursor <- 0
+
+let create ~key file =
+  let n = Psp_storage.Page_file.page_count file in
+  if n = 0 then invalid_arg "Oblivious_store.create: empty file";
+  let t =
+    { master_key = Psp_crypto.Hmac.derive ~key ~label:("store:" ^ Psp_storage.Page_file.name file);
+      page_size = Psp_storage.Page_file.page_size file;
+      n;
+      dummies = max 1 (isqrt_up n);
+      plain = Array.init n (Psp_storage.Page_file.read file);
+      slots = [||];
+      perm = Psp_crypto.Feistel.create ~key ~domain:1;
+      epoch = 0;
+      shelter = Hashtbl.create 16;
+      dummy_cursor = 0;
+      trace = Psp_util.Dyn_array.create () }
+  in
+  shuffle t;
+  t
+
+let page_count t = t.n
+let slot_count t = t.n + t.dummies
+let shelter_capacity t = t.dummies
+let epoch t = t.epoch
+
+let read t i =
+  if i < 0 || i >= t.n then invalid_arg "Oblivious_store.read: page out of range";
+  let enc_key = Psp_crypto.Hmac.derive ~key:(epoch_key t) ~label:"enc" in
+  let fetch_slot slot =
+    Psp_util.Dyn_array.push t.trace (Slot { epoch = t.epoch; slot });
+    decrypt_slot ~key:enc_key ~slot t.slots.(slot)
+  in
+  let result =
+    match Hashtbl.find_opt t.shelter i with
+    | Some cached ->
+        (* already sheltered: touch the next unused dummy instead, so the
+           host cannot tell a repeat from a fresh read *)
+        let slot = Psp_crypto.Feistel.forward t.perm (t.n + t.dummy_cursor) in
+        t.dummy_cursor <- t.dummy_cursor + 1;
+        ignore (fetch_slot slot);
+        cached
+    | None ->
+        let slot = Psp_crypto.Feistel.forward t.perm i in
+        let page = fetch_slot slot in
+        Hashtbl.replace t.shelter i page;
+        page
+  in
+  (* sheltered + consumed dummies = accesses this epoch; reshuffling at a
+     fixed access count keeps the epoch cadence pattern-independent *)
+  if Hashtbl.length t.shelter + t.dummy_cursor >= t.dummies then begin
+    t.epoch <- t.epoch + 1;
+    Psp_util.Dyn_array.push t.trace (Reshuffle { epoch = t.epoch });
+    shuffle t
+  end;
+  result
+
+let physical_trace t = Psp_util.Dyn_array.to_list t.trace
+let clear_trace t = Psp_util.Dyn_array.clear t.trace
+
+let corrupt_slot t ~slot =
+  if slot < 0 || slot >= Array.length t.slots then
+    invalid_arg "Oblivious_store.corrupt_slot: slot out of range";
+  let b = Bytes.copy t.slots.(slot) in
+  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 1));
+  t.slots.(slot) <- b

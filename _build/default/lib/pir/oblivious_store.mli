@@ -1,0 +1,63 @@
+(** An oblivious page store — the functional core of the PIR interface.
+
+    The paper uses the Williams–Sion protocol as a proven black box; we
+    need a concrete, *testable* stand-in, so this module implements the
+    classic square-root ORAM (Goldreich–Ostrovsky) over a page file:
+
+    - the N pages plus √N dummies are encrypted (ChaCha20, per-epoch
+      keys) and scattered by a keyed Feistel permutation of the slots;
+    - a shelter of √N recently-touched pages lives in SCP memory;
+    - a logical read fetches the permuted slot of the page — or, if the
+      page is already sheltered, the next unused dummy slot — so the
+      host sees each physical slot touched at most once per epoch,
+      regardless of the logical sequence;
+    - after √N accesses everything is re-shuffled under fresh keys.
+
+    The privacy invariant tested in the suite: the physical trace's
+    *shape* (distinct slots per epoch, reshuffle cadence) is identical
+    for any two logical sequences of equal length, and slot choices are
+    determined by keys, not by the logical ids.
+
+    Latency is *not* modeled here (see {!Cost_model}); this layer is
+    about obliviousness and correctness. *)
+
+type t
+
+exception Tampering_detected of { slot : int }
+(** The SCP authenticates every slot (encrypt-then-MAC); a host that
+    modifies stored data is caught on the next read — the paper's
+    "curious but not malicious" assumption, enforced rather than
+    assumed. *)
+
+type physical_event =
+  | Slot of { epoch : int; slot : int }  (** host-visible slot touch *)
+  | Reshuffle of { epoch : int }         (** epoch boundary *)
+
+val create : key:bytes -> Psp_storage.Page_file.t -> t
+(** Snapshot the file's current pages into a fresh oblivious store.
+    @raise Invalid_argument on an empty file. *)
+
+val page_count : t -> int
+(** Logical pages (excludes dummies). *)
+
+val slot_count : t -> int
+(** Physical slots (pages + dummies). *)
+
+val shelter_capacity : t -> int
+
+val read : t -> int -> bytes
+(** Logical page content (the page-file payload padded to page size).
+    @raise Invalid_argument on an out-of-range page. *)
+
+val epoch : t -> int
+(** Number of reshuffles performed so far. *)
+
+val physical_trace : t -> physical_event list
+(** Everything the host has observed, chronologically. *)
+
+val clear_trace : t -> unit
+
+val corrupt_slot : t -> slot:int -> unit
+(** Test hook: flip one bit of a stored slot, as a misbehaving host
+    would.  The next read of that physical slot raises
+    {!Tampering_detected}. *)

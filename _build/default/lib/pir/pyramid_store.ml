@@ -1,0 +1,209 @@
+type physical_event =
+  | Slot of { level : int; epoch : int; slot : int }
+  | Rebuild of { level : int; items : int }
+
+(* Level j holds at most [cap] items in [cap + dummies] encrypted slots
+   scattered by a per-epoch Feistel permutation; a keyed Bloom filter
+   answers membership inside the SCP. *)
+type level = {
+  depth : int;
+  cap : int;     (* item capacity *)
+  dummies : int; (* dummy slots = queries served between rebuilds (+slack) *)
+  mutable epoch : int;
+  mutable assign : (int, int) Hashtbl.t; (* logical id -> slot *)
+  mutable contents : (int, bytes) Hashtbl.t; (* logical id -> plaintext *)
+  mutable slots : bytes array;
+  mutable perm : Psp_crypto.Feistel.t;
+  mutable bloom : Psp_crypto.Bloom.t;
+  mutable dummy_cursor : int;
+}
+
+type t = {
+  master_key : bytes;
+  page_size : int;
+  n : int;
+  cache_capacity : int;
+  mutable cache : (int * bytes) list; (* newest first; may hold duplicates *)
+  levels : level array; (* shallow (index 0 = level 1) to deep *)
+  mutable queries : int;
+  mutable flushes : int;
+  mutable fp : int;
+  trace : physical_event Psp_util.Dyn_array.t;
+}
+
+let level_key t level =
+  Psp_crypto.Hmac.derive ~key:t.master_key
+    ~label:(Printf.sprintf "level-%d-epoch-%d" level.depth level.epoch)
+
+let slot_nonce slot =
+  let nonce = Bytes.make 12 '\000' in
+  for i = 0 to 7 do
+    Bytes.set nonce i (Char.chr ((slot lsr (8 * i)) land 0xFF))
+  done;
+  nonce
+
+(* (Re)build a level from plaintext contents under fresh per-epoch keys:
+   items land on permuted slots, the Bloom filter is re-keyed, every
+   slot (incl. dummies) is re-encrypted. *)
+let rebuild t level contents =
+  level.epoch <- level.epoch + 1;
+  let key = level_key t level in
+  let perm_key = Psp_crypto.Hmac.derive ~key ~label:"perm" in
+  let enc_key = Psp_crypto.Hmac.derive ~key ~label:"enc" in
+  let domain = level.cap + level.dummies in
+  level.perm <- Psp_crypto.Feistel.create ~key:perm_key ~domain;
+  level.bloom <-
+    Psp_crypto.Bloom.sized_for ~key ~label:"membership" ~expected:(max 8 level.cap)
+      ~fp_rate:0.01;
+  level.assign <- Hashtbl.create (max 8 (Hashtbl.length contents));
+  level.contents <- contents;
+  level.slots <- Array.make domain Bytes.empty;
+  level.dummy_cursor <- 0;
+  (* deterministic item order: sorted logical ids *)
+  let ids = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) contents []) in
+  if List.length ids > level.cap then
+    invalid_arg
+      (Printf.sprintf "Pyramid_store: level %d overflow (%d > %d)" level.depth
+         (List.length ids) level.cap);
+  List.iteri
+    (fun index id ->
+      let slot = Psp_crypto.Feistel.forward level.perm index in
+      Hashtbl.replace level.assign id slot;
+      Psp_crypto.Bloom.add level.bloom id;
+      level.slots.(slot) <-
+        Psp_crypto.Chacha20.encrypt ~key:enc_key ~nonce:(slot_nonce slot)
+          (Hashtbl.find contents id))
+    ids;
+  (* dummies and unused item slots hold encrypted zeros *)
+  for slot = 0 to domain - 1 do
+    if Bytes.length level.slots.(slot) = 0 then
+      level.slots.(slot) <-
+        Psp_crypto.Chacha20.encrypt ~key:enc_key ~nonce:(slot_nonce slot)
+          (Bytes.make t.page_size '\000')
+  done;
+  Psp_util.Dyn_array.push t.trace (Rebuild { level = level.depth; items = domain })
+
+let create ?(cache_capacity = 4) ~key file =
+  let n = Psp_storage.Page_file.page_count file in
+  if n = 0 then invalid_arg "Pyramid_store.create: empty file";
+  if cache_capacity < 1 then invalid_arg "Pyramid_store.create: cache_capacity >= 1";
+  let c = cache_capacity in
+  (* deepest level must hold all n pages: cap_L = c * 4^L >= n *)
+  let rec depth_for l = if c * (1 lsl (2 * l)) >= n then l else depth_for (l + 1) in
+  let deepest = depth_for 1 in
+  let make_level depth =
+    (* the deepest level must absorb the initial n pages on top of the
+       usual merge traffic *)
+    let cap =
+      if depth = deepest then n + (c * (1 lsl (2 * depth)))
+      else c * (1 lsl (2 * depth))
+    in
+    (* rebuild cadence of level j is c*4^(j-1) queries *)
+    let dummies = (c * (1 lsl (2 * (depth - 1)))) + c in
+    { depth;
+      cap;
+      dummies;
+      epoch = 0;
+      assign = Hashtbl.create 8;
+      contents = Hashtbl.create 8;
+      slots = [||];
+      perm = Psp_crypto.Feistel.create ~key ~domain:1;
+      bloom = Psp_crypto.Bloom.create ~key ~label:"init" ~bits:8 ~hashes:1;
+      dummy_cursor = 0 }
+  in
+  let t =
+    { master_key =
+        Psp_crypto.Hmac.derive ~key
+          ~label:("pyramid:" ^ Psp_storage.Page_file.name file);
+      page_size = Psp_storage.Page_file.page_size file;
+      n;
+      cache_capacity = c;
+      cache = [];
+      levels = Array.init deepest (fun i -> make_level (i + 1));
+      queries = 0;
+      flushes = 0;
+      fp = 0;
+      trace = Psp_util.Dyn_array.create () }
+  in
+  (* initial load: everything lives in the deepest level *)
+  let all = Hashtbl.create n in
+  for i = 0 to n - 1 do
+    Hashtbl.replace all i (Psp_storage.Page_file.read file i)
+  done;
+  Array.iter (fun level -> rebuild t level (Hashtbl.create 8)) t.levels;
+  rebuild t t.levels.(deepest - 1) all;
+  Psp_util.Dyn_array.clear t.trace;
+  t
+
+let page_count t = t.n
+let level_count t = Array.length t.levels
+let cache_capacity t = t.cache_capacity
+
+let touch_dummy t level =
+  let slot = Psp_crypto.Feistel.forward level.perm (level.cap + level.dummy_cursor) in
+  if level.dummy_cursor >= level.dummies then
+    invalid_arg
+      (Printf.sprintf "Pyramid_store: level %d dummy budget exhausted" level.depth);
+  level.dummy_cursor <- level.dummy_cursor + 1;
+  Psp_util.Dyn_array.push t.trace (Slot { level = level.depth; epoch = level.epoch; slot })
+
+let touch_real t level id =
+  let slot = Hashtbl.find level.assign id in
+  Psp_util.Dyn_array.push t.trace (Slot { level = level.depth; epoch = level.epoch; slot });
+  let enc_key = Psp_crypto.Hmac.derive ~key:(level_key t level) ~label:"enc" in
+  Psp_crypto.Chacha20.decrypt ~key:enc_key ~nonce:(slot_nonce slot) level.slots.(slot)
+
+(* base-4 merge counter: flush f lands in level 1 + (times 4 divides f) *)
+let merge_target t =
+  let rec count f acc = if f mod 4 = 0 then count (f / 4) (acc + 1) else acc in
+  min (Array.length t.levels) (1 + count t.flushes 0)
+
+let flush t =
+  t.flushes <- t.flushes + 1;
+  let target = merge_target t in
+  let merged = Hashtbl.create 64 in
+  (* newest copy wins: cache (newest first), then shallow to deep *)
+  List.iter (fun (id, page) -> if not (Hashtbl.mem merged id) then Hashtbl.replace merged id page) t.cache;
+  for j = 0 to target - 1 do
+    let level = t.levels.(j) in
+    Hashtbl.iter
+      (fun id page -> if not (Hashtbl.mem merged id) then Hashtbl.replace merged id page)
+      level.contents
+  done;
+  (* rebuild the target with everything; empty the levels above it *)
+  rebuild t t.levels.(target - 1) merged;
+  for j = 0 to target - 2 do
+    rebuild t t.levels.(j) (Hashtbl.create 8)
+  done;
+  t.cache <- []
+
+let read t id =
+  if id < 0 || id >= t.n then invalid_arg "Pyramid_store.read: page out of range";
+  let found = ref (List.assoc_opt id t.cache) in
+  Array.iter
+    (fun level ->
+      match !found with
+      | Some _ -> touch_dummy t level
+      | None ->
+          if Psp_crypto.Bloom.mem level.bloom id then
+            if Hashtbl.mem level.assign id then found := Some (touch_real t level id)
+            else begin
+              (* Bloom false positive: covered by a dummy touch *)
+              t.fp <- t.fp + 1;
+              touch_dummy t level
+            end
+          else touch_dummy t level)
+    t.levels;
+  let page =
+    match !found with
+    | Some page -> page
+    | None -> failwith "Pyramid_store: page lost (invariant violation)"
+  in
+  t.cache <- (id, page) :: t.cache;
+  t.queries <- t.queries + 1;
+  if t.queries mod t.cache_capacity = 0 then flush t;
+  page
+
+let physical_trace t = Psp_util.Dyn_array.to_list t.trace
+let clear_trace t = Psp_util.Dyn_array.clear t.trace
+let bloom_false_positives t = t.fp

@@ -1,0 +1,56 @@
+(** A hierarchical (pyramid) oblivious store in the style of the
+    Williams–Sion "Usable PIR" protocol [NDSS 2008] — the protocol the
+    paper builds on.
+
+    Layout: a small cache lives in SCP memory; below it, level i holds
+    up to 4^i items in an array of encrypted slots scattered by a keyed
+    Feistel permutation, together with a keyed Bloom filter over the
+    items' per-epoch tags.  A lookup walks the pyramid top-down and
+    touches exactly one physical slot per level:
+
+    - if the item was already found higher up (or is cached), a fresh
+      dummy slot of the level is read;
+    - otherwise the SCP consults the level's Bloom filter (in SCP
+      memory: invisible to the host) and reads either the item's slot or
+      a dummy on a false/true membership answer.
+
+    The item then moves into the cache; when the cache fills, levels
+    0..i are merged into level i+1 under fresh keys (a rebuild, visible
+    to the host as a bulk event whose timing depends only on the access
+    count).  Hence the host sees, for any logical access sequence of
+    the same length: the same number of slot touches per level, all
+    distinct within a level's epoch, and rebuilds at a fixed cadence —
+    nothing else.
+
+    This store is the engineering counterpart of {!Oblivious_store}
+    (square-root ORAM): same interface, polylogarithmic instead of
+    square-root amortized cost.  The {!Cost_model} charges the paper's
+    amortized O(log² N) either way. *)
+
+type t
+
+type physical_event =
+  | Slot of { level : int; epoch : int; slot : int }
+      (** host-visible slot touch *)
+  | Rebuild of { level : int; items : int }
+      (** levels 0..level-1 merged into [level] *)
+
+val create : ?cache_capacity:int -> key:bytes -> Psp_storage.Page_file.t -> t
+(** Snapshot the file's pages.  [cache_capacity] defaults to 4.
+    @raise Invalid_argument on an empty file. *)
+
+val page_count : t -> int
+val level_count : t -> int
+val cache_capacity : t -> int
+
+val read : t -> int -> bytes
+(** Logical page content.
+    @raise Invalid_argument on an out-of-range page. *)
+
+val physical_trace : t -> physical_event list
+val clear_trace : t -> unit
+
+val bloom_false_positives : t -> int
+(** Diagnostic: dummy-vs-real slot mispredictions survived so far
+    (they are handled obliviously; the count just shows the Bloom
+    filters are real). *)

@@ -1,0 +1,134 @@
+type mode = [ `Simulated | `Oblivious | `Pyramid ]
+
+type store = Sqrt of Oblivious_store.t | Pyramid of Pyramid_store.t
+
+exception File_too_large of { file : string; bytes : int; limit : int }
+
+type t = {
+  mode : mode;
+  cost : Cost_model.t;
+  files : (string, Psp_storage.Page_file.t) Hashtbl.t;
+  stores : (string, store) Hashtbl.t; (* oblivious modes only *)
+  order : string list;
+}
+
+let create ?(mode = `Simulated) ~cost ~key files =
+  let table = Hashtbl.create 8 and stores = Hashtbl.create 8 in
+  let limit = Cost_model.max_file_bytes cost in
+  List.iter
+    (fun f ->
+      let name = Psp_storage.Page_file.name f in
+      if Hashtbl.mem table name then
+        invalid_arg (Printf.sprintf "Server.create: duplicate file %S" name);
+      let bytes = Psp_storage.Page_file.size_bytes f in
+      if bytes > limit then raise (File_too_large { file = name; bytes; limit });
+      Hashtbl.replace table name f;
+      if Psp_storage.Page_file.page_count f > 0 then begin
+        match mode with
+        | `Simulated -> ()
+        | `Oblivious -> Hashtbl.replace stores name (Sqrt (Oblivious_store.create ~key f))
+        | `Pyramid -> Hashtbl.replace stores name (Pyramid (Pyramid_store.create ~key f))
+      end)
+    files;
+  { mode; cost; files = table; stores; order = List.map Psp_storage.Page_file.name files }
+
+let mode t = t.mode
+let cost t = t.cost
+
+let file t name =
+  match Hashtbl.find_opt t.files name with
+  | Some f -> f
+  | None -> raise Not_found
+
+let file_names t = t.order
+
+let database_bytes t =
+  List.fold_left
+    (fun acc name -> acc + Psp_storage.Page_file.size_bytes (file t name))
+    0 t.order
+
+module Session = struct
+  type server = t
+
+  type stats = {
+    rounds : int;
+    pir_seconds : float;
+    comm_seconds : float;
+    server_cpu_seconds : float;
+    pir_fetches : (string * int) list;
+    trace : Trace.t;
+  }
+
+  type t = {
+    server : server;
+    mutable round : int;
+    mutable pir_seconds : float;
+    mutable comm_seconds : float;
+    mutable server_cpu_seconds : float;
+    fetch_counts : (string, int) Hashtbl.t;
+    trace : Trace.t;
+  }
+
+  let start server =
+    { server;
+      round = 1;
+      pir_seconds = 0.0;
+      comm_seconds = server.cost.Cost_model.rtt;
+      server_cpu_seconds = 0.0;
+      fetch_counts = Hashtbl.create 8;
+      trace = Trace.create () }
+
+  let next_round t =
+    t.round <- t.round + 1;
+    t.comm_seconds <- t.comm_seconds +. t.server.cost.Cost_model.rtt
+
+  let round t = t.round
+
+  let fetch t ~file:name ~page =
+    let f = file t.server name in
+    let pages = Psp_storage.Page_file.page_count f in
+    if page < 0 || page >= pages then
+      invalid_arg
+        (Printf.sprintf "Session.fetch(%s): page %d out of range [0,%d)" name page pages);
+    t.pir_seconds <- t.pir_seconds +. Cost_model.pir_fetch_seconds t.server.cost ~file_pages:pages;
+    t.comm_seconds <-
+      t.comm_seconds
+      +. Cost_model.transfer_seconds t.server.cost ~bytes:(Psp_storage.Page_file.page_size f);
+    Hashtbl.replace t.fetch_counts name
+      (1 + Option.value ~default:0 (Hashtbl.find_opt t.fetch_counts name));
+    Trace.record t.trace (Trace.Pir_fetch { round = t.round; file = name });
+    match t.server.mode with
+    | `Simulated -> Psp_storage.Page_file.read f page
+    | `Oblivious | `Pyramid -> (
+        match Hashtbl.find t.server.stores name with
+        | Sqrt store -> Oblivious_store.read store page
+        | Pyramid store -> Pyramid_store.read store page)
+
+  let download t ~file:name =
+    let f = file t.server name in
+    let pages = Psp_storage.Page_file.page_count f in
+    t.comm_seconds <-
+      t.comm_seconds
+      +. Cost_model.transfer_seconds t.server.cost ~bytes:(Psp_storage.Page_file.size_bytes f);
+    Trace.record t.trace (Trace.Plain_download { round = t.round; file = name; pages });
+    Array.init pages (Psp_storage.Page_file.read f)
+
+  let plain_fetch t ~file:name ~page =
+    let f = file t.server name in
+    t.server_cpu_seconds <- t.server_cpu_seconds +. Cost_model.plain_fetch_seconds t.server.cost;
+    t.comm_seconds <-
+      t.comm_seconds
+      +. Cost_model.transfer_seconds t.server.cost ~bytes:(Psp_storage.Page_file.page_size f);
+    Psp_storage.Page_file.read f page
+
+  let add_server_compute t seconds = t.server_cpu_seconds <- t.server_cpu_seconds +. seconds
+
+  let finish t =
+    { rounds = t.round;
+      pir_seconds = t.pir_seconds;
+      comm_seconds = t.comm_seconds;
+      server_cpu_seconds = t.server_cpu_seconds;
+      pir_fetches =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.fetch_counts [] |> List.sort compare;
+      trace = t.trace }
+end

@@ -1,0 +1,78 @@
+(** The LBS with its secure co-processor — the server side of Figure 1.
+
+    The server hosts a set of page files (the scheme's database) and
+    exposes the two access paths of the architecture:
+
+    - {!Session.fetch}: one page via the PIR interface.  The host learns
+      only (round, file); latency follows {!Cost_model}.
+    - {!Session.download}: a whole file in plaintext over the SSL link —
+      only ever used for the public header, which every client fetches.
+    - {!Session.plain_fetch}: an unsecured page read, used exclusively
+      by the non-private OBF baseline for comparison.
+
+    Three execution modes: [`Simulated] serves pages straight from the
+    page files (fast — used by the benchmark harness; costs and traces
+    are identical), [`Oblivious] routes every PIR fetch through a real
+    square-root ORAM ({!Oblivious_store}), and [`Pyramid] through the
+    Williams–Sion-style hierarchical store ({!Pyramid_store}) — both
+    used by the privacy tests and examples. *)
+
+type t
+
+type mode = [ `Simulated | `Oblivious | `Pyramid ]
+
+exception File_too_large of { file : string; bytes : int; limit : int }
+(** Raised at registration when a file exceeds what the SCP can support
+    (§3.2) — this is how PI "becomes inapplicable" on large networks. *)
+
+val create :
+  ?mode:mode -> cost:Cost_model.t -> key:bytes -> Psp_storage.Page_file.t list -> t
+(** @raise File_too_large per the cost model's [max_file_bytes].
+    @raise Invalid_argument on duplicate file names. *)
+
+val mode : t -> mode
+val cost : t -> Cost_model.t
+val file : t -> string -> Psp_storage.Page_file.t
+(** @raise Not_found for an unregistered name. *)
+
+val file_names : t -> string list
+val database_bytes : t -> int
+(** Total size across all files. *)
+
+module Session : sig
+  type server := t
+  type t
+
+  val start : server -> t
+  (** Opens the SSL connection; the query starts in round 1. *)
+
+  val next_round : t -> unit
+  (** Advance to the next round of the protocol (adds one RTT). *)
+
+  val round : t -> int
+
+  val fetch : t -> file:string -> page:int -> bytes
+  (** Private page retrieval via the SCP.
+      @raise Not_found on unknown file; Invalid_argument on a bad page
+      number. *)
+
+  val download : t -> file:string -> bytes array
+  (** Plaintext download of an entire (public) file. *)
+
+  val plain_fetch : t -> file:string -> page:int -> bytes
+  (** Unsecured read: the LBS sees the page number (OBF baseline only). *)
+
+  val add_server_compute : t -> float -> unit
+  (** Charge server CPU seconds (OBF's path computations). *)
+
+  type stats = {
+    rounds : int;
+    pir_seconds : float;        (** time inside the PIR protocol *)
+    comm_seconds : float;       (** SSL transfer + per-round RTTs *)
+    server_cpu_seconds : float; (** plaintext processing (OBF) *)
+    pir_fetches : (string * int) list;  (** per-file private page counts *)
+    trace : Trace.t;            (** the adversary's view *)
+  }
+
+  val finish : t -> stats
+end

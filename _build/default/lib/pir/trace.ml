@@ -1,0 +1,44 @@
+type event =
+  | Pir_fetch of { round : int; file : string }
+  | Plain_download of { round : int; file : string; pages : int }
+
+type t = { events : event Psp_util.Dyn_array.t }
+
+let create () = { events = Psp_util.Dyn_array.create () }
+let record t e = Psp_util.Dyn_array.push t.events e
+let events t = Psp_util.Dyn_array.to_list t.events
+let length t = Psp_util.Dyn_array.length t.events
+
+let equal a b = events a = events b
+
+let fingerprint t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun e ->
+      match e with
+      | Pir_fetch { round; file } -> Buffer.add_string buf (Printf.sprintf "P%d:%s;" round file)
+      | Plain_download { round; file; pages } ->
+          Buffer.add_string buf (Printf.sprintf "D%d:%s:%d;" round file pages))
+    (events t);
+  Psp_crypto.Sha256.hex (Psp_crypto.Sha256.digest_string (Buffer.contents buf))
+
+let per_round_file_counts t =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      match e with
+      | Pir_fetch { round; file } ->
+          let key = (round, file) in
+          Hashtbl.replace table key (1 + Option.value ~default:0 (Hashtbl.find_opt table key))
+      | Plain_download _ -> ())
+    (events t);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
+  |> List.sort compare
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun ((round, file), count) ->
+      Format.fprintf ppf "round %d: %d page(s) from %s@," round count file)
+    (per_round_file_counts t);
+  Format.fprintf ppf "@]"

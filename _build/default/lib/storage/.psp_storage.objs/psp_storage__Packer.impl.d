@@ -1,0 +1,1 @@
+lib/storage/packer.ml: Buffer Bytes Page_file Psp_util

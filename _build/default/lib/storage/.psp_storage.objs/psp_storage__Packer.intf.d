@@ -1,0 +1,1 @@
+lib/storage/packer.mli: Page_file

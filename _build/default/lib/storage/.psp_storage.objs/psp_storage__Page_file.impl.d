@@ -1,0 +1,1 @@
+lib/storage/page_file.ml: Bytes Fun Printf Psp_util

@@ -1,0 +1,73 @@
+type placement = { first_page : int; page_span : int; offset : int }
+
+type t = {
+  psize : int;
+  full : bytes Psp_util.Dyn_array.t; (* completed page payloads *)
+  mutable current : Buffer.t;
+  placements : placement Psp_util.Dyn_array.t;
+  mutable sealed : bool;
+}
+
+let create ~page_size =
+  if page_size <= 0 then invalid_arg "Packer.create: page_size must be positive";
+  { psize = page_size;
+    full = Psp_util.Dyn_array.create ();
+    current = Buffer.create page_size;
+    placements = Psp_util.Dyn_array.create ();
+    sealed = false }
+
+let page_size t = t.psize
+let current_page_free t = t.psize - Buffer.length t.current
+
+let close_current t =
+  Psp_util.Dyn_array.push t.full (Buffer.to_bytes t.current);
+  t.current <- Buffer.create t.psize
+
+let add t record =
+  if t.sealed then invalid_arg "Packer.add: already flushed";
+  let len = Bytes.length record in
+  if len <= t.psize then begin
+    (* small record: never straddle a page boundary *)
+    if len > current_page_free t then close_current t;
+    let placement =
+      { first_page = Psp_util.Dyn_array.length t.full;
+        page_span = 1;
+        offset = Buffer.length t.current }
+    in
+    Buffer.add_bytes t.current record;
+    Psp_util.Dyn_array.push t.placements placement;
+    placement
+  end
+  else begin
+    (* oversized record: start on a fresh page, span ceil(len/psize) *)
+    if Buffer.length t.current > 0 then close_current t;
+    let placement =
+      { first_page = Psp_util.Dyn_array.length t.full;
+        page_span = (len + t.psize - 1) / t.psize;
+        offset = 0 }
+    in
+    let pos = ref 0 in
+    while !pos < len do
+      let take = min t.psize (len - !pos) in
+      Buffer.add_bytes t.current (Bytes.sub record !pos take);
+      pos := !pos + take;
+      if Buffer.length t.current = t.psize then close_current t
+    done;
+    Psp_util.Dyn_array.push t.placements placement;
+    placement
+  end
+
+let placements t = Psp_util.Dyn_array.to_array t.placements
+
+let max_span t =
+  Psp_util.Dyn_array.fold_left (fun acc p -> max acc p.page_span) 0 t.placements
+
+let page_count t =
+  Psp_util.Dyn_array.length t.full + (if Buffer.length t.current > 0 then 1 else 0)
+
+let flush_to t file =
+  if Page_file.page_size file <> t.psize then
+    invalid_arg "Packer.flush_to: page size mismatch";
+  t.sealed <- true;
+  Psp_util.Dyn_array.iter (fun payload -> ignore (Page_file.append file payload)) t.full;
+  if Buffer.length t.current > 0 then ignore (Page_file.append file (Buffer.to_bytes t.current))

@@ -1,0 +1,43 @@
+(** Sequential record-to-page packing with the paper's no-straddle rule.
+
+    §5.3 (network index file formation): records are placed contiguously
+    in key order, but a record smaller than a page must not stretch over
+    two pages — if it does not fit in the current page's free space it
+    starts a new page, leaving the gap unutilized.  A record larger than
+    a page starts on a fresh page so it spans exactly
+    ceil(size / page_size) pages.  The packer reports each record's
+    placement so a dense look-up file (F_l) can be built over it, and
+    the maximum span, which fixes the query plan (§5.4). *)
+
+type placement = {
+  first_page : int;  (** page number where the record starts *)
+  page_span : int;   (** number of consecutive pages it occupies *)
+  offset : int;      (** byte offset of the record within the first page *)
+}
+
+type t
+
+val create : page_size:int -> t
+(** @raise Invalid_argument if [page_size <= 0]. *)
+
+val page_size : t -> int
+
+val current_page_free : t -> int
+(** Free bytes remaining in the page currently being filled. *)
+
+val add : t -> bytes -> placement
+(** Place the next record. *)
+
+val placements : t -> placement array
+(** Placements in insertion order. *)
+
+val max_span : t -> int
+(** Largest [page_span] over all records; 0 if none. *)
+
+val flush_to : t -> Page_file.t -> unit
+(** Emit every (possibly partially filled) page into a page file, in
+    order.  The packer may not be added to afterwards.
+    @raise Invalid_argument if page sizes differ. *)
+
+val page_count : t -> int
+(** Pages that [flush_to] will emit. *)

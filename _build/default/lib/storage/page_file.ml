@@ -1,0 +1,99 @@
+type t = {
+  name : string;
+  page_size : int;
+  pages : bytes Psp_util.Dyn_array.t; (* padded to page_size *)
+  lengths : int Psp_util.Dyn_array.t; (* payload bytes per page *)
+}
+
+let create ~name ~page_size =
+  if page_size <= 0 then invalid_arg "Page_file.create: page_size must be positive";
+  { name;
+    page_size;
+    pages = Psp_util.Dyn_array.create ();
+    lengths = Psp_util.Dyn_array.create () }
+
+let name t = t.name
+let page_size t = t.page_size
+let page_count t = Psp_util.Dyn_array.length t.pages
+let size_bytes t = page_count t * t.page_size
+
+let append t payload =
+  let len = Bytes.length payload in
+  if len > t.page_size then
+    invalid_arg
+      (Printf.sprintf "Page_file.append(%s): payload %d exceeds page size %d" t.name
+         len t.page_size);
+  let page = Bytes.make t.page_size '\000' in
+  Bytes.blit payload 0 page 0 len;
+  Psp_util.Dyn_array.push t.pages page;
+  Psp_util.Dyn_array.push t.lengths len;
+  page_count t - 1
+
+let append_blank t = append t Bytes.empty
+
+let check t no =
+  if no < 0 || no >= page_count t then
+    invalid_arg (Printf.sprintf "Page_file.read(%s): page %d out of range" t.name no)
+
+let read t no =
+  check t no;
+  Bytes.copy (Psp_util.Dyn_array.get t.pages no)
+
+let payload_length t no =
+  check t no;
+  Psp_util.Dyn_array.get t.lengths no
+
+let payload t no = Bytes.sub (read t no) 0 (payload_length t no)
+
+let utilization t =
+  if page_count t = 0 then 0.0
+  else begin
+    let used = Psp_util.Dyn_array.fold_left ( + ) 0 t.lengths in
+    float_of_int used /. float_of_int (size_bytes t)
+  end
+
+let iter_pages t f =
+  for no = 0 to page_count t - 1 do
+    f no (read t no)
+  done
+
+let magic = "PSPPAGES1"
+
+let save t ~path =
+  let w = Psp_util.Byte_io.Writer.create ~capacity:(size_bytes t) () in
+  Psp_util.Byte_io.Writer.string w magic;
+  Psp_util.Byte_io.Writer.string w t.name;
+  Psp_util.Byte_io.Writer.varint w t.page_size;
+  Psp_util.Byte_io.Writer.varint w (page_count t);
+  for no = 0 to page_count t - 1 do
+    let len = payload_length t no in
+    Psp_util.Byte_io.Writer.varint w len;
+    Psp_util.Byte_io.Writer.bytes w (Bytes.sub (Psp_util.Dyn_array.get t.pages no) 0 len)
+  done;
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_bytes oc (Psp_util.Byte_io.Writer.contents w))
+
+let load ~path =
+  let ic = open_in_bin path in
+  let blob =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let r = Psp_util.Byte_io.Reader.of_bytes (Bytes.of_string blob) in
+  let fail msg = invalid_arg (Printf.sprintf "Page_file.load(%s): %s" path msg) in
+  (try if Psp_util.Byte_io.Reader.string r <> magic then fail "bad magic"
+   with Psp_util.Byte_io.Reader.Underflow -> fail "truncated header");
+  try
+    let name = Psp_util.Byte_io.Reader.string r in
+    let page_size = Psp_util.Byte_io.Reader.varint r in
+    let count = Psp_util.Byte_io.Reader.varint r in
+    let t = create ~name ~page_size in
+    for _ = 1 to count do
+      let len = Psp_util.Byte_io.Reader.varint r in
+      ignore (append t (Psp_util.Byte_io.Reader.bytes r len))
+    done;
+    t
+  with Psp_util.Byte_io.Reader.Underflow -> fail "truncated"

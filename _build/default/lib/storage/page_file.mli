@@ -1,0 +1,50 @@
+(** Equal-sized disk pages organized in named files.
+
+    The LBS database (§3.1) is a set of files stored as sequences of
+    equal-sized pages; the PIR interface retrieves one page at a time
+    and the adversary observes only (file, round) per retrieval.  This
+    module is the in-memory model of such files: page payloads are real
+    serialized bytes, and per-page payload lengths are recorded so the
+    experiments can report page utilization (Figure 8a) and database
+    sizes from actual encodings. *)
+
+type t
+
+val create : name:string -> page_size:int -> t
+(** Empty file.  @raise Invalid_argument if [page_size <= 0]. *)
+
+val name : t -> string
+val page_size : t -> int
+val page_count : t -> int
+
+val size_bytes : t -> int
+(** [page_count * page_size] — the on-disk footprint. *)
+
+val append : t -> bytes -> int
+(** Add one page holding the given payload (padded with zeros to the
+    page size); returns its page number.
+    @raise Invalid_argument if the payload exceeds the page size. *)
+
+val append_blank : t -> int
+(** Add an all-zero page (used to round files up to layout boundaries). *)
+
+val read : t -> int -> bytes
+(** Full page content (payload plus padding), [page_size] bytes.
+    @raise Invalid_argument on an out-of-range page number. *)
+
+val payload : t -> int -> bytes
+(** Only the stored payload of a page. *)
+
+val payload_length : t -> int -> int
+
+val utilization : t -> float
+(** Mean fraction of page bytes holding payload; 0 for an empty file. *)
+
+val iter_pages : t -> (int -> bytes -> unit) -> unit
+
+val save : t -> path:string -> unit
+(** Serialize to disk (magic, name, page size, per-page payloads —
+    padding is not stored and is reconstructed on load). *)
+
+val load : path:string -> t
+(** @raise Invalid_argument on a malformed or truncated file. *)

@@ -1,0 +1,1 @@
+lib/util/byte_io.ml: Buffer Bytes Char Int64 String

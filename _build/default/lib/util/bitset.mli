@@ -1,0 +1,37 @@
+(** Fixed-capacity bit sets.
+
+    Used for Arc-flag bit-vectors (one bit per region attached to every
+    edge) and for visited marks in graph traversals. *)
+
+type t
+
+val create : int -> t
+(** [create n] is a set over the universe [0..n-1], initially empty. *)
+
+val capacity : t -> int
+val set : t -> int -> unit
+val unset : t -> int -> unit
+val mem : t -> int -> bool
+val cardinal : t -> int
+(** Population count. *)
+
+val clear : t -> unit
+val copy : t -> t
+val union_into : dst:t -> t -> unit
+(** [union_into ~dst src] sets every bit of [src] in [dst].  Capacities
+    must match. *)
+
+val inter_into : dst:t -> t -> unit
+val equal : t -> t -> bool
+val iter : (int -> unit) -> t -> unit
+(** Iterate set bits in increasing order. *)
+
+val to_list : t -> int list
+val of_list : int -> int list -> t
+
+val byte_size : t -> int
+(** Serialized size in bytes: ceil(capacity/8). *)
+
+val to_bytes : t -> bytes
+val of_bytes : int -> bytes -> t
+(** [of_bytes n b] decodes a set of capacity [n] from [to_bytes] output. *)

@@ -1,0 +1,105 @@
+let varint_size v =
+  if v < 0 then invalid_arg "Byte_io.varint_size: negative";
+  let rec loop v acc = if v < 0x80 then acc else loop (v lsr 7) (acc + 1) in
+  loop v 1
+
+module Writer = struct
+  type t = Buffer.t
+
+  let create ?(capacity = 64) () = Buffer.create capacity
+  let length = Buffer.length
+
+  let u8 t v =
+    if v < 0 || v > 0xFF then invalid_arg "Writer.u8: out of range";
+    Buffer.add_char t (Char.chr v)
+
+  let u16 t v =
+    if v < 0 || v > 0xFFFF then invalid_arg "Writer.u16: out of range";
+    u8 t (v land 0xFF);
+    u8 t (v lsr 8)
+
+  let u32 t v =
+    if v < 0 || v > 0xFFFFFFFF then invalid_arg "Writer.u32: out of range";
+    u16 t (v land 0xFFFF);
+    u16 t (v lsr 16)
+
+  let i64 t v =
+    for i = 0 to 7 do
+      Buffer.add_char t
+        (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xFF))
+    done
+
+  let rec varint t v =
+    if v < 0 then invalid_arg "Writer.varint: negative";
+    if v < 0x80 then u8 t v
+    else begin
+      u8 t (0x80 lor (v land 0x7F));
+      varint t (v lsr 7)
+    end
+
+  let float64 t v = i64 t (Int64.bits_of_float v)
+  let bytes t b = Buffer.add_bytes t b
+
+  let string t s =
+    varint t (String.length s);
+    Buffer.add_string t s
+
+  let contents t = Buffer.to_bytes t
+end
+
+module Reader = struct
+  type t = { buf : bytes; mutable pos : int }
+
+  exception Underflow
+
+  let of_bytes ?(pos = 0) buf = { buf; pos }
+  let pos t = t.pos
+  let remaining t = Bytes.length t.buf - t.pos
+
+  let seek t pos =
+    if pos < 0 || pos > Bytes.length t.buf then invalid_arg "Reader.seek";
+    t.pos <- pos
+
+  let u8 t =
+    if t.pos >= Bytes.length t.buf then raise Underflow;
+    let v = Char.code (Bytes.get t.buf t.pos) in
+    t.pos <- t.pos + 1;
+    v
+
+  let u16 t =
+    let lo = u8 t in
+    let hi = u8 t in
+    lo lor (hi lsl 8)
+
+  let u32 t =
+    let lo = u16 t in
+    let hi = u16 t in
+    lo lor (hi lsl 16)
+
+  let i64 t =
+    let v = ref 0L in
+    for i = 0 to 7 do
+      v := Int64.logor !v (Int64.shift_left (Int64.of_int (u8 t)) (8 * i))
+    done;
+    !v
+
+  let varint t =
+    let rec loop shift acc =
+      let b = u8 t in
+      let acc = acc lor ((b land 0x7F) lsl shift) in
+      if b land 0x80 = 0 then acc else loop (shift + 7) acc
+    in
+    loop 0 0
+
+  let float64 t = Int64.float_of_bits (i64 t)
+
+  let bytes t n =
+    if remaining t < n then raise Underflow;
+    let b = Bytes.sub t.buf t.pos n in
+    t.pos <- t.pos + n;
+    b
+
+  let string t =
+    let n = varint t in
+    Bytes.to_string (bytes t n)
+end

@@ -1,0 +1,55 @@
+(** Little-endian byte stream encoding and decoding.
+
+    All on-page records (node entries, adjacency lists, look-up entries,
+    region-set deltas) are serialized through this module so that sizes
+    are measured in real bytes — page utilization and database sizes in
+    the experiments are computed from these encodings. *)
+
+module Writer : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val length : t -> int
+
+  val u8 : t -> int -> unit
+  (** @raise Invalid_argument if outside [0,255]. *)
+
+  val u16 : t -> int -> unit
+  val u32 : t -> int -> unit
+  (** @raise Invalid_argument if outside the unsigned range. *)
+
+  val i64 : t -> int64 -> unit
+  val varint : t -> int -> unit
+  (** LEB128 encoding of a non-negative integer. *)
+
+  val float64 : t -> float -> unit
+  val bytes : t -> bytes -> unit
+  val string : t -> string -> unit
+  (** Length-prefixed (varint) string. *)
+
+  val contents : t -> bytes
+end
+
+module Reader : sig
+  type t
+
+  exception Underflow
+  (** Raised when a read runs past the end of the buffer. *)
+
+  val of_bytes : ?pos:int -> bytes -> t
+  val pos : t -> int
+  val remaining : t -> int
+  val seek : t -> int -> unit
+
+  val u8 : t -> int
+  val u16 : t -> int
+  val u32 : t -> int
+  val i64 : t -> int64
+  val varint : t -> int
+  val float64 : t -> float
+  val bytes : t -> int -> bytes
+  val string : t -> string
+end
+
+val varint_size : int -> int
+(** Encoded size in bytes of a non-negative integer, without encoding it. *)

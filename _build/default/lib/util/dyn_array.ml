@@ -1,0 +1,77 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable size : int;
+  mutable dummy : 'a option;
+      (* first pushed element; reused to fill fresh slots so we never
+         need Obj.magic for the uninitialised tail *)
+}
+
+(* [capacity] is advisory: the backing store is only materialized at the
+   first push (we have no element to fill fresh slots with before that). *)
+let create ?capacity:_ () = { data = [||]; size = 0; dummy = None }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let check t i =
+  if i < 0 || i >= t.size then invalid_arg "Dyn_array: index out of range"
+
+let get t i =
+  check t i;
+  t.data.(i)
+
+let set t i v =
+  check t i;
+  t.data.(i) <- v
+
+let push t v =
+  (match t.dummy with None -> t.dummy <- Some v | Some _ -> ());
+  if t.size = Array.length t.data then begin
+    let capacity = max 8 (2 * Array.length t.data) in
+    let fresh = Array.make capacity v in
+    Array.blit t.data 0 fresh 0 t.size;
+    t.data <- fresh
+  end;
+  t.data.(t.size) <- v;
+  t.size <- t.size + 1
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    t.size <- t.size - 1;
+    Some t.data.(t.size)
+  end
+
+let last t = if t.size = 0 then None else Some t.data.(t.size - 1)
+let clear t = t.size <- 0
+let to_array t = Array.sub t.data 0 t.size
+
+let of_array a =
+  { data = Array.copy a;
+    size = Array.length a;
+    dummy = (if Array.length a > 0 then Some a.(0) else None) }
+
+let to_list t = Array.to_list (to_array t)
+
+let iter f t =
+  for i = 0 to t.size - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.size - 1 do
+    f i t.data.(i)
+  done
+
+let fold_left f init t =
+  let acc = ref init in
+  iter (fun x -> acc := f !acc x) t;
+  !acc
+
+let map f t = of_array (Array.map f (to_array t))
+let exists p t = Array.exists p (to_array t)
+
+let sort cmp t =
+  let a = to_array t in
+  Array.sort cmp a;
+  Array.blit a 0 t.data 0 t.size

@@ -1,0 +1,38 @@
+(** Growable arrays (OCaml 5.1 predates [Stdlib.Dynarray]).
+
+    Used by graph builders and index-construction passes that accumulate
+    records of unknown count before freezing into flat arrays. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument on out-of-range index. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** @raise Invalid_argument on out-of-range index. *)
+
+val push : 'a t -> 'a -> unit
+(** Append an element, growing the backing store as needed. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the last element. *)
+
+val last : 'a t -> 'a option
+
+val clear : 'a t -> unit
+
+val to_array : 'a t -> 'a array
+(** Snapshot of the current contents. *)
+
+val of_array : 'a array -> 'a t
+val to_list : 'a t -> 'a list
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val map : ('a -> 'b) -> 'a t -> 'b t
+val exists : ('a -> bool) -> 'a t -> bool
+val sort : ('a -> 'a -> int) -> 'a t -> unit

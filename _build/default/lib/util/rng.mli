@@ -1,0 +1,46 @@
+(** Deterministic pseudo-random number generation.
+
+    A small, fast, seedable generator (xoshiro256 star-star) used everywhere a
+    reproducible random stream is needed: network generation, workload
+    sampling, ORAM shuffling in tests.  Keeping our own generator (rather
+    than [Stdlib.Random]) guarantees experiment reproducibility across
+    OCaml versions. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from a 63-bit seed via splitmix64
+    expansion.  Equal seeds yield equal streams. *)
+
+val copy : t -> t
+(** Independent copy of the current state. *)
+
+val bits64 : t -> int64
+(** Next raw 64 random bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [[0, bound)].  [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val permutation : t -> int -> int array
+(** [permutation t n] is a uniformly random permutation of [0..n-1]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array.
+    @raise Invalid_argument on an empty array. *)
+
+val gaussian : t -> mean:float -> stddev:float -> float
+(** Normal deviate via Box–Muller. *)
+
+val split : t -> t
+(** A generator seeded from the next output of [t]; useful to give
+    sub-components independent streams. *)

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Array Bloom Bytes Chacha20 Char Feistel Fun Hmac List Prf Printf Psp_crypto QCheck2 QCheck_alcotest Sha256 String

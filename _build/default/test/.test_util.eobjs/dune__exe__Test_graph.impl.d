@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Float List Option Psp_graph Psp_util QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Array Bytes Float Format Hashtbl List Option Printf Psp_graph Psp_index Psp_netgen Psp_partition Psp_storage Psp_util QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_netgen.ml: Alcotest Array Filename Float List Option Printf Psp_graph Psp_netgen Psp_util QCheck2 QCheck_alcotest Sys

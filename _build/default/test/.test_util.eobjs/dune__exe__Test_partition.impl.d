@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Array Bytes Float List Printf Psp_graph Psp_index Psp_netgen Psp_partition QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_pir.ml: Alcotest Array Bytes Hashtbl List Option Printf Psp_crypto Psp_pir Psp_storage Psp_util QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Bytes Filename List Psp_storage QCheck2 QCheck_alcotest Sys

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitset Byte_io Bytes Dyn_array Float List Min_heap Psp_util QCheck2 QCheck_alcotest Rng Stats

@@ -1,0 +1,448 @@
+(* End-to-end protocol tests: every scheme answers correctly, every
+   query is indistinguishable from every other (Theorem 1), traces
+   conform to the published plan, the oblivious execution mode works,
+   and the response-time model behaves. *)
+
+module G = Psp_graph.Graph
+module DB = Psp_index.Database
+module PF = Psp_storage.Page_file
+module Server = Psp_pir.Server
+module Session = Psp_pir.Server.Session
+module QP = Psp_index.Query_plan
+open Psp_core
+
+let key = Psp_crypto.Sha256.digest_string "core tests"
+let cost = Psp_pir.Cost_model.ibm4764
+let page_size = 512
+
+let network ?(nodes = 350) ?(seed = 17) () =
+  Psp_netgen.Synthetic.generate
+    { Psp_netgen.Synthetic.nodes;
+      edges = nodes + (nodes / 8);
+      width = 1000.0;
+      height = 1000.0;
+      seed }
+
+let g = network ()
+let queries = Psp_netgen.Synthetic.random_queries g ~count:50 ~seed:33
+
+let databases =
+  lazy
+    (let lm, _ = DB.build_lm ~anchors:4 ~seed:2 ~page_size g in
+     let af, _ = DB.build_af ~target_regions:14 ~page_size g in
+     [ ("CI", DB.build_ci ~page_size g);
+       ("PI", DB.build_pi ~page_size g);
+       ("HY", DB.build_hy ~threshold:5 ~page_size g);
+       ("PI*", DB.build_pi_star ~cluster:2 ~page_size g);
+       ("LM", Calibrate.lm lm ~queries);
+       ("AF", Calibrate.af af ~queries) ])
+
+let close_cost got truth = Float.abs (got -. truth) <= 1e-3 *. Float.max 1.0 truth
+
+let run_workload db =
+  let server = Server.create ~cost ~key (DB.files db) in
+  Array.to_list (Array.map (fun (s, t) -> ((s, t), Client.query_nodes server g s t)) queries)
+
+(* ------------------------------------------------------------------ *)
+
+let test_scheme_correct name () =
+  let db = List.assoc name (Lazy.force databases) in
+  List.iter
+    (fun ((s, t), (r : Client.result)) ->
+      let truth = Psp_graph.Dijkstra.distance g s t in
+      match r.Client.path with
+      | None -> Alcotest.fail (Printf.sprintf "%s: no path %d->%d" name s t)
+      | Some (nodes, got) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s %d->%d cost %.4f = %.4f" name s t got truth)
+            true (close_cost got truth);
+          Alcotest.(check int) "starts at s" s (List.hd nodes);
+          Alcotest.(check int) "ends at t" t (List.nth nodes (List.length nodes - 1));
+          (* the returned node sequence is a real path in the network *)
+          let rec walk = function
+            | [] | [ _ ] -> ()
+            | u :: (v :: _ as rest) ->
+                let connected = G.fold_out g u (fun acc e -> acc || e.G.dst = v) false in
+                Alcotest.(check bool) (Printf.sprintf "edge %d->%d exists" u v) true connected;
+                walk rest
+          in
+          walk nodes)
+    (run_workload db)
+
+let test_scheme_private name () =
+  let db = List.assoc name (Lazy.force databases) in
+  let results = run_workload db in
+  let traces =
+    List.map (fun (_, (r : Client.result)) -> r.Client.stats.Session.trace) results
+  in
+  (match Privacy.indistinguishable traces with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Printf.sprintf "%s: %s" name e));
+  let header_pages = PF.page_count db.DB.header_file in
+  match Privacy.conforms db.DB.header ~header_pages (List.hd traces) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Printf.sprintf "%s: %s" name e)
+
+let test_scheme_rounds name expected () =
+  let db = List.assoc name (Lazy.force databases) in
+  let server = Server.create ~cost ~key (DB.files db) in
+  let s, t = queries.(0) in
+  let r = Client.query_nodes server g s t in
+  Alcotest.(check int) "round count" expected r.Client.stats.Session.rounds
+
+let test_self_query () =
+  (* s = t: still a full, plan-conformant execution *)
+  let db = List.assoc "CI" (Lazy.force databases) in
+  let server = Server.create ~cost ~key (DB.files db) in
+  let r = Client.query_nodes server g 5 5 in
+  (match r.Client.path with
+  | Some ([ v ], c) ->
+      Alcotest.(check int) "self node" 5 v;
+      Alcotest.(check (float 0.0)) "zero cost" 0.0 c
+  | _ -> Alcotest.fail "expected trivial path");
+  let header_pages = PF.page_count db.DB.header_file in
+  match Privacy.conforms db.DB.header ~header_pages r.Client.stats.Session.trace with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_same_region_query () =
+  (* two nodes of the same region *)
+  let db = List.assoc "PI" (Lazy.force databases) in
+  let part = db.DB.partition in
+  let r0 = Psp_partition.Kdtree.nodes_of_region part 0 in
+  if Array.length r0 >= 2 then begin
+    let s = r0.(0) and t = r0.(Array.length r0 - 1) in
+    let server = Server.create ~cost ~key (DB.files db) in
+    let r = Client.query_nodes server g s t in
+    let truth = Psp_graph.Dijkstra.distance g s t in
+    match r.Client.path with
+    | Some (_, got) -> Alcotest.(check bool) "same-region cost" true (close_cost got truth)
+    | None -> Alcotest.fail "no path within region pair"
+  end
+
+let test_oblivious_mode_end_to_end () =
+  (* the full protocol through the real square-root ORAM, every scheme *)
+  let small = network ~nodes:120 ~seed:4 () in
+  let qs = Psp_netgen.Synthetic.random_queries small ~count:6 ~seed:9 in
+  let lm, _ = DB.build_lm ~anchors:3 ~seed:2 ~page_size:256 small in
+  List.iter
+    (fun (name, db) ->
+      let server = Server.create ~mode:`Oblivious ~cost ~key (DB.files db) in
+      Array.iter
+        (fun (s, t) ->
+          let r = Client.query_nodes server small s t in
+          let truth = Psp_graph.Dijkstra.distance small s t in
+          match r.Client.path with
+          | None -> Alcotest.fail (name ^ ": no path in oblivious mode")
+          | Some (_, got) ->
+              Alcotest.(check bool) (name ^ " oblivious correct") true (close_cost got truth))
+        qs)
+    [ ("CI", DB.build_ci ~page_size:256 small);
+      ("PI", DB.build_pi ~page_size:256 small);
+      ("HY", DB.build_hy ~threshold:4 ~page_size:256 small);
+      ("LM", Calibrate.lm lm ~queries:qs) ]
+
+let test_modes_identical_traces () =
+  (* the adversary's view is the same whether pages are served directly
+     or through either ORAM - the cost/trace layer is mode-independent *)
+  let small = network ~nodes:100 ~seed:6 () in
+  let db = DB.build_ci ~page_size:256 small in
+  let qs = Psp_netgen.Synthetic.random_queries small ~count:3 ~seed:2 in
+  let trace_of mode =
+    let server = Server.create ~mode ~cost ~key (DB.files db) in
+    Array.to_list
+      (Array.map
+         (fun (s, t) ->
+           Psp_pir.Trace.fingerprint
+             (Client.query_nodes server small s t).Client.stats.Session.trace)
+         qs)
+  in
+  let sim = trace_of `Simulated in
+  Alcotest.(check (list string)) "sqrt oram same view" sim (trace_of `Oblivious);
+  Alcotest.(check (list string)) "pyramid same view" sim (trace_of `Pyramid)
+
+let test_plan_fetches_match_stats () =
+  (* for every scheme, the session's actual private fetch counts equal
+     the published plan exactly *)
+  List.iter
+    (fun (name, db) ->
+      let server = Server.create ~cost ~key (DB.files db) in
+      let s, t = queries.(3) in
+      let r = Client.query_nodes server g s t in
+      let total =
+        List.fold_left (fun a (_, n) -> a + n) 0 r.Client.stats.Session.pir_fetches
+      in
+      Alcotest.(check int)
+        (name ^ " fetches = plan")
+        (QP.total_pir_fetches db.DB.header.Psp_index.Header.plan)
+        total)
+    (Lazy.force databases)
+
+let test_response_time_components () =
+  let db = List.assoc "CI" (Lazy.force databases) in
+  let server = Server.create ~cost ~key (DB.files db) in
+  let s, t = queries.(1) in
+  let r = Client.query_nodes server g s t in
+  let rt = Response_time.of_result r in
+  Alcotest.(check bool) "pir time dominates" true
+    (rt.Response_time.pir_seconds > rt.Response_time.client_seconds);
+  Alcotest.(check bool) "comm includes rtts" true
+    (rt.Response_time.comm_seconds >= 4.0 *. cost.Psp_pir.Cost_model.rtt -. 1e-9);
+  let plan_fetches = QP.total_pir_fetches db.DB.header.Psp_index.Header.plan in
+  let total_fetches =
+    List.fold_left (fun a (_, n) -> a + n) 0 r.Client.stats.Session.pir_fetches
+  in
+  Alcotest.(check int) "fetches match plan" plan_fetches total_fetches
+
+let test_response_time_algebra () =
+  let a =
+    { Response_time.pir_seconds = 1.0;
+      comm_seconds = 2.0;
+      server_cpu_seconds = 0.5;
+      client_seconds = 0.25 }
+  in
+  Alcotest.(check (float 1e-9)) "total" 3.75 (Response_time.total a);
+  let m = Response_time.mean [ a; Response_time.zero ] in
+  Alcotest.(check (float 1e-9)) "mean" 0.5 m.Response_time.pir_seconds;
+  Alcotest.(check (float 1e-9)) "mean total" 1.875 (Response_time.total m)
+
+let test_obf_returns_real_path () =
+  let obf = Obf.create ~cost ~seed:7 g in
+  Array.iter
+    (fun (s, t) ->
+      let rt, path = Obf.query obf ~set_size:4 ~s ~t_node:t in
+      (match path with
+      | None -> Alcotest.fail "OBF lost the real path"
+      | Some p ->
+          Alcotest.(check bool) "optimal" true
+            (close_cost (Psp_graph.Path.cost p) (Psp_graph.Dijkstra.distance g s t)));
+      Alcotest.(check bool) "no pir" true (rt.Response_time.pir_seconds = 0.0);
+      Alcotest.(check bool) "has comm" true (rt.Response_time.comm_seconds > 0.0))
+    (Array.sub queries 0 10)
+
+let test_obf_near_placement () =
+  (* Lee et al.'s original near-placement: decoys cluster around the
+     real endpoints, so the returned paths are shorter and cheaper to
+     ship than with uniform decoys *)
+  let obf = Obf.create ~cost ~seed:21 g in
+  let s, t = queries.(4) in
+  let near, p1 = Obf.query ~placement:(Obf.Near 120.0) obf ~set_size:8 ~s ~t_node:t in
+  let uniform, p2 = Obf.query ~placement:Obf.Uniform obf ~set_size:8 ~s ~t_node:t in
+  Alcotest.(check bool) "near returns real path" true (p1 <> None);
+  Alcotest.(check bool) "uniform returns real path" true (p2 <> None);
+  Alcotest.(check bool) "near placement communicates less" true
+    (near.Response_time.comm_seconds <= uniform.Response_time.comm_seconds)
+
+let test_obf_cost_grows_with_set_size () =
+  let obf = Obf.create ~cost ~seed:8 g in
+  let s, t = queries.(2) in
+  let t4, _ = Obf.query obf ~set_size:4 ~s ~t_node:t in
+  let t16, _ = Obf.query obf ~set_size:16 ~s ~t_node:t in
+  Alcotest.(check bool) "16 costs more than 4" true
+    (Response_time.total t16 > Response_time.total t4)
+
+let test_calibration_tightens_lm_plan () =
+  let lm, _ = DB.build_lm ~anchors:4 ~seed:2 ~page_size g in
+  let before =
+    match lm.DB.header.Psp_index.Header.plan with
+    | QP.Lm { total_data_pages } -> total_data_pages
+    | _ -> assert false
+  in
+  let calibrated = Calibrate.lm lm ~queries in
+  let after =
+    match calibrated.DB.header.Psp_index.Header.plan with
+    | QP.Lm { total_data_pages } -> total_data_pages
+    | _ -> assert false
+  in
+  Alcotest.(check bool) (Printf.sprintf "tightened %d -> %d" before after) true
+    (after <= before);
+  Alcotest.(check bool) "at least two pages" true (after >= 2)
+
+let test_baselines_fetch_more_than_ci () =
+  (* §7.3: the PIR baselines read a large share of the database *)
+  let dbs = Lazy.force databases in
+  let pages scheme =
+    let db = List.assoc scheme dbs in
+    QP.total_pir_fetches db.DB.header.Psp_index.Header.plan
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "LM %d > CI %d" (pages "LM") (pages "CI"))
+    true
+    (pages "LM" > pages "CI");
+  Alcotest.(check bool)
+    (Printf.sprintf "CI %d > PI %d" (pages "CI") (pages "PI"))
+    true
+    (pages "CI" > pages "PI")
+
+let test_approximate_schemes () =
+  (* future-work extension: epsilon-quantized weights give smaller
+     databases and answers within (1 + epsilon) of optimal *)
+  let epsilon = 0.05 in
+  List.iter
+    (fun (name, exact, approx) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s approx %d <= exact %d bytes" name (DB.total_bytes approx)
+           (DB.total_bytes exact))
+        true
+        (DB.total_bytes approx <= DB.total_bytes exact);
+      let server = Server.create ~cost ~key (DB.files approx) in
+      Array.iter
+        (fun (s, t) ->
+          let truth = Psp_graph.Dijkstra.distance g s t in
+          match (Client.query_nodes server g s t).Client.path with
+          | None -> Alcotest.fail (name ^ ": no path")
+          | Some (_, got) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: %f within (1+eps) of %f" name got truth)
+                true
+                (got >= truth -. 1e-6 && got <= ((1.0 +. epsilon) *. truth) +. 1e-6))
+        (Array.sub queries 0 25))
+    [ ( "CI",
+        DB.build_ci ~page_size g,
+        DB.build_ci ~epsilon ~page_size g );
+      ( "PI",
+        DB.build_pi ~page_size g,
+        DB.build_pi ~epsilon ~page_size g ) ]
+
+let test_quantize_grid () =
+  let epsilon = 0.01 in
+  List.iter
+    (fun w ->
+      let q = Psp_index.Encoding.quantize_up ~epsilon w in
+      Alcotest.(check bool) "rounds up" true (q >= w);
+      Alcotest.(check bool) "bounded" true (q <= w *. (1.0 +. epsilon) *. (1.0 +. 1e-9)))
+    [ 0.001; 0.5; 1.0; 3.14159; 250.7; 99999.0 ];
+  Alcotest.(check (float 0.0)) "identity at eps 0" 7.5
+    (Psp_index.Encoding.quantize_up ~epsilon:0.0 7.5)
+
+let test_bundle_roundtrip () =
+  (* save a built database, reload it, and serve queries from the copy *)
+  let db = List.assoc "CI" (Lazy.force databases) in
+  let dir = Filename.temp_file "psp" "" in
+  Sys.remove dir;
+  let bundle = Psp_index.Bundle.of_database db in
+  Psp_index.Bundle.save bundle ~dir;
+  let loaded = Psp_index.Bundle.load ~dir in
+  Alcotest.(check string) "scheme" "CI" loaded.Psp_index.Bundle.scheme;
+  Alcotest.(check int) "files" (List.length (DB.files db))
+    (List.length (Psp_index.Bundle.files loaded));
+  let server = Server.create ~cost ~key (Psp_index.Bundle.files loaded) in
+  Array.iter
+    (fun (s, t) ->
+      let truth = Psp_graph.Dijkstra.distance g s t in
+      match (Client.query_nodes server g s t).Client.path with
+      | Some (_, got) ->
+          Alcotest.(check bool) "served from bundle" true (close_cost got truth)
+      | None -> Alcotest.fail "no path from loaded bundle")
+    (Array.sub queries 0 10);
+  (* clean up *)
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
+let test_error_paths () =
+  (* unknown scheme in the header *)
+  let db = List.assoc "CI" (Lazy.force databases) in
+  let bad_header = { db.DB.header with Psp_index.Header.scheme = "??" } in
+  let header_file = Psp_index.Header.to_page_file bad_header ~page_size in
+  let files =
+    header_file :: List.filter (fun f -> PF.name f <> "header") (DB.files db)
+  in
+  let server = Server.create ~cost ~key files in
+  (match Client.query_nodes server g 1 2 with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected Failure on unknown scheme");
+  (* malformed bundle directory *)
+  (match Psp_index.Bundle.load ~dir:"/nonexistent-psp-dir" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument")
+
+let test_trace_leak_detection () =
+  (* sanity check of the checker itself: a deviating trace is caught *)
+  let t1 = Psp_pir.Trace.create () in
+  Psp_pir.Trace.record t1 (Psp_pir.Trace.Pir_fetch { round = 2; file = "lookup" });
+  let t2 = Psp_pir.Trace.create () in
+  Psp_pir.Trace.record t2 (Psp_pir.Trace.Pir_fetch { round = 2; file = "data" });
+  match Privacy.indistinguishable [ t1; t2 ] with
+  | Ok () -> Alcotest.fail "leak not detected"
+  | Error _ -> ()
+
+(* The whole pipeline as one property: over random road networks and any
+   scheme, every query is exact and every trace is plan-shaped. *)
+let e2e_property =
+  let gen =
+    QCheck2.Gen.(
+      let* nodes = int_range 60 220 in
+      let* seed = int_range 0 100_000 in
+      let* scheme = int_range 0 3 in
+      return (nodes, seed, scheme))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:12 ~name:"random network x scheme: exact and plan-shaped" gen
+       (fun (nodes, seed, scheme) ->
+         let g = network ~nodes ~seed () in
+         let db =
+           match scheme with
+           | 0 -> DB.build_ci ~page_size:256 g
+           | 1 -> DB.build_pi ~page_size:256 g
+           | 2 -> DB.build_hy ~threshold:5 ~page_size:256 g
+           | _ -> DB.build_pi_star ~cluster:2 ~page_size:256 g
+         in
+         let server = Server.create ~cost ~key (DB.files db) in
+         let qs = Psp_netgen.Synthetic.random_queries g ~count:6 ~seed:(seed + 1) in
+         let header_pages = PF.page_count db.DB.header_file in
+         Array.for_all
+           (fun (s, t) ->
+             let r = Client.query_nodes server g s t in
+             let truth = Psp_graph.Dijkstra.distance g s t in
+             let exact =
+               match r.Client.path with
+               | Some (_, got) -> close_cost got truth
+               | None -> false
+             in
+             let shaped =
+               Privacy.conforms db.DB.header ~header_pages r.Client.stats.Session.trace
+               = Ok ()
+             in
+             exact && shaped)
+           qs))
+
+let scheme_cases =
+  List.concat_map
+    (fun name ->
+      [ Alcotest.test_case (name ^ " correct") `Slow (test_scheme_correct name);
+        Alcotest.test_case (name ^ " private") `Slow (test_scheme_private name) ])
+    [ "CI"; "PI"; "HY"; "PI*"; "LM"; "AF" ]
+
+let () =
+  Alcotest.run "core"
+    [ ("schemes", scheme_cases @ [ e2e_property ]);
+      ( "rounds",
+        [ Alcotest.test_case "CI has 4 rounds" `Quick (test_scheme_rounds "CI" 4);
+          Alcotest.test_case "PI has 3 rounds" `Quick (test_scheme_rounds "PI" 3);
+          Alcotest.test_case "PI* has 3 rounds" `Quick (test_scheme_rounds "PI*" 3);
+          Alcotest.test_case "HY has 4 rounds" `Quick (test_scheme_rounds "HY" 4) ] );
+      ( "edge cases",
+        [ Alcotest.test_case "s = t" `Quick test_self_query;
+          Alcotest.test_case "same region" `Quick test_same_region_query ] );
+      ( "oblivious",
+        [ Alcotest.test_case "oram end-to-end" `Slow test_oblivious_mode_end_to_end;
+          Alcotest.test_case "modes share one view" `Quick test_modes_identical_traces ] );
+      ( "response time",
+        [ Alcotest.test_case "components" `Quick test_response_time_components;
+          Alcotest.test_case "plan = stats, all schemes" `Quick test_plan_fetches_match_stats;
+          Alcotest.test_case "algebra" `Quick test_response_time_algebra ] );
+      ( "obf",
+        [ Alcotest.test_case "returns real path" `Quick test_obf_returns_real_path;
+          Alcotest.test_case "near placement" `Quick test_obf_near_placement;
+          Alcotest.test_case "cost grows" `Quick test_obf_cost_grows_with_set_size ] );
+      ( "calibration",
+        [ Alcotest.test_case "tightens LM plan" `Quick test_calibration_tightens_lm_plan;
+          Alcotest.test_case "baselines fetch more" `Quick test_baselines_fetch_more_than_ci ] );
+      ( "approximation",
+        [ Alcotest.test_case "bounded deviation" `Slow test_approximate_schemes;
+          Alcotest.test_case "grid properties" `Quick test_quantize_grid ] );
+      ( "persistence",
+        [ Alcotest.test_case "bundle roundtrip" `Quick test_bundle_roundtrip ] );
+      ( "checker",
+        [ Alcotest.test_case "detects leaks" `Quick test_trace_leak_detection;
+          Alcotest.test_case "error paths" `Quick test_error_paths ] ) ]

@@ -1,0 +1,281 @@
+(* Crypto substrate: known-answer vectors plus structural properties. *)
+
+open Psp_crypto
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let hex_of = Sha256.hex
+
+(* ------------------------------------------------------------------ *)
+(* SHA-256: FIPS 180-4 known-answer tests *)
+
+let test_sha256_empty () =
+  Alcotest.(check string) "empty"
+    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (hex_of (Sha256.digest_string ""))
+
+let test_sha256_abc () =
+  Alcotest.(check string) "abc"
+    "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (hex_of (Sha256.digest_string "abc"))
+
+let test_sha256_448bits () =
+  Alcotest.(check string) "two-block boundary"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (hex_of (Sha256.digest_string "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))
+
+let test_sha256_million_a () =
+  let ctx = Sha256.init () in
+  for _ = 1 to 1000 do
+    Sha256.feed_string ctx (String.make 1000 'a')
+  done;
+  Alcotest.(check string) "million a"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (hex_of (Sha256.finalize ctx))
+
+let test_sha256_streaming_equals_oneshot () =
+  let data = String.init 1000 (fun i -> Char.chr (i mod 251)) in
+  let ctx = Sha256.init () in
+  (* feed in awkward chunk sizes crossing block boundaries *)
+  let pos = ref 0 and step = ref 1 in
+  while !pos < String.length data do
+    let take = min !step (String.length data - !pos) in
+    Sha256.feed_string ctx (String.sub data !pos take);
+    pos := !pos + take;
+    step := (!step * 2 mod 97) + 1
+  done;
+  Alcotest.(check string) "streaming == one-shot"
+    (hex_of (Sha256.digest_string data))
+    (hex_of (Sha256.finalize ctx))
+
+(* ------------------------------------------------------------------ *)
+(* HMAC-SHA-256: RFC 4231 vectors *)
+
+let test_hmac_rfc4231_case1 () =
+  let key = Bytes.make 20 '\x0b' in
+  Alcotest.(check string) "case 1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (hex_of (Hmac.mac_string ~key "Hi There"))
+
+let test_hmac_rfc4231_case2 () =
+  let key = Bytes.of_string "Jefe" in
+  Alcotest.(check string) "case 2"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (hex_of (Hmac.mac_string ~key "what do ya want for nothing?"))
+
+let test_hmac_rfc4231_case3 () =
+  let key = Bytes.make 20 '\xaa' in
+  let data = Bytes.make 50 '\xdd' in
+  Alcotest.(check string) "case 3"
+    "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+    (hex_of (Hmac.mac ~key data))
+
+let test_hmac_rfc4231_long_key () =
+  let key = Bytes.make 131 '\xaa' in
+  Alcotest.(check string) "case 6 (key > block)"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    (hex_of (Hmac.mac_string ~key "Test Using Larger Than Block-Size Key - Hash Key First"))
+
+let test_hmac_verify () =
+  let key = Bytes.of_string "secret" in
+  let tag = Hmac.mac_string ~key "message" in
+  Alcotest.(check bool) "accepts" true (Hmac.verify ~key (Bytes.of_string "message") ~tag);
+  Alcotest.(check bool) "rejects" false (Hmac.verify ~key (Bytes.of_string "messagf") ~tag)
+
+let test_hmac_derive_labels () =
+  let key = Bytes.of_string "master" in
+  let a = Hmac.derive ~key ~label:"a" and b = Hmac.derive ~key ~label:"b" in
+  Alcotest.(check bool) "independent" true (a <> b);
+  Alcotest.(check bool) "deterministic" true (a = Hmac.derive ~key ~label:"a")
+
+(* ------------------------------------------------------------------ *)
+(* ChaCha20: RFC 8439 §2.4.2 test vector *)
+
+let rfc8439_key = Bytes.init 32 Char.chr
+
+let rfc8439_nonce =
+  Bytes.of_string "\x00\x00\x00\x00\x00\x00\x00\x4a\x00\x00\x00\x00"
+
+let test_chacha20_rfc8439 () =
+  let plaintext =
+    "Ladies and Gentlemen of the class of '99: If I could offer you \
+     only one tip for the future, sunscreen would be it."
+  in
+  let ciphertext =
+    Chacha20.encrypt ~key:rfc8439_key ~nonce:rfc8439_nonce ~counter:1
+      (Bytes.of_string plaintext)
+  in
+  Alcotest.(check string) "first 16 bytes"
+    "6e2e359a2568f98041ba0728dd0d6981"
+    (hex_of (Bytes.sub ciphertext 0 16));
+  Alcotest.(check string) "last 16 bytes"
+    "0bbf74a35be6b40b8eedf2785e42874d"
+    (hex_of (Bytes.sub ciphertext (Bytes.length ciphertext - 16) 16))
+
+let chacha20_roundtrip =
+  qtest "chacha20 decrypt . encrypt = id" QCheck2.Gen.(string_size (int_range 0 300))
+    (fun s ->
+      let key = Sha256.digest_string "k" in
+      let nonce = Bytes.make 12 'n' in
+      let data = Bytes.of_string s in
+      Chacha20.decrypt ~key ~nonce (Chacha20.encrypt ~key ~nonce data) = data)
+
+let test_chacha20_nonce_separation () =
+  let key = Sha256.digest_string "k" in
+  let data = Bytes.make 64 'x' in
+  let c1 = Chacha20.encrypt ~key ~nonce:(Bytes.make 12 '1') data in
+  let c2 = Chacha20.encrypt ~key ~nonce:(Bytes.make 12 '2') data in
+  Alcotest.(check bool) "distinct ciphertexts" true (c1 <> c2)
+
+let test_chacha20_bad_sizes () =
+  Alcotest.check_raises "short key" (Invalid_argument "Chacha20: key must be 32 bytes")
+    (fun () -> ignore (Chacha20.block ~key:(Bytes.make 16 'k') ~nonce:(Bytes.make 12 'n') ~counter:0));
+  Alcotest.check_raises "short nonce" (Invalid_argument "Chacha20: nonce must be 12 bytes")
+    (fun () -> ignore (Chacha20.block ~key:(Bytes.make 32 'k') ~nonce:(Bytes.make 8 'n') ~counter:0))
+
+(* ------------------------------------------------------------------ *)
+(* PRF *)
+
+let test_prf_deterministic () =
+  let key = Sha256.digest_string "key" in
+  let f = Prf.create ~key ~label:"test" in
+  Alcotest.(check int) "same input same output" (Prf.int f 42) (Prf.int f 42);
+  Alcotest.(check bool) "nonnegative" true (Prf.int f 42 >= 0)
+
+let test_prf_label_separation () =
+  let key = Sha256.digest_string "key" in
+  let a = Prf.create ~key ~label:"a" and b = Prf.create ~key ~label:"b" in
+  let differ = ref 0 in
+  for x = 0 to 63 do
+    if Prf.int a x <> Prf.int b x then incr differ
+  done;
+  Alcotest.(check bool) "labels separate" true (!differ > 60)
+
+let prf_int_mod_range =
+  qtest "prf int_mod in range" QCheck2.Gen.(pair small_nat (int_range 1 1000))
+    (fun (x, m) ->
+      let f = Prf.create ~key:(Sha256.digest_string "k") ~label:"r" in
+      let v = Prf.int_mod f x m in
+      v >= 0 && v < m)
+
+let test_prf_bytes_length () =
+  let f = Prf.create ~key:(Sha256.digest_string "k") ~label:"b" in
+  List.iter
+    (fun n -> Alcotest.(check int) "length" n (Bytes.length (Prf.bytes f 7 n)))
+    [ 1; 31; 32; 33; 100 ]
+
+let test_prf_indices () =
+  let f = Prf.create ~key:(Sha256.digest_string "k") ~label:"i" in
+  let idx = Prf.indices f 123 ~count:5 ~modulus:97 in
+  Alcotest.(check int) "count" 5 (List.length idx);
+  List.iter (fun i -> Alcotest.(check bool) "range" true (i >= 0 && i < 97)) idx;
+  Alcotest.(check (list int)) "deterministic" idx (Prf.indices f 123 ~count:5 ~modulus:97)
+
+(* ------------------------------------------------------------------ *)
+(* Feistel small-domain PRP *)
+
+let feistel_bijective =
+  qtest ~count:50 "feistel is a bijection on [0,n)" QCheck2.Gen.(int_range 1 500)
+    (fun n ->
+      let p = Feistel.create ~key:(Sha256.digest_string "k") ~domain:n in
+      let image = Feistel.to_array p in
+      let sorted = Array.copy image in
+      Array.sort compare sorted;
+      sorted = Array.init n (fun i -> i))
+
+let feistel_inverse =
+  qtest ~count:50 "feistel backward inverts forward"
+    QCheck2.Gen.(pair (int_range 1 500) small_nat)
+    (fun (n, x) ->
+      let x = x mod n in
+      let p = Feistel.create ~key:(Sha256.digest_string "inv") ~domain:n in
+      Feistel.backward p (Feistel.forward p x) = x
+      && Feistel.forward p (Feistel.backward p x) = x)
+
+let test_feistel_key_sensitivity () =
+  let n = 256 in
+  let p1 = Feistel.create ~key:(Sha256.digest_string "a") ~domain:n in
+  let p2 = Feistel.create ~key:(Sha256.digest_string "b") ~domain:n in
+  let same = Array.to_list (Array.init n (fun i -> Feistel.forward p1 i = Feistel.forward p2 i)) in
+  let count = List.length (List.filter Fun.id same) in
+  Alcotest.(check bool) "permutations differ" true (count < n / 4)
+
+let test_feistel_domain_checks () =
+  let p = Feistel.create ~key:(Sha256.digest_string "k") ~domain:10 in
+  Alcotest.(check int) "domain" 10 (Feistel.domain p);
+  Alcotest.check_raises "out of domain" (Invalid_argument "Feistel: point out of domain")
+    (fun () -> ignore (Feistel.forward p 10))
+
+(* ------------------------------------------------------------------ *)
+(* Bloom filter *)
+
+let test_bloom_no_false_negatives () =
+  let key = Sha256.digest_string "bloom" in
+  let b = Bloom.sized_for ~key ~label:"t" ~expected:500 ~fp_rate:0.01 in
+  for x = 0 to 499 do
+    Bloom.add b (x * 7)
+  done;
+  for x = 0 to 499 do
+    Alcotest.(check bool) "member found" true (Bloom.mem b (x * 7))
+  done;
+  Alcotest.(check int) "count" 500 (Bloom.count b)
+
+let test_bloom_fp_rate () =
+  let key = Sha256.digest_string "bloom2" in
+  let b = Bloom.sized_for ~key ~label:"fp" ~expected:1000 ~fp_rate:0.01 in
+  for x = 0 to 999 do
+    Bloom.add b x
+  done;
+  let fp = ref 0 in
+  let probes = 10_000 in
+  for x = 1_000_000 to 1_000_000 + probes - 1 do
+    if Bloom.mem b x then incr fp
+  done;
+  let rate = float_of_int !fp /. float_of_int probes in
+  Alcotest.(check bool) (Printf.sprintf "fp rate %.4f < 0.03" rate) true (rate < 0.03);
+  Alcotest.(check bool) "estimate sane" true (Bloom.fp_estimate b < 0.03)
+
+let test_bloom_clear () =
+  let key = Sha256.digest_string "bloom3" in
+  let b = Bloom.create ~key ~label:"c" ~bits:128 ~hashes:3 in
+  Bloom.add b 1;
+  Bloom.clear b;
+  Alcotest.(check int) "count reset" 0 (Bloom.count b);
+  Alcotest.(check bool) "cleared" false (Bloom.mem b 1)
+
+let () =
+  Alcotest.run "crypto"
+    [ ( "sha256",
+        [ Alcotest.test_case "empty" `Quick test_sha256_empty;
+          Alcotest.test_case "abc" `Quick test_sha256_abc;
+          Alcotest.test_case "448 bits" `Quick test_sha256_448bits;
+          Alcotest.test_case "million a" `Slow test_sha256_million_a;
+          Alcotest.test_case "streaming" `Quick test_sha256_streaming_equals_oneshot ] );
+      ( "hmac",
+        [ Alcotest.test_case "rfc4231 case1" `Quick test_hmac_rfc4231_case1;
+          Alcotest.test_case "rfc4231 case2" `Quick test_hmac_rfc4231_case2;
+          Alcotest.test_case "rfc4231 case3" `Quick test_hmac_rfc4231_case3;
+          Alcotest.test_case "rfc4231 long key" `Quick test_hmac_rfc4231_long_key;
+          Alcotest.test_case "verify" `Quick test_hmac_verify;
+          Alcotest.test_case "derive labels" `Quick test_hmac_derive_labels ] );
+      ( "chacha20",
+        [ Alcotest.test_case "rfc8439 vector" `Quick test_chacha20_rfc8439;
+          chacha20_roundtrip;
+          Alcotest.test_case "nonce separation" `Quick test_chacha20_nonce_separation;
+          Alcotest.test_case "bad sizes" `Quick test_chacha20_bad_sizes ] );
+      ( "prf",
+        [ Alcotest.test_case "deterministic" `Quick test_prf_deterministic;
+          Alcotest.test_case "label separation" `Quick test_prf_label_separation;
+          prf_int_mod_range;
+          Alcotest.test_case "bytes length" `Quick test_prf_bytes_length;
+          Alcotest.test_case "indices" `Quick test_prf_indices ] );
+      ( "feistel",
+        [ feistel_bijective;
+          feistel_inverse;
+          Alcotest.test_case "key sensitivity" `Quick test_feistel_key_sensitivity;
+          Alcotest.test_case "domain checks" `Quick test_feistel_domain_checks ] );
+      ( "bloom",
+        [ Alcotest.test_case "no false negatives" `Quick test_bloom_no_false_negatives;
+          Alcotest.test_case "fp rate" `Slow test_bloom_fp_rate;
+          Alcotest.test_case "clear" `Quick test_bloom_clear ] ) ]

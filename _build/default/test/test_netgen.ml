@@ -1,0 +1,219 @@
+(* Road-network generation: exact node counts, road-like sparsity,
+   connectivity, determinism; DIMACS round-trips; Table 1 presets. *)
+
+module G = Psp_graph.Graph
+module S = Psp_netgen.Synthetic
+module P = Psp_netgen.Presets
+
+let qtest ?(count = 20) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let spec ?(nodes = 300) ?(edges = 340) ?(seed = 1) () =
+  { S.nodes; edges; width = 1000.0; height = 1000.0; seed }
+
+let is_connected g =
+  let spt = Psp_graph.Dijkstra.tree g ~source:0 in
+  Array.for_all (fun d -> d < infinity) spt.Psp_graph.Dijkstra.dist
+
+let test_exact_node_count () =
+  List.iter
+    (fun n ->
+      let g = S.generate (spec ~nodes:n ~edges:(n + (n / 8)) ()) in
+      Alcotest.(check int) "node count" n (G.node_count g))
+    [ 16; 100; 333; 1024 ]
+
+let test_edge_count_tolerance () =
+  let g = S.generate (spec ~nodes:500 ~edges:560 ()) in
+  let streets = G.edge_count g / 2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "street count %d within 2%% of 560" streets)
+    true
+    (abs (streets - 560) <= 560 / 50 + 2)
+
+let test_connected () =
+  List.iter
+    (fun seed -> Alcotest.(check bool) "connected" true (is_connected (S.generate (spec ~seed ()))))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_deterministic () =
+  let a = S.generate (spec ()) and b = S.generate (spec ()) in
+  Alcotest.(check int) "same nodes" (G.node_count a) (G.node_count b);
+  Alcotest.(check int) "same edges" (G.edge_count a) (G.edge_count b);
+  for v = 0 to G.node_count a - 1 do
+    Alcotest.(check (float 0.0)) "same coords" (G.x a v) (G.x b v)
+  done;
+  let c = S.generate (spec ~seed:99 ()) in
+  Alcotest.(check bool) "seed changes layout" true
+    (Array.init 20 (fun v -> G.x a v) <> Array.init 20 (fun v -> G.x c v))
+
+let test_weights_euclidean_admissible () =
+  let g = S.generate (spec ()) in
+  let scale = G.min_weight_per_distance g in
+  Alcotest.(check bool) "scale positive" true (scale > 0.0);
+  G.iter_edges g (fun e ->
+      Alcotest.(check bool) "weight >= scale * distance" true
+        (e.G.weight +. 1e-9 >= scale *. G.euclidean g e.G.src e.G.dst))
+
+let test_degree_small () =
+  let g = S.generate (spec ()) in
+  for v = 0 to G.node_count g - 1 do
+    Alcotest.(check bool) "degree bounded" true (G.out_degree g v <= 8)
+  done
+
+let generated_connected =
+  qtest "generated networks are connected and exact-sized"
+    QCheck2.Gen.(pair (int_range 16 400) (int_range 0 5000))
+    (fun (n, seed) ->
+      let g = S.generate { S.nodes = n; edges = n + (n / 10) + 2; width = 500.0; height = 500.0; seed } in
+      G.node_count g = n && is_connected g)
+
+let test_generate_validation () =
+  Alcotest.check_raises "tiny" (Invalid_argument "Synthetic.generate: nodes must be >= 4")
+    (fun () -> ignore (S.generate (spec ~nodes:2 ())));
+  Alcotest.check_raises "too few edges"
+    (Invalid_argument "Synthetic.generate: edges must be >= nodes - 1") (fun () ->
+      ignore (S.generate (spec ~nodes:100 ~edges:50 ())))
+
+let test_random_queries () =
+  let g = S.generate (spec ()) in
+  let q = S.random_queries g ~count:200 ~seed:5 in
+  Alcotest.(check int) "count" 200 (Array.length q);
+  Array.iter
+    (fun (s, t) ->
+      Alcotest.(check bool) "distinct endpoints" true (s <> t);
+      Alcotest.(check bool) "in range" true (s >= 0 && s < G.node_count g && t >= 0 && t < G.node_count g))
+    q
+
+(* ------------------------------------------------------------------ *)
+(* Workload distributions *)
+
+let test_workload_distributions () =
+  let g = S.generate (spec ()) in
+  let check dist =
+    let q = Psp_netgen.Workload.generate g dist ~count:80 ~seed:9 in
+    Alcotest.(check int) "count" 80 (Array.length q);
+    Array.iter (fun (s, t) -> Alcotest.(check bool) "s <> t" true (s <> t)) q;
+    q
+  in
+  ignore (check Psp_netgen.Workload.Uniform);
+  let local = check (Psp_netgen.Workload.Local { radius = 150.0 }) in
+  let mean_dist qs =
+    Psp_util.Stats.mean (Array.map (fun (s, t) -> G.euclidean g s t) qs)
+  in
+  let uniform = check Psp_netgen.Workload.Uniform in
+  Alcotest.(check bool) "local queries are shorter" true
+    (mean_dist local < mean_dist uniform);
+  let repeated = check (Psp_netgen.Workload.Repeated { distinct = 3 }) in
+  Alcotest.(check int) "only 3 distinct pairs" 3
+    (List.length (List.sort_uniq compare (Array.to_list repeated)));
+  ignore (check (Psp_netgen.Workload.Commute { hubs = 2 }));
+  Alcotest.(check string) "describe" "commute(2 hubs)"
+    (Psp_netgen.Workload.describe (Psp_netgen.Workload.Commute { hubs = 2 }))
+
+let test_workload_validation () =
+  let g = S.generate (spec ()) in
+  List.iter
+    (fun dist ->
+      match Psp_netgen.Workload.generate g dist ~count:1 ~seed:0 with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "expected Invalid_argument")
+    [ Psp_netgen.Workload.Local { radius = 0.0 };
+      Psp_netgen.Workload.Commute { hubs = 0 };
+      Psp_netgen.Workload.Repeated { distinct = 0 } ]
+
+(* ------------------------------------------------------------------ *)
+(* Presets (Table 1) *)
+
+let test_preset_table1_counts () =
+  Alcotest.(check int) "Oldenburg nodes" 6_105 (P.paper_nodes P.Oldenburg);
+  Alcotest.(check int) "Oldenburg edges" 7_029 (P.paper_edges P.Oldenburg);
+  Alcotest.(check int) "Germany nodes" 28_867 (P.paper_nodes P.Germany);
+  Alcotest.(check int) "Argentina edges" 88_357 (P.paper_edges P.Argentina);
+  Alcotest.(check int) "Denmark nodes" 136_377 (P.paper_nodes P.Denmark);
+  Alcotest.(check int) "India edges" 155_483 (P.paper_edges P.India);
+  Alcotest.(check int) "North America nodes" 175_813 (P.paper_nodes P.North_america);
+  Alcotest.(check int) "six networks" 6 (Array.length P.all)
+
+let test_preset_scaling () =
+  let s = P.spec ~scale:10.0 P.Germany in
+  Alcotest.(check int) "scaled nodes" 2_886 s.S.nodes;
+  let g = P.graph ~scale:32.0 P.Oldenburg in
+  Alcotest.(check int) "generated at scale" (6105 / 32) (G.node_count g);
+  Alcotest.(check bool) "connected" true (is_connected g)
+
+let test_preset_names () =
+  Alcotest.(check (option bool)) "of_string old" (Some true)
+    (Option.map (fun n -> n = P.Oldenburg) (P.of_string "old"));
+  Alcotest.(check (option bool)) "of_string Nor." (Some true)
+    (Option.map (fun n -> n = P.North_america) (P.of_string "Nor."));
+  Alcotest.(check bool) "unknown" true (P.of_string "mars" = None);
+  Alcotest.(check string) "short" "Arg." (P.short_name P.Argentina);
+  Alcotest.(check string) "full" "North America" (P.full_name P.North_america)
+
+(* ------------------------------------------------------------------ *)
+(* DIMACS *)
+
+let test_dimacs_roundtrip () =
+  let g = S.generate (spec ~nodes:60 ~edges:70 ()) in
+  let gr, co = Psp_netgen.Dimacs.render g ~comment:"roundtrip test" in
+  let g' = Psp_netgen.Dimacs.parse ~gr ~co in
+  Alcotest.(check int) "nodes" (G.node_count g) (G.node_count g');
+  Alcotest.(check int) "edges" (G.edge_count g) (G.edge_count g');
+  (* weights are rounded to DIMACS integers; compare coarsely *)
+  for v = 0 to G.node_count g - 1 do
+    Alcotest.(check bool) "coords close" true
+      (Float.abs (G.x g v -. G.x g' v) <= 0.51 && Float.abs (G.y g v -. G.y g' v) <= 0.51)
+  done
+
+let test_dimacs_parse_minimal () =
+  let gr = "c tiny\np sp 2 1\na 1 2 5\n" in
+  let co = "c tiny\np aux sp co 2\nv 1 0 0\nv 2 3 4\n" in
+  let g = Psp_netgen.Dimacs.parse ~gr ~co in
+  Alcotest.(check int) "nodes" 2 (G.node_count g);
+  Alcotest.(check (float 1e-9)) "weight" 5.0 (Psp_graph.Dijkstra.distance g 0 1);
+  Alcotest.(check bool) "one way" true (Psp_graph.Dijkstra.distance g 1 0 = infinity)
+
+let test_dimacs_errors () =
+  let check_fails gr co =
+    match Psp_netgen.Dimacs.parse ~gr ~co with
+    | exception Psp_netgen.Dimacs.Parse_error _ -> ()
+    | _ -> Alcotest.fail "expected Parse_error"
+  in
+  check_fails "a 1 9 5\n" "v 1 0 0\n";
+  check_fails "a 1 2\n" "v 1 0 0\nv 2 0 0\n";
+  check_fails "a 1 2 0\n" "v 1 0 0\nv 2 0 0\n";
+  check_fails "" "p aux sp co 3\nv 1 0 0\n"
+
+let test_dimacs_files () =
+  let g = S.generate (spec ~nodes:30 ~edges:35 ()) in
+  let gr_path = Filename.temp_file "psp" ".gr" and co_path = Filename.temp_file "psp" ".co" in
+  Psp_netgen.Dimacs.write_files g ~comment:"t" ~gr_path ~co_path;
+  let g' = Psp_netgen.Dimacs.parse_files ~gr_path ~co_path in
+  Sys.remove gr_path;
+  Sys.remove co_path;
+  Alcotest.(check int) "roundtrip via files" (G.node_count g) (G.node_count g')
+
+let () =
+  Alcotest.run "netgen"
+    [ ( "synthetic",
+        [ Alcotest.test_case "exact node count" `Quick test_exact_node_count;
+          Alcotest.test_case "edge tolerance" `Quick test_edge_count_tolerance;
+          Alcotest.test_case "connected" `Quick test_connected;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "admissible weights" `Quick test_weights_euclidean_admissible;
+          Alcotest.test_case "small degrees" `Quick test_degree_small;
+          generated_connected;
+          Alcotest.test_case "validation" `Quick test_generate_validation;
+          Alcotest.test_case "random queries" `Quick test_random_queries ] );
+      ( "workload",
+        [ Alcotest.test_case "distributions" `Quick test_workload_distributions;
+          Alcotest.test_case "validation" `Quick test_workload_validation ] );
+      ( "presets",
+        [ Alcotest.test_case "table 1 counts" `Quick test_preset_table1_counts;
+          Alcotest.test_case "scaling" `Quick test_preset_scaling;
+          Alcotest.test_case "names" `Quick test_preset_names ] );
+      ( "dimacs",
+        [ Alcotest.test_case "roundtrip" `Quick test_dimacs_roundtrip;
+          Alcotest.test_case "parse minimal" `Quick test_dimacs_parse_minimal;
+          Alcotest.test_case "errors" `Quick test_dimacs_errors;
+          Alcotest.test_case "file roundtrip" `Quick test_dimacs_files ] ) ]

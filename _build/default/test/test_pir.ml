@@ -1,0 +1,426 @@
+(* PIR substrate: Table 2 cost model, square-root ORAM obliviousness and
+   correctness, server session accounting and the adversary trace. *)
+
+module CM = Psp_pir.Cost_model
+module OS = Psp_pir.Oblivious_store
+module Server = Psp_pir.Server
+module Session = Psp_pir.Server.Session
+module Trace = Psp_pir.Trace
+module PF = Psp_storage.Page_file
+
+let key = Psp_crypto.Sha256.digest_string "test key"
+
+let make_file ?(name = "data") ~pages ~page_size () =
+  let f = PF.create ~name ~page_size in
+  for i = 0 to pages - 1 do
+    ignore (PF.append f (Bytes.of_string (Printf.sprintf "page-%06d" i)))
+  done;
+  f
+
+(* ------------------------------------------------------------------ *)
+(* Cost model *)
+
+let test_table2_constants () =
+  let c = CM.ibm4764 in
+  Alcotest.(check int) "page size" 4096 c.CM.page_size;
+  Alcotest.(check (float 0.0)) "seek" 0.011 c.CM.disk_seek;
+  Alcotest.(check (float 0.0)) "rtt" 0.7 c.CM.rtt;
+  Alcotest.(check int) "scp ram" (32 * 1024 * 1024) c.CM.scp_memory
+
+let test_page_op_cost () =
+  (* dominated by the 11 ms seek; crypto adds ~0.8 ms *)
+  let t = CM.page_op_seconds CM.ibm4764 in
+  Alcotest.(check bool) (Printf.sprintf "%.4fs in [0.011, 0.013]" t) true
+    (t >= 0.011 && t <= 0.013)
+
+let test_pir_1s_per_gb () =
+  (* the paper: ~1 second per retrieval from a 1 GByte file *)
+  let pages = 1_000_000_000 / 4096 in
+  let t = CM.pir_fetch_seconds CM.ibm4764 ~file_pages:pages in
+  Alcotest.(check bool) (Printf.sprintf "%.2fs within [0.8, 1.2]" t) true
+    (t >= 0.8 && t <= 1.2)
+
+let test_pir_monotone () =
+  let f n = CM.pir_fetch_seconds CM.ibm4764 ~file_pages:n in
+  Alcotest.(check bool) "larger file costs more" true (f 100_000 > f 1_000);
+  Alcotest.(check bool) "small file costs at least one op" true
+    (f 2 >= CM.page_op_seconds CM.ibm4764)
+
+let test_max_file_2_5gb () =
+  (* 32 MB SCP RAM, c = 10: the paper quotes a 2.5 GByte bound *)
+  let limit = CM.max_file_bytes CM.ibm4764 in
+  Alcotest.(check bool)
+    (Printf.sprintf "limit %.2f GB in [2.3, 3.0]" (float_of_int limit /. 1e9))
+    true
+    (limit >= 2_300_000_000 && limit <= 3_000_000_000);
+  Alcotest.(check bool) "supports 1GB" true (CM.supports_file CM.ibm4764 ~bytes:1_000_000_000);
+  Alcotest.(check bool) "rejects 5GB" false (CM.supports_file CM.ibm4764 ~bytes:5_000_000_000)
+
+let test_scp_memory_needed () =
+  let c = CM.ibm4764 in
+  let need = CM.scp_memory_needed c ~file_pages:10_000 in
+  Alcotest.(check int) "c*sqrt(N) pages" (10 * 100 * 4096) need
+
+let test_with_max_file () =
+  let c = CM.with_max_file CM.ibm4764 ~bytes:10_000_000 in
+  let limit = CM.max_file_bytes c in
+  Alcotest.(check bool)
+    (Printf.sprintf "rescaled limit %d ~ 10MB" limit)
+    true
+    (abs (limit - 10_000_000) < 1_000_000)
+
+let test_transfer_time () =
+  (* 48 KB at 48 KB/s = 1 s *)
+  Alcotest.(check (float 1e-9)) "1s" 1.0 (CM.transfer_seconds CM.ibm4764 ~bytes:48_000)
+
+(* ------------------------------------------------------------------ *)
+(* Oblivious store *)
+
+let test_store_reads_correct () =
+  let f = make_file ~pages:37 ~page_size:64 () in
+  let s = OS.create ~key f in
+  Alcotest.(check int) "pages" 37 (OS.page_count s);
+  for round = 1 to 3 do
+    ignore round;
+    for i = 0 to 36 do
+      let got = OS.read s i in
+      Alcotest.(check string) "content" (Printf.sprintf "page-%06d" i)
+        (Bytes.to_string (Bytes.sub got 0 11))
+    done
+  done
+
+let test_store_repeated_reads () =
+  let f = make_file ~pages:25 ~page_size:32 () in
+  let s = OS.create ~key f in
+  for _ = 1 to 40 do
+    let got = OS.read s 7 in
+    Alcotest.(check string) "same page every time" "page-000007"
+      (Bytes.to_string (Bytes.sub got 0 11))
+  done
+
+let slots_of_epoch events epoch =
+  List.filter_map
+    (function
+      | OS.Slot { epoch = e; slot } when e = epoch -> Some slot
+      | _ -> None)
+    events
+
+let all_distinct l = List.length (List.sort_uniq compare l) = List.length l
+
+let test_store_no_slot_repeats_within_epoch () =
+  let f = make_file ~pages:50 ~page_size:32 () in
+  let s = OS.create ~key f in
+  (* heavily repeated logical pattern *)
+  for _ = 1 to 30 do
+    ignore (OS.read s 3)
+  done;
+  let events = OS.physical_trace s in
+  for e = 0 to OS.epoch s do
+    Alcotest.(check bool) "distinct slots per epoch" true (all_distinct (slots_of_epoch events e))
+  done
+
+let trace_shape events =
+  (* the adversary's view reduced to structure: per-event tag and epoch *)
+  List.map (function OS.Slot { epoch; _ } -> `S epoch | OS.Reshuffle { epoch } -> `R epoch) events
+
+let test_store_pattern_independent_shape () =
+  (* two very different logical sequences of the same length must give
+     structurally identical physical traces *)
+  let mk () = OS.create ~key (make_file ~pages:40 ~page_size:32 ()) in
+  let s1 = mk () and s2 = mk () in
+  for i = 0 to 59 do
+    ignore (OS.read s1 (i mod 40)); (* scan *)
+    ignore (OS.read s2 0) (* hammer one page *)
+  done;
+  Alcotest.(check bool) "same shape" true
+    (trace_shape (OS.physical_trace s1) = trace_shape (OS.physical_trace s2));
+  Alcotest.(check int) "same epoch count" (OS.epoch s1) (OS.epoch s2)
+
+let test_store_reshuffle_cadence () =
+  let f = make_file ~pages:16 ~page_size:32 () in
+  let s = OS.create ~key f in
+  let cap = OS.shelter_capacity s in
+  for _ = 1 to cap do
+    ignore (OS.read s 1)
+  done;
+  Alcotest.(check int) "one reshuffle after shelter fills" 1 (OS.epoch s)
+
+let test_store_key_changes_slots () =
+  let f = make_file ~pages:30 ~page_size:32 () in
+  let s1 = OS.create ~key f in
+  let s2 = OS.create ~key:(Psp_crypto.Sha256.digest_string "other") f in
+  let probe s = List.filter_map (function OS.Slot { slot; _ } -> Some slot | _ -> None)
+                  (ignore (OS.read s 0); ignore (OS.read s 1); ignore (OS.read s 2);
+                   OS.physical_trace s) in
+  Alcotest.(check bool) "different keys -> different slots" true (probe s1 <> probe s2)
+
+let test_store_tamper_detection () =
+  let f = make_file ~pages:20 ~page_size:32 () in
+  let s = OS.create ~key f in
+  (* honest reads fine, then the host corrupts every slot *)
+  ignore (OS.read s 0);
+  for slot = 0 to OS.slot_count s - 1 do
+    OS.corrupt_slot s ~slot
+  done;
+  let caught = ref false in
+  (try
+     for i = 1 to 19 do
+       ignore (OS.read s i)
+     done
+   with OS.Tampering_detected _ -> caught := true);
+  Alcotest.(check bool) "tampering detected" true !caught
+
+let test_store_bounds () =
+  let f = make_file ~pages:4 ~page_size:32 () in
+  let s = OS.create ~key f in
+  Alcotest.check_raises "oob" (Invalid_argument "Oblivious_store.read: page out of range")
+    (fun () -> ignore (OS.read s 4))
+
+let oram_random_sequences =
+  (* over random logical access sequences: both stores stay correct and
+     their host-visible slots stay distinct within each epoch *)
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:25 ~name:"oram correct under random sequences"
+       QCheck2.Gen.(
+         let* pages = int_range 5 40 in
+         let* len = int_range 1 80 in
+         let* seed = int_range 0 10_000 in
+         return (pages, len, seed))
+       (fun (pages, len, seed) ->
+         let f = make_file ~pages ~page_size:32 () in
+         let s = OS.create ~key f in
+         let rng = Psp_util.Rng.create seed in
+         let ok = ref true in
+         for _ = 1 to len do
+           let i = Psp_util.Rng.int rng pages in
+           let got = Bytes.to_string (Bytes.sub (OS.read s i) 0 11) in
+           if got <> Printf.sprintf "page-%06d" i then ok := false
+         done;
+         (* distinctness within epochs *)
+         let seen = Hashtbl.create 64 in
+         List.iter
+           (function
+             | OS.Slot { epoch; slot } ->
+                 if Hashtbl.mem seen (epoch, slot) then ok := false
+                 else Hashtbl.replace seen (epoch, slot) ()
+             | OS.Reshuffle _ -> ())
+           (OS.physical_trace s);
+         !ok))
+
+(* ------------------------------------------------------------------ *)
+(* Pyramid (hierarchical) store *)
+
+(* a tiny model so tests can hand-check the arithmetic *)
+let small_cost = { CM.ibm4764 with CM.page_size = 64 }
+
+module PS = Psp_pir.Pyramid_store
+
+let test_pyramid_reads_correct () =
+  let f = make_file ~pages:60 ~page_size:32 () in
+  let s = PS.create ~key f in
+  Alcotest.(check int) "pages" 60 (PS.page_count s);
+  Alcotest.(check bool) "multiple levels" true (PS.level_count s >= 2);
+  let rng = Psp_util.Rng.create 3 in
+  for q = 1 to 400 do
+    let i = if q mod 4 = 0 then 9 else Psp_util.Rng.int rng 60 in
+    let got = PS.read s i in
+    Alcotest.(check string) "content" (Printf.sprintf "page-%06d" i)
+      (Bytes.to_string (Bytes.sub got 0 11))
+  done
+
+let pyramid_shape events =
+  List.map
+    (function
+      | PS.Slot { level; epoch; _ } -> `S (level, epoch)
+      | PS.Rebuild { level; items } -> `R (level, items))
+    events
+
+let test_pyramid_pattern_independent () =
+  let f = make_file ~pages:50 ~page_size:32 () in
+  let mk () = PS.create ~key f in
+  let s1 = mk () and s2 = mk () in
+  for i = 0 to 149 do
+    ignore (PS.read s1 (i mod 50));
+    ignore (PS.read s2 0)
+  done;
+  Alcotest.(check bool) "same host-visible shape" true
+    (pyramid_shape (PS.physical_trace s1) = pyramid_shape (PS.physical_trace s2))
+
+let test_pyramid_no_slot_repeats () =
+  let f = make_file ~pages:40 ~page_size:32 () in
+  let s = PS.create ~key f in
+  let rng = Psp_util.Rng.create 8 in
+  for _ = 1 to 200 do
+    ignore (PS.read s (Psp_util.Rng.int rng 40))
+  done;
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (function
+      | PS.Slot { level; epoch; slot } ->
+          let k = (level, epoch) in
+          let seen = Option.value ~default:[] (Hashtbl.find_opt tbl k) in
+          Alcotest.(check bool) "slot fresh within level epoch" false (List.mem slot seen);
+          Hashtbl.replace tbl k (slot :: seen)
+      | PS.Rebuild _ -> ())
+    (PS.physical_trace s)
+
+let test_pyramid_one_touch_per_level () =
+  let f = make_file ~pages:30 ~page_size:32 () in
+  let s = PS.create ~key f in
+  PS.clear_trace s;
+  ignore (PS.read s 5);
+  let slots =
+    List.filter_map
+      (function PS.Slot { level; _ } -> Some level | PS.Rebuild _ -> None)
+      (PS.physical_trace s)
+  in
+  Alcotest.(check int) "one slot per level" (PS.level_count s) (List.length slots);
+  Alcotest.(check (list int)) "top-down order" (List.init (PS.level_count s) (fun i -> i + 1))
+    slots
+
+let test_pyramid_server_mode () =
+  let f = make_file ~pages:20 ~page_size:64 () in
+  let server = Server.create ~mode:`Pyramid ~cost:small_cost ~key [ f ] in
+  let s = Session.start server in
+  for i = 0 to 19 do
+    let got = Session.fetch s ~file:"data" ~page:i in
+    Alcotest.(check string) "pyramid-served read" (Printf.sprintf "page-%06d" i)
+      (Bytes.to_string (Bytes.sub got 0 11))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Server sessions *)
+
+let test_server_fetch_accounting () =
+  let f = make_file ~pages:10 ~page_size:64 () in
+  let server = Server.create ~cost:small_cost ~key [ f ] in
+  let s = Session.start server in
+  ignore (Session.fetch s ~file:"data" ~page:3);
+  Session.next_round s;
+  ignore (Session.fetch s ~file:"data" ~page:4);
+  ignore (Session.fetch s ~file:"data" ~page:4);
+  let stats = Session.finish s in
+  Alcotest.(check int) "rounds" 2 stats.Session.rounds;
+  Alcotest.(check (list (pair string int))) "fetch counts" [ ("data", 3) ]
+    stats.Session.pir_fetches;
+  let expected_pir = 3.0 *. CM.pir_fetch_seconds small_cost ~file_pages:10 in
+  Alcotest.(check (float 1e-9)) "pir time" expected_pir stats.Session.pir_seconds;
+  let expected_comm =
+    (2.0 *. small_cost.CM.rtt) +. (3.0 *. CM.transfer_seconds small_cost ~bytes:64)
+  in
+  Alcotest.(check (float 1e-9)) "comm time" expected_comm stats.Session.comm_seconds
+
+let test_server_trace_hides_pages () =
+  let f = make_file ~pages:10 ~page_size:64 () in
+  let server = Server.create ~cost:small_cost ~key [ f ] in
+  let run pages =
+    let s = Session.start server in
+    List.iter (fun p -> ignore (Session.fetch s ~file:"data" ~page:p)) pages;
+    (Session.finish s).Session.trace
+  in
+  (* different page numbers, same trace *)
+  Alcotest.(check bool) "same view" true (Trace.equal (run [ 1; 2; 3 ]) (run [ 9; 9; 0 ]))
+
+let test_server_oblivious_mode () =
+  let f = make_file ~pages:12 ~page_size:64 () in
+  let server = Server.create ~mode:`Oblivious ~cost:small_cost ~key [ f ] in
+  let s = Session.start server in
+  for i = 0 to 11 do
+    let got = Session.fetch s ~file:"data" ~page:i in
+    Alcotest.(check string) "oblivious read correct" (Printf.sprintf "page-%06d" i)
+      (Bytes.to_string (Bytes.sub got 0 11))
+  done
+
+let test_server_file_too_large () =
+  let cost = CM.with_max_file small_cost ~bytes:(64 * 4) in
+  let f = make_file ~pages:100 ~page_size:64 () in
+  match Server.create ~cost ~key [ f ] with
+  | exception Server.File_too_large { file; _ } -> Alcotest.(check string) "file" "data" file
+  | _ -> Alcotest.fail "expected File_too_large"
+
+let test_server_duplicate_names () =
+  let a = make_file ~pages:1 ~page_size:64 () in
+  let b = make_file ~pages:1 ~page_size:64 () in
+  Alcotest.check_raises "dup" (Invalid_argument "Server.create: duplicate file \"data\"")
+    (fun () -> ignore (Server.create ~cost:small_cost ~key [ a; b ]))
+
+let test_server_download () =
+  let f = make_file ~name:"header" ~pages:3 ~page_size:64 () in
+  let server = Server.create ~cost:small_cost ~key [ f ] in
+  let s = Session.start server in
+  let pages = Session.download s ~file:"header" in
+  Alcotest.(check int) "all pages" 3 (Array.length pages);
+  let stats = Session.finish s in
+  Alcotest.(check (float 1e-9)) "no pir" 0.0 stats.Session.pir_seconds;
+  let expected = small_cost.CM.rtt +. CM.transfer_seconds small_cost ~bytes:(3 * 64) in
+  Alcotest.(check (float 1e-9)) "download comm" expected stats.Session.comm_seconds
+
+let test_server_plain_fetch () =
+  let f = make_file ~pages:5 ~page_size:64 () in
+  let server = Server.create ~cost:small_cost ~key [ f ] in
+  let s = Session.start server in
+  ignore (Session.plain_fetch s ~file:"data" ~page:2);
+  let stats = Session.finish s in
+  Alcotest.(check bool) "server cpu charged" true (stats.Session.server_cpu_seconds > 0.0);
+  Alcotest.(check (list (pair string int))) "not a pir fetch" [] stats.Session.pir_fetches
+
+(* ------------------------------------------------------------------ *)
+(* Trace *)
+
+let test_trace_fingerprint_and_counts () =
+  let t = Trace.create () in
+  Trace.record t (Trace.Plain_download { round = 1; file = "header"; pages = 2 });
+  Trace.record t (Trace.Pir_fetch { round = 2; file = "lookup" });
+  Trace.record t (Trace.Pir_fetch { round = 3; file = "index" });
+  Trace.record t (Trace.Pir_fetch { round = 3; file = "index" });
+  Alcotest.(check int) "length" 4 (Trace.length t);
+  Alcotest.(check (list (pair (pair int string) int))) "counts"
+    [ ((2, "lookup"), 1); ((3, "index"), 2) ]
+    (Trace.per_round_file_counts t);
+  let t2 = Trace.create () in
+  Trace.record t2 (Trace.Plain_download { round = 1; file = "header"; pages = 2 });
+  Trace.record t2 (Trace.Pir_fetch { round = 2; file = "lookup" });
+  Trace.record t2 (Trace.Pir_fetch { round = 3; file = "index" });
+  Trace.record t2 (Trace.Pir_fetch { round = 3; file = "index" });
+  Alcotest.(check string) "fingerprint equal" (Trace.fingerprint t) (Trace.fingerprint t2);
+  Alcotest.(check bool) "equal" true (Trace.equal t t2);
+  Trace.record t2 (Trace.Pir_fetch { round = 4; file = "data" });
+  Alcotest.(check bool) "prefix not equal" false (Trace.equal t t2)
+
+let () =
+  Alcotest.run "pir"
+    [ ( "cost_model",
+        [ Alcotest.test_case "table 2" `Quick test_table2_constants;
+          Alcotest.test_case "page op" `Quick test_page_op_cost;
+          Alcotest.test_case "1s per GB" `Quick test_pir_1s_per_gb;
+          Alcotest.test_case "monotone" `Quick test_pir_monotone;
+          Alcotest.test_case "2.5GB cap" `Quick test_max_file_2_5gb;
+          Alcotest.test_case "scp memory" `Quick test_scp_memory_needed;
+          Alcotest.test_case "with_max_file" `Quick test_with_max_file;
+          Alcotest.test_case "transfer" `Quick test_transfer_time ] );
+      ( "oblivious_store",
+        [ Alcotest.test_case "reads correct" `Quick test_store_reads_correct;
+          Alcotest.test_case "repeated reads" `Quick test_store_repeated_reads;
+          Alcotest.test_case "no slot repeats" `Quick test_store_no_slot_repeats_within_epoch;
+          Alcotest.test_case "pattern-independent shape" `Quick test_store_pattern_independent_shape;
+          Alcotest.test_case "reshuffle cadence" `Quick test_store_reshuffle_cadence;
+          Alcotest.test_case "key sensitivity" `Quick test_store_key_changes_slots;
+          Alcotest.test_case "tamper detection" `Quick test_store_tamper_detection;
+          Alcotest.test_case "bounds" `Quick test_store_bounds;
+          oram_random_sequences ] );
+      ( "pyramid_store",
+        [ Alcotest.test_case "reads correct" `Quick test_pyramid_reads_correct;
+          Alcotest.test_case "pattern independent" `Quick test_pyramid_pattern_independent;
+          Alcotest.test_case "no slot repeats" `Quick test_pyramid_no_slot_repeats;
+          Alcotest.test_case "one touch per level" `Quick test_pyramid_one_touch_per_level;
+          Alcotest.test_case "server mode" `Quick test_pyramid_server_mode ] );
+      ( "server",
+        [ Alcotest.test_case "fetch accounting" `Quick test_server_fetch_accounting;
+          Alcotest.test_case "trace hides pages" `Quick test_server_trace_hides_pages;
+          Alcotest.test_case "oblivious mode" `Quick test_server_oblivious_mode;
+          Alcotest.test_case "file too large" `Quick test_server_file_too_large;
+          Alcotest.test_case "duplicate names" `Quick test_server_duplicate_names;
+          Alcotest.test_case "download" `Quick test_server_download;
+          Alcotest.test_case "plain fetch" `Quick test_server_plain_fetch ] );
+      ( "trace",
+        [ Alcotest.test_case "fingerprint/counts" `Quick test_trace_fingerprint_and_counts ] ) ]
