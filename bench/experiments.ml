@@ -361,3 +361,45 @@ let extras env =
         Psp_netgen.Workload.Repeated { distinct = 2 } ]
   in
   table ~columns:[ "workload"; "mean response (s)"; "distinct server views" ] rows
+
+(* ------------------------------------------------------------------ *)
+(* Resilience: cost of oblivious retry/recovery under fault injection *)
+
+let resilience env =
+  header_line "Resilience: retry counts and recovery overhead under faults";
+  let preset = P.Oldenburg in
+  let g = graph env preset in
+  let entries =
+    [ ("CI", DB.build_ci ~page_size:env.page_size g);
+      ("PI", DB.build_pi ~page_size:env.page_size g);
+      ("HY", tuned_hy env preset);
+      ("PI*", tuned_pi_star env preset) ]
+  in
+  (* every query replays this schedule (Harness.run rewinds it), so the
+     injected faults are query-independent and traces stay equal *)
+  let schedule = "pir.fetch.transient=hits:2,7 + pir.fetch.corrupt=hits:11" in
+  Printf.printf "fault schedule: %s\n" schedule;
+  let rows =
+    List.map
+      (fun (name, db) ->
+        let baseline = run env preset db in
+        Psp_fault.Fault.arm "pir.fetch.transient" (Psp_fault.Fault.Hits [ 2; 7 ]);
+        Psp_fault.Fault.arm "pir.fetch.corrupt" (Psp_fault.Fault.Hits [ 11 ]);
+        let faulted = run env preset db in
+        Psp_fault.Fault.reset ();
+        let base_t = Response_time.total baseline.time in
+        let fault_t = Response_time.total faulted.time in
+        [ name;
+          Printf.sprintf "%d" faulted.retries;
+          Printf.sprintf "%.2f" (float_of_int faulted.retries /. float_of_int faulted.total);
+          seconds (faulted.recovery_seconds /. float_of_int faulted.total);
+          Printf.sprintf "%+.1f%%" (100.0 *. (fault_t -. base_t) /. base_t);
+          Printf.sprintf "%d/%d" faulted.correct faulted.total;
+          string_of_int faulted.unavailable ])
+      entries
+  in
+  table
+    ~columns:
+      [ "method"; "retries"; "retries/query"; "recovery (s/query)"; "overhead";
+        "correct"; "unavailable" ]
+    rows

@@ -88,6 +88,9 @@ type measurement = {
   index_pages : int;
   correct : int;                  (** queries matching the Dijkstra oracle *)
   total : int;
+  retries : int;                  (** recovery attempts across the workload *)
+  recovery_seconds : float;       (** total simulated backoff spent recovering *)
+  unavailable : int;              (** queries that exhausted the retry budget *)
 }
 
 exception Infeasible of string
@@ -124,10 +127,17 @@ let run env preset db =
   let queries = workload env preset in
   let times = ref [] in
   let correct = ref 0 in
+  let retries = ref 0 and recovery = ref 0.0 and unavailable = ref 0 in
   Array.iter
     (fun (s, t) ->
+      (* replay any armed fault schedule identically for every query, so
+         workloads under injection stay trace-indistinguishable *)
+      if Psp_fault.Fault.active () then Psp_fault.Fault.rewind ();
       let r = Client.query_nodes server g s t in
       times := Response_time.of_result r :: !times;
+      retries := !retries + r.Client.stats.Psp_pir.Server.Session.retries;
+      recovery := !recovery +. r.Client.stats.Psp_pir.Server.Session.recovery_seconds;
+      (match r.Client.status with Client.Unavailable _ -> incr unavailable | _ -> ());
       let truth = Psp_graph.Dijkstra.distance g s t in
       match r.Client.path with
       | Some (_, got) when Float.abs (got -. truth) <= 1e-3 *. Float.max 1.0 truth ->
@@ -142,7 +152,10 @@ let run env preset db =
     data_pages = PF.page_count db.DB.data;
     index_pages = (match db.DB.index with Some f -> PF.page_count f | None -> 0);
     correct = !correct;
-    total = Array.length queries }
+    total = Array.length queries;
+    retries = !retries;
+    recovery_seconds = !recovery;
+    unavailable = !unavailable }
 
 (* ------------------------------------------------------------------ *)
 (* Baseline tuning (§7.2): pick the parameter giving the best response

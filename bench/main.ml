@@ -20,6 +20,7 @@ let all_experiments : (string * string * (Harness.env -> unit)) list =
     ("f11", "Figure 11: PI* cluster size", Experiments.figure11);
     ("f12", "Figure 12: larger networks", Experiments.figure12);
     ("extras", "extra ablations", Experiments.extras);
+    ("resilience", "resilience: retry cost under fault injection", Experiments.resilience);
     ("kernels", "bechamel kernel micro-benchmarks", fun env -> Kernels.run env) ]
 
 let run_experiments env selected =

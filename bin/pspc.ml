@@ -47,6 +47,37 @@ let page_size_arg =
   let doc = "Disk page size in bytes." in
   Arg.(value & opt int 4096 & info [ "page-size" ] ~doc)
 
+let fault_arg =
+  let doc =
+    "Arm a failpoint (repeatable).  SPEC is point=schedule with schedule one of \
+     never, always, first:N, hits:N,N,..., p:F — e.g. \
+     --fault pir.fetch.transient=hits:2,5.  See DESIGN.md for the failpoint list."
+  in
+  Arg.(value & opt_all string [] & info [ "fault" ] ~doc ~docv:"SPEC")
+
+let fault_seed_arg =
+  let doc = "Seed for probabilistic (p:F) fault schedules." in
+  Arg.(value & opt int 2012 & info [ "fault-seed" ] ~doc)
+
+let arm_faults specs seed =
+  Psp_fault.Fault.reset ();
+  List.iter
+    (fun spec ->
+      match Psp_fault.Fault.arm_spec ~seed spec with
+      | Ok () -> ()
+      | Error e -> failwith (Printf.sprintf "bad --fault %S: %s" spec e))
+    specs
+
+let report_status (r : Psp_core.Client.result) =
+  match r.Psp_core.Client.status with
+  | Psp_core.Client.Served -> ()
+  | Psp_core.Client.Degraded { retries } ->
+      Printf.printf "  degraded: recovered from faults with %d retries (%.2fs backoff)\n"
+        retries r.Psp_core.Client.stats.Psp_pir.Server.Session.recovery_seconds
+  | Psp_core.Client.Unavailable { point; attempts } ->
+      Printf.printf "  UNAVAILABLE: gave up after %d attempts at failpoint %s\n" attempts
+        point
+
 let load_network preset preset_scale gr co seed =
   match (preset, gr, co) with
   | Some name, None, None -> (
@@ -161,7 +192,7 @@ let query_cmd =
   let oblivious =
     Arg.(value & flag & info [ "oblivious" ] ~doc:"Serve through the real ORAM.")
   in
-  let run preset preset_scale gr co seed scheme page_size s t oblivious =
+  let run preset preset_scale gr co seed scheme page_size s t oblivious faults fault_seed =
     let g = load_network preset preset_scale gr co seed in
     let db = build_database g scheme page_size seed in
     let mode = if oblivious then `Oblivious else `Simulated in
@@ -169,10 +200,12 @@ let query_cmd =
       Psp_pir.Server.create ~mode ~cost:Psp_pir.Cost_model.ibm4764
         ~key:(Psp_crypto.Sha256.digest_string "pspc") (DB.files db)
     in
+    arm_faults faults fault_seed;
     let rng = Psp_util.Rng.create seed in
     let s = Option.value ~default:(Psp_util.Rng.int rng (G.node_count g)) s in
     let t = Option.value ~default:(Psp_util.Rng.int rng (G.node_count g)) t in
     let r = Psp_core.Client.query_nodes server g s t in
+    Psp_fault.Fault.reset ();
     (match r.Psp_core.Client.path with
     | None -> Printf.printf "no path from %d to %d\n" s t
     | Some (nodes, cost) ->
@@ -182,6 +215,7 @@ let query_cmd =
         Printf.printf "  oracle cost %.2f (%s)\n" truth
           (if Float.abs (cost -. truth) <= 1e-3 *. Float.max 1.0 truth then "match"
            else "MISMATCH"));
+    report_status r;
     let rt = Psp_core.Response_time.of_result r in
     Format.printf "  simulated response: %a@." Psp_core.Response_time.pp rt
   in
@@ -189,44 +223,67 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Run one private shortest-path query end to end")
     Term.(
       const run $ preset_arg $ preset_scale $ gr_arg $ co_arg $ seed_arg $ scheme_arg
-      $ page_size_arg $ s_arg $ t_arg $ oblivious)
+      $ page_size_arg $ s_arg $ t_arg $ oblivious $ fault_arg $ fault_seed_arg)
 
 (* ------------------------------------------------------------------ *)
 (* trace *)
 
 let trace_cmd =
   let count = Arg.(value & opt int 5 & info [ "n" ] ~doc:"Queries to trace.") in
-  let run preset preset_scale gr co seed scheme page_size count =
+  let run preset preset_scale gr co seed scheme page_size count faults fault_seed =
     let g = load_network preset preset_scale gr co seed in
     let db = build_database g scheme page_size seed in
     let server =
       Psp_pir.Server.create ~cost:Psp_pir.Cost_model.ibm4764
         ~key:(Psp_crypto.Sha256.digest_string "pspc") (DB.files db)
     in
+    arm_faults faults fault_seed;
     let queries = Psp_netgen.Synthetic.random_queries g ~count ~seed:(seed + 1) in
-    let traces =
+    let results =
       Array.to_list
         (Array.map
            (fun (s, t) ->
-             (Psp_core.Client.query_nodes server g s t).Psp_core.Client.stats
-               .Psp_pir.Server.Session.trace)
+             (* replay the same fault schedule for every query: the
+                indistinguishability check below must hold even while
+                faults force retries *)
+             Psp_fault.Fault.rewind ();
+             Psp_core.Client.query_nodes server g s t)
            queries)
+    in
+    Psp_fault.Fault.reset ();
+    let traces =
+      List.map
+        (fun (r : Psp_core.Client.result) ->
+          r.Psp_core.Client.stats.Psp_pir.Server.Session.trace)
+        results
     in
     Format.printf "adversary view of every query (scheme %s):@.%a@." db.DB.scheme
       Psp_pir.Trace.pp (List.hd traces);
     (match Psp_core.Privacy.indistinguishable traces with
     | Ok () -> Printf.printf "all %d traces identical: queries are indistinguishable\n" count
     | Error e -> Printf.printf "PRIVACY VIOLATION: %s\n" e);
+    let retries =
+      List.fold_left
+        (fun acc (r : Psp_core.Client.result) ->
+          acc + r.Psp_core.Client.stats.Psp_pir.Server.Session.retries)
+        0 results
+    in
+    if retries > 0 then
+      Printf.printf "recovered from injected faults with %d retries total\n" retries;
     let header_pages = PF.page_count db.DB.header_file in
     match Psp_core.Privacy.conforms db.DB.header ~header_pages (List.hd traces) with
     | Ok () -> Printf.printf "trace conforms to the published query plan\n"
-    | Error e -> Printf.printf "PLAN VIOLATION: %s\n" e
+    | Error e ->
+        if faults = [] then Printf.printf "PLAN VIOLATION: %s\n" e
+        else
+          Printf.printf
+            "trace deviates from the fault-free plan (expected under injection): %s\n" e
   in
   Cmd.v
     (Cmd.info "trace" ~doc:"Show the adversary's view and check indistinguishability")
     Term.(
       const run $ preset_arg $ preset_scale $ gr_arg $ co_arg $ seed_arg $ scheme_arg
-      $ page_size_arg $ count)
+      $ page_size_arg $ count $ fault_arg $ fault_seed_arg)
 
 (* ------------------------------------------------------------------ *)
 (* inspect *)

@@ -6,11 +6,21 @@ module QP = Psp_index.Query_plan
 module E = Psp_index.Encoding
 module FB = Psp_index.Fi_builder
 
+type retry_policy = { max_attempts : int; base_backoff : float }
+
+let default_retry = { max_attempts = 4; base_backoff = 0.1 }
+
+type status =
+  | Served
+  | Degraded of { retries : int }
+  | Unavailable of { point : string; attempts : int }
+
 type result = {
   path : (int list * float) option;
   stats : Psp_pir.Server.Session.stats;
   client_seconds : float;
   regions_fetched : int;
+  status : status;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -112,43 +122,79 @@ let dijkstra_store store ~source ~target =
 (* ------------------------------------------------------------------ *)
 (* Protocol plumbing                                                   *)
 
-let fetch_window session ~file ~first ~count =
-  Array.init count (fun k -> Session.fetch session ~file ~page:(first + k))
+type ctx = { session : Session.t; policy : retry_policy }
 
-let dummy_fetch session ~file = ignore (Session.fetch session ~file ~page:0)
+exception Gave_up of { point : string; attempts : int }
 
-let lookup_entry session header ~psize rs rt =
+let recoverable = function
+  | Psp_fault.Fault.Injected { point; _ } -> Some point
+  | Server.Page_corrupt { file; _ } -> Some (Printf.sprintf "pir.fetch.corrupt(%s)" file)
+  | _ -> None
+
+(* Bounded retry with deterministic exponential backoff.  Obliviousness
+   hinges on the schedule here: whether, when and how long we retry is a
+   function of the fault outcome and the attempt number alone — never of
+   the query's coordinates, pages or intermediate results.  A retried
+   fetch re-issues the identical page request, so under a fixed fault
+   schedule every query's trace gains the same extra events in the same
+   places (DESIGN.md, "Failure handling"). *)
+let with_retry ctx op =
+  let rec go attempt =
+    match op () with
+    | v -> v
+    | exception e -> (
+        match recoverable e with
+        | None -> raise e
+        | Some point ->
+            if attempt >= ctx.policy.max_attempts then
+              raise (Gave_up { point; attempts = attempt })
+            else begin
+              Session.note_retry ctx.session
+                ~backoff:(ctx.policy.base_backoff *. float_of_int (1 lsl (attempt - 1)));
+              go (attempt + 1)
+            end)
+  in
+  go 1
+
+let fetch ctx ~file ~page = with_retry ctx (fun () -> Session.fetch ctx.session ~file ~page)
+
+let fetch_window ctx ~file ~first ~count =
+  Array.init count (fun k -> fetch ctx ~file ~page:(first + k))
+
+let dummy_fetch ctx ~file = ignore (fetch ctx ~file ~page:0)
+
+let lookup_entry ctx header ~psize rs rt =
   let region_count = header.H.region_count in
   let per_page = psize / E.lookup_entry_bytes in
   let idx = (rs * region_count) + rt in
   let page = idx / per_page in
-  let blob = Session.fetch session ~file:"lookup" ~page in
+  let blob = fetch ctx ~file:"lookup" ~page in
   E.decode_lookup_entry blob ~pos:(idx mod per_page * E.lookup_entry_bytes)
 
 let decode_region_window header pages =
   let blob = Bytes.concat Bytes.empty (Array.to_list pages) in
   E.decode_region header.H.config blob
 
-let fetch_region session header store ~file region =
+let fetch_region ctx header store ~file region =
   let first = header.H.region_first_page.(region) in
-  let pages = fetch_window session ~file ~first ~count:header.H.pages_per_region in
+  let pages = fetch_window ctx ~file ~first ~count:header.H.pages_per_region in
   let records = decode_region_window header pages in
   List.iter (add_record store region) records
 
 (* ------------------------------------------------------------------ *)
 (* CI (§5.4)                                                           *)
 
-let query_ci session header ~pad ~psize ~rs ~rt ~sx ~sy ~tx ~ty =
+let query_ci ctx header ~pad ~psize ~rs ~rt ~sx ~sy ~tx ~ty =
   let fi_span, m =
     match header.H.plan with
     | QP.Ci { fi_span; m } -> (fi_span, m)
     | _ -> failwith "Client: CI database with non-CI plan"
   in
-  Session.next_round session;
-  let page, offset, _span = lookup_entry session header ~psize rs rt in
-  Session.next_round session;
+  Session.next_round ctx.session;
+  let page, offset, _span = lookup_entry ctx header ~psize rs rt in
+  Session.next_round ctx.session;
   let start = max 0 (min page (header.H.index_pages - fi_span)) in
-  let window = fetch_window session ~file:"index" ~first:start ~count:fi_span in
+  let window = fetch_window ctx ~file:"index" ~first:start ~count:fi_span in
   let regions =
     match
       FB.decode ~quantize:header.H.config.E.quantize ~pages:window
@@ -157,7 +203,7 @@ let query_ci session header ~pad ~psize ~rs ~rt ~sx ~sy ~tx ~ty =
     | FB.Regions r -> r
     | FB.Edges _ -> failwith "Client: CI look-up led to a subgraph record"
   in
-  Session.next_round session;
+  Session.next_round ctx.session;
   let to_fetch =
     List.sort_uniq compare (rs :: rt :: Array.to_list regions)
   in
@@ -165,10 +211,10 @@ let query_ci session header ~pad ~psize ~rs ~rt ~sx ~sy ~tx ~ty =
   if List.length to_fetch > budget then
     failwith "Client: CI fetch set exceeds the query plan budget";
   let store = store_create () in
-  List.iter (fetch_region session header store ~file:"data") to_fetch;
+  List.iter (fetch_region ctx header store ~file:"data") to_fetch;
   if pad then
     for _ = List.length to_fetch + 1 to budget do
-      dummy_fetch session ~file:"data"
+      dummy_fetch ctx ~file:"data"
     done;
   let s = snap store rs ~x:sx ~y:sy and t = snap store rt ~x:tx ~y:ty in
   (dijkstra_store store ~source:s ~target:t, List.length to_fetch)
@@ -176,7 +222,7 @@ let query_ci session header ~pad ~psize ~rs ~rt ~sx ~sy ~tx ~ty =
 (* ------------------------------------------------------------------ *)
 (* PI and PI* (§6)                                                     *)
 
-let query_pi session header ~pad ~psize ~rs ~rt ~sx ~sy ~tx ~ty =
+let query_pi ctx header ~pad ~psize ~rs ~rt ~sx ~sy ~tx ~ty =
   ignore pad;
   let fi_span =
     match header.H.plan with
@@ -184,11 +230,11 @@ let query_pi session header ~pad ~psize ~rs ~rt ~sx ~sy ~tx ~ty =
     | QP.Pi_star { fi_span; _ } -> fi_span
     | _ -> failwith "Client: PI database with non-PI plan"
   in
-  Session.next_round session;
-  let page, offset, _span = lookup_entry session header ~psize rs rt in
-  Session.next_round session;
+  Session.next_round ctx.session;
+  let page, offset, _span = lookup_entry ctx header ~psize rs rt in
+  Session.next_round ctx.session;
   let start = max 0 (min page (header.H.index_pages - fi_span)) in
-  let window = fetch_window session ~file:"index" ~first:start ~count:fi_span in
+  let window = fetch_window ctx ~file:"index" ~first:start ~count:fi_span in
   let triples =
     match
       FB.decode ~quantize:header.H.config.E.quantize ~pages:window
@@ -198,12 +244,12 @@ let query_pi session header ~pad ~psize ~rs ~rt ~sx ~sy ~tx ~ty =
     | FB.Regions _ -> failwith "Client: PI look-up led to a region-set record"
   in
   let store = store_create () in
-  fetch_region session header store ~file:"data" rs;
-  if rt <> rs then fetch_region session header store ~file:"data" rt
+  fetch_region ctx header store ~file:"data" rs;
+  if rt <> rs then fetch_region ctx header store ~file:"data" rt
   else
     (* the plan always reads two regions' worth of data pages *)
     for _ = 1 to header.H.pages_per_region do
-      dummy_fetch session ~file:"data"
+      dummy_fetch ctx ~file:"data"
     done;
   Array.iter (add_triple store) triples;
   let s = snap store rs ~x:sx ~y:sy and t = snap store rt ~x:tx ~y:ty in
@@ -212,19 +258,19 @@ let query_pi session header ~pad ~psize ~rs ~rt ~sx ~sy ~tx ~ty =
 (* ------------------------------------------------------------------ *)
 (* HY (§6): one combined index+data file                               *)
 
-let query_hy session header ~pad ~psize ~rs ~rt ~sx ~sy ~tx ~ty =
+let query_hy ctx header ~pad ~psize ~rs ~rt ~sx ~sy ~tx ~ty =
   let r_pages, round4 =
     match header.H.plan with
     | QP.Hy { r; round4 } -> (r, round4)
     | _ -> failwith "Client: HY database with non-HY plan"
   in
-  Session.next_round session;
-  let page, offset, span = lookup_entry session header ~psize rs rt in
-  Session.next_round session;
+  Session.next_round ctx.session;
+  let page, offset, span = lookup_entry ctx header ~psize rs rt in
+  Session.next_round ctx.session;
   let store = store_create () in
   let fetch_data_page region =
     let first = header.H.region_first_page.(region) in
-    let pages = fetch_window session ~file:"combined" ~first ~count:1 in
+    let pages = fetch_window ctx ~file:"combined" ~first ~count:1 in
     List.iter (add_record store region) (decode_region_window header pages)
   in
   let fetched_data = ref 0 in
@@ -239,7 +285,7 @@ let query_hy session header ~pad ~psize ~rs ~rt ~sx ~sy ~tx ~ty =
   in
   let finish_with_triples triples =
     fetch_data_page rs;
-    if rt <> rs then fetch_data_page rt else dummy_fetch session ~file:"combined";
+    if rt <> rs then fetch_data_page rt else dummy_fetch ctx ~file:"combined";
     fetched_data := !fetched_data + 2;
     Array.iter (add_triple store) triples;
     let s = snap store rs ~x:sx ~y:sy and t = snap store rt ~x:tx ~y:ty in
@@ -249,22 +295,22 @@ let query_hy session header ~pad ~psize ~rs ~rt ~sx ~sy ~tx ~ty =
     if span <= r_pages then begin
       (* the whole record (and its reference chain) fits in round 3 *)
       let start = max 0 (min page (header.H.data_offset - r_pages)) in
-      let window = fetch_window session ~file:"combined" ~first:start ~count:r_pages in
+      let window = fetch_window ctx ~file:"combined" ~first:start ~count:r_pages in
       let decoded =
         FB.decode ~quantize:header.H.config.E.quantize ~pages:window
           ~base_page:(page - start) ~offset
       in
-      Session.next_round session;
+      Session.next_round ctx.session;
       match decoded with
       | FB.Regions regions -> finish_with_regions regions
       | FB.Edges triples -> finish_with_triples triples
     end
     else begin
       (* only subgraph records may span past r (r bounds region sets) *)
-      let head = fetch_window session ~file:"combined" ~first:page ~count:r_pages in
-      Session.next_round session;
+      let head = fetch_window ctx ~file:"combined" ~first:page ~count:r_pages in
+      Session.next_round ctx.session;
       let tail =
-        fetch_window session ~file:"combined" ~first:(page + r_pages)
+        fetch_window ctx ~file:"combined" ~first:(page + r_pages)
           ~count:(span - r_pages)
       in
       fetched_data := span - r_pages;
@@ -278,7 +324,7 @@ let query_hy session header ~pad ~psize ~rs ~rt ~sx ~sy ~tx ~ty =
   in
   if pad then
     for _ = !fetched_data + 1 to round4 do
-      dummy_fetch session ~file:"combined"
+      dummy_fetch ctx ~file:"combined"
     done;
   answer
 
@@ -329,7 +375,7 @@ let rect_distance (x0, y0, x1, y1) ~x ~y =
    stand-in: heuristic_scale times the rectangle's distance to the
    destination.  Without this, distant regions look free and get
    fetched eagerly. *)
-let query_incremental session header ~pad ~rs ~rt ~sx ~sy ~tx ~ty ~use_alt ~use_flags =
+let query_incremental ctx header ~pad ~rs ~rt ~sx ~sy ~tx ~ty ~use_alt ~use_flags =
   let budget_pages =
     match header.H.plan with
     | QP.Lm { total_data_pages } -> total_data_pages
@@ -342,17 +388,17 @@ let query_incremental session header ~pad ~rs ~rt ~sx ~sy ~tx ~ty ~use_alt ~use_
   let fetch region =
     if not (Hashtbl.mem fetched region) then begin
       Hashtbl.replace fetched region ();
-      fetch_region session header store ~file:"data" region;
+      fetch_region ctx header store ~file:"data" region;
       pages_fetched := !pages_fetched + header.H.pages_per_region
     end
   in
   (* round 2: the source and destination regions *)
-  Session.next_round session;
+  Session.next_round ctx.session;
   fetch rs;
   if rt <> rs then fetch rt
   else begin
     for _ = 1 to header.H.pages_per_region do
-      dummy_fetch session ~file:"data"
+      dummy_fetch ctx ~file:"data"
     done;
     pages_fetched := !pages_fetched + header.H.pages_per_region
   end;
@@ -392,7 +438,7 @@ let query_incremental session header ~pad ~rs ~rt ~sx ~sy ~tx ~ty ~use_alt ~use_
                 | Some r -> r
                 | None -> failwith "Client: frontier node with unknown region"
               in
-              Session.next_round session;
+              Session.next_round ctx.session;
               fetch region;
               Psp_util.Min_heap.push heap ~priority:(Hashtbl.find dist u +. h u) u
           | Some record when key +. 1e-12 < Hashtbl.find dist u +. h u ->
@@ -442,9 +488,9 @@ let query_incremental session header ~pad ~rs ~rt ~sx ~sy ~tx ~ty ~use_alt ~use_
   done;
   if pad then
     while !pages_fetched < budget_pages do
-      Session.next_round session;
+      Session.next_round ctx.session;
       for _ = 1 to header.H.pages_per_region do
-        dummy_fetch session ~file:"data"
+        dummy_fetch ctx ~file:"data"
       done;
       pages_fetched := !pages_fetched + header.H.pages_per_region
     done;
@@ -466,30 +512,52 @@ let query_incremental session header ~pad ~rs ~rt ~sx ~sy ~tx ~ty ~use_alt ~use_
 
 (* ------------------------------------------------------------------ *)
 
-let query ?(pad = true) server ~sx ~sy ~tx ~ty =
+let query ?(pad = true) ?(retry = default_retry) server ~sx ~sy ~tx ~ty =
   let started = Sys.time () in
   let session = Session.start server in
-  let header_pages = Session.download session ~file:"header" in
-  let header = H.of_pages header_pages in
-  let psize = Bytes.length header_pages.(0) in
-  let rs = H.locate header ~x:sx ~y:sy and rt = H.locate header ~x:tx ~y:ty in
-  let path, regions_fetched =
-    match header.H.scheme with
-    | "CI" -> query_ci session header ~pad ~psize ~rs ~rt ~sx ~sy ~tx ~ty
-    | "PI" | "PI*" -> query_pi session header ~pad ~psize ~rs ~rt ~sx ~sy ~tx ~ty
-    | "HY" -> query_hy session header ~pad ~psize ~rs ~rt ~sx ~sy ~tx ~ty
-    | "LM" ->
-        query_incremental session header ~pad ~rs ~rt ~sx ~sy ~tx ~ty ~use_alt:true
-          ~use_flags:false
-    | "AF" ->
-        query_incremental session header ~pad ~rs ~rt ~sx ~sy ~tx ~ty ~use_alt:false
-          ~use_flags:true
-    | scheme -> failwith (Printf.sprintf "Client: unknown scheme %S" scheme)
+  let ctx = { session; policy = retry } in
+  (* exhausting the retry budget degrades the result instead of raising:
+     the session still finishes, so the partial trace and the recovery
+     cost remain observable *)
+  let outcome =
+    match
+      let header_pages = with_retry ctx (fun () -> Session.download session ~file:"header") in
+      let header = H.of_pages header_pages in
+      let psize = Bytes.length header_pages.(0) in
+      let rs = H.locate header ~x:sx ~y:sy and rt = H.locate header ~x:tx ~y:ty in
+      match header.H.scheme with
+      | "CI" -> query_ci ctx header ~pad ~psize ~rs ~rt ~sx ~sy ~tx ~ty
+      | "PI" | "PI*" -> query_pi ctx header ~pad ~psize ~rs ~rt ~sx ~sy ~tx ~ty
+      | "HY" -> query_hy ctx header ~pad ~psize ~rs ~rt ~sx ~sy ~tx ~ty
+      | "LM" ->
+          query_incremental ctx header ~pad ~rs ~rt ~sx ~sy ~tx ~ty ~use_alt:true
+            ~use_flags:false
+      | "AF" ->
+          query_incremental ctx header ~pad ~rs ~rt ~sx ~sy ~tx ~ty ~use_alt:false
+            ~use_flags:true
+      | scheme -> failwith (Printf.sprintf "Client: unknown scheme %S" scheme)
+    with
+    | answer -> Ok answer
+    | exception Gave_up { point; attempts } -> Error (point, attempts)
   in
   let stats = Session.finish session in
-  { path; stats; client_seconds = Sys.time () -. started; regions_fetched }
+  let client_seconds = Sys.time () -. started in
+  match outcome with
+  | Ok (path, regions_fetched) ->
+      let status =
+        match stats.Session.retries with
+        | 0 -> Served
+        | retries -> Degraded { retries }
+      in
+      { path; stats; client_seconds; regions_fetched; status }
+  | Error (point, attempts) ->
+      { path = None;
+        stats;
+        client_seconds;
+        regions_fetched = 0;
+        status = Unavailable { point; attempts } }
 
-let query_nodes ?pad server g s t =
+let query_nodes ?pad ?retry server g s t =
   let sx, sy = Psp_graph.Graph.coords g s in
   let tx, ty = Psp_graph.Graph.coords g t in
-  query ?pad server ~sx ~sy ~tx ~ty
+  query ?pad ?retry server ~sx ~sy ~tx ~ty

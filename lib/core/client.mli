@@ -12,20 +12,41 @@
     counts, the adversary-visible trace) and the client-side CPU time —
     the three response-time components of Table 3. *)
 
+type retry_policy = {
+  max_attempts : int;  (** total tries per retrieval, first one included *)
+  base_backoff : float;
+      (** simulated seconds before the first retry; doubles per attempt *)
+}
+
+val default_retry : retry_policy
+(** 4 attempts, 0.1 s base backoff. *)
+
+type status =
+  | Served  (** fault-free execution *)
+  | Degraded of { retries : int }
+      (** the answer is correct, but recovery from transient faults or
+          corrupt pages cost [retries] extra retrievals *)
+  | Unavailable of { point : string; attempts : int }
+      (** the retry budget ran out at failpoint [point]; no answer.
+          This replaces an exception so callers always get the partial
+          trace and the recovery cost that was incurred. *)
+
 type result = {
   path : (int list * float) option;
       (** node sequence (source first) and total cost; [None] if the
-          destination is unreachable *)
+          destination is unreachable (or the query was [Unavailable]) *)
   stats : Psp_pir.Server.Session.stats;
   client_seconds : float;
   regions_fetched : int;
       (** region-page budget the query consumed, in region units (for
           LM/AF this counts the rs = rt dummy slot too — it is what plan
           calibration must budget for) *)
+  status : status;
 }
 
 val query :
   ?pad:bool ->
+  ?retry:retry_policy ->
   Psp_pir.Server.t ->
   sx:float -> sy:float -> tx:float -> ty:float ->
   result
@@ -33,9 +54,18 @@ val query :
     and destination are snapped to the nearest network node of their
     regions.  [pad] (default true) enforces the query plan with dummy
     retrievals; calibration passes disable it.
+
+    Transient faults and checksum failures raised by the server are
+    retried under [retry] (default {!default_retry}) with deterministic
+    exponential backoff; the retry schedule depends only on fault
+    outcomes and attempt numbers, never on query content, so traces stay
+    indistinguishable across queries under any fixed fault schedule
+    (DESIGN.md, "Failure handling").  An exhausted budget yields
+    [status = Unavailable _], not an exception.
     @raise Failure on a malformed database or a plan the query cannot
     fit into. *)
 
-val query_nodes : ?pad:bool -> Psp_pir.Server.t -> Psp_graph.Graph.t -> int -> int -> result
+val query_nodes :
+  ?pad:bool -> ?retry:retry_policy -> Psp_pir.Server.t -> Psp_graph.Graph.t -> int -> int -> result
 (** Convenience for harnesses: look up the nodes' coordinates in the
     (server-side) graph and query by coordinates. *)

@@ -58,7 +58,7 @@ let load ~dir =
     invalid_arg "Bundle.load: incomplete manifest";
   let files =
     List.rev_map
-      (fun name -> PF.load ~path:(Filename.concat dir name ^ ".pages"))
+      (fun name -> PF.load_exn ~path:(Filename.concat dir name ^ ".pages"))
       !names
   in
   let header_file =

@@ -3,6 +3,7 @@ type mode = [ `Simulated | `Oblivious | `Pyramid ]
 type store = Sqrt of Oblivious_store.t | Pyramid of Pyramid_store.t
 
 exception File_too_large of { file : string; bytes : int; limit : int }
+exception Page_corrupt of { file : string; page : int }
 
 type t = {
   mode : mode;
@@ -56,6 +57,8 @@ module Session = struct
     comm_seconds : float;
     server_cpu_seconds : float;
     pir_fetches : (string * int) list;
+    retries : int;
+    recovery_seconds : float;
     trace : Trace.t;
   }
 
@@ -65,6 +68,8 @@ module Session = struct
     mutable pir_seconds : float;
     mutable comm_seconds : float;
     mutable server_cpu_seconds : float;
+    mutable retries : int;
+    mutable recovery_seconds : float;
     fetch_counts : (string, int) Hashtbl.t;
     trace : Trace.t;
   }
@@ -75,6 +80,8 @@ module Session = struct
       pir_seconds = 0.0;
       comm_seconds = server.cost.Cost_model.rtt;
       server_cpu_seconds = 0.0;
+      retries = 0;
+      recovery_seconds = 0.0;
       fetch_counts = Hashtbl.create 8;
       trace = Trace.create () }
 
@@ -96,13 +103,31 @@ module Session = struct
       +. Cost_model.transfer_seconds t.server.cost ~bytes:(Psp_storage.Page_file.page_size f);
     Hashtbl.replace t.fetch_counts name
       (1 + Option.value ~default:0 (Hashtbl.find_opt t.fetch_counts name));
+    (* the attempt is recorded before any fault fires: the adversary saw
+       the request whether or not the retrieval succeeded *)
     Trace.record t.trace (Trace.Pir_fetch { round = t.round; file = name });
-    match t.server.mode with
-    | `Simulated -> Psp_storage.Page_file.read f page
-    | `Oblivious | `Pyramid -> (
-        match Hashtbl.find t.server.stores name with
-        | Sqrt store -> Oblivious_store.read store page
-        | Pyramid store -> Pyramid_store.read store page)
+    Psp_fault.Fault.inject "pir.fetch.transient";
+    let bytes =
+      match t.server.mode with
+      | `Simulated -> Psp_storage.Page_file.read f page
+      | `Oblivious | `Pyramid -> (
+          match Hashtbl.find t.server.stores name with
+          | Sqrt store -> Oblivious_store.read store page
+          | Pyramid store -> Pyramid_store.read store page)
+    in
+    let bytes =
+      if Psp_fault.Fault.fires "pir.fetch.corrupt" then begin
+        (* flip one bit; the checksum gate below must catch it *)
+        let b = Bytes.copy bytes in
+        if Bytes.length b > 0 then
+          Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x01));
+        b
+      end
+      else bytes
+    in
+    if not (Psp_storage.Page_file.verify_page f page bytes) then
+      raise (Page_corrupt { file = name; page });
+    bytes
 
   let download t ~file:name =
     let f = file t.server name in
@@ -111,6 +136,7 @@ module Session = struct
       t.comm_seconds
       +. Cost_model.transfer_seconds t.server.cost ~bytes:(Psp_storage.Page_file.size_bytes f);
     Trace.record t.trace (Trace.Plain_download { round = t.round; file = name; pages });
+    Psp_fault.Fault.inject "pir.download.transient";
     Array.init pages (Psp_storage.Page_file.read f)
 
   let plain_fetch t ~file:name ~page =
@@ -123,6 +149,11 @@ module Session = struct
 
   let add_server_compute t seconds = t.server_cpu_seconds <- t.server_cpu_seconds +. seconds
 
+  let note_retry t ~backoff =
+    t.retries <- t.retries + 1;
+    t.recovery_seconds <- t.recovery_seconds +. backoff;
+    t.comm_seconds <- t.comm_seconds +. backoff
+
   let finish t =
     { rounds = t.round;
       pir_seconds = t.pir_seconds;
@@ -130,5 +161,7 @@ module Session = struct
       server_cpu_seconds = t.server_cpu_seconds;
       pir_fetches =
         Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.fetch_counts [] |> List.sort compare;
+      retries = t.retries;
+      recovery_seconds = t.recovery_seconds;
       trace = t.trace }
 end

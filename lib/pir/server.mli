@@ -25,6 +25,12 @@ exception File_too_large of { file : string; bytes : int; limit : int }
 (** Raised at registration when a file exceeds what the SCP can support
     (§3.2) — this is how PI "becomes inapplicable" on large networks. *)
 
+exception Page_corrupt of { file : string; page : int }
+(** Raised by {!Session.fetch} when a retrieved page fails its CRC-32
+    check against the checksum recorded at append time — corruption in
+    storage or in flight, detected before the payload reaches protocol
+    code.  Clients treat it like a transient fault and re-fetch. *)
+
 val create :
   ?mode:mode -> cost:Cost_model.t -> key:bytes -> Psp_storage.Page_file.t list -> t
 (** @raise File_too_large per the cost model's [max_file_bytes].
@@ -52,12 +58,22 @@ module Session : sig
   val round : t -> int
 
   val fetch : t -> file:string -> page:int -> bytes
-  (** Private page retrieval via the SCP.
+  (** Private page retrieval via the SCP.  The returned page is verified
+      against its recorded CRC-32 before being released.
+
+      The trace event and cost accounting for the attempt happen
+      {e before} any fault can fire: a failed retrieval is still part of
+      the adversary's view.  Failpoints: [pir.fetch.transient] (raises
+      {!Psp_fault.Fault.Injected}) and [pir.fetch.corrupt] (flips a bit
+      in the retrieved page, which the checksum gate converts into
+      {!Page_corrupt}).
+
       @raise Not_found on unknown file; Invalid_argument on a bad page
-      number. *)
+      number; {!Page_corrupt} on a checksum failure. *)
 
   val download : t -> file:string -> bytes array
-  (** Plaintext download of an entire (public) file. *)
+  (** Plaintext download of an entire (public) file.  Failpoint:
+      [pir.download.transient]. *)
 
   val plain_fetch : t -> file:string -> page:int -> bytes
   (** Unsecured read: the LBS sees the page number (OBF baseline only). *)
@@ -65,12 +81,21 @@ module Session : sig
   val add_server_compute : t -> float -> unit
   (** Charge server CPU seconds (OBF's path computations). *)
 
+  val note_retry : t -> backoff:float -> unit
+  (** Account one recovery attempt: counts a retry and charges its
+      backoff delay to both the communication time and the session's
+      recovery overhead.  Called by the client's retry loop; the
+      backoff must depend only on the attempt number (see the
+      oblivious-retry argument in DESIGN.md). *)
+
   type stats = {
     rounds : int;
     pir_seconds : float;        (** time inside the PIR protocol *)
     comm_seconds : float;       (** SSL transfer + per-round RTTs *)
     server_cpu_seconds : float; (** plaintext processing (OBF) *)
     pir_fetches : (string * int) list;  (** per-file private page counts *)
+    retries : int;              (** recovery attempts after faults *)
+    recovery_seconds : float;   (** backoff time spent recovering *)
     trace : Trace.t;            (** the adversary's view *)
   }
 

@@ -3,14 +3,22 @@ type t = {
   page_size : int;
   pages : bytes Psp_util.Dyn_array.t; (* padded to page_size *)
   lengths : int Psp_util.Dyn_array.t; (* payload bytes per page *)
+  crcs : int Psp_util.Dyn_array.t; (* CRC-32 of each padded page *)
 }
+
+type error = Corrupt of { path : string; reason : string }
+
+exception Error of error
+
+let corrupt path reason = raise (Error (Corrupt { path; reason }))
 
 let create ~name ~page_size =
   if page_size <= 0 then invalid_arg "Page_file.create: page_size must be positive";
   { name;
     page_size;
     pages = Psp_util.Dyn_array.create ();
-    lengths = Psp_util.Dyn_array.create () }
+    lengths = Psp_util.Dyn_array.create ();
+    crcs = Psp_util.Dyn_array.create () }
 
 let name t = t.name
 let page_size t = t.page_size
@@ -27,6 +35,7 @@ let append t payload =
   Bytes.blit payload 0 page 0 len;
   Psp_util.Dyn_array.push t.pages page;
   Psp_util.Dyn_array.push t.lengths len;
+  Psp_util.Dyn_array.push t.crcs (Psp_util.Crc32.digest page);
   page_count t - 1
 
 let append_blank t = append t Bytes.empty
@@ -45,6 +54,13 @@ let payload_length t no =
 
 let payload t no = Bytes.sub (read t no) 0 (payload_length t no)
 
+let page_crc t no =
+  check t no;
+  Psp_util.Dyn_array.get t.crcs no
+
+let verify_page t no page =
+  Bytes.length page = t.page_size && Psp_util.Crc32.digest page = page_crc t no
+
 let utilization t =
   if page_count t = 0 then 0.0
   else begin
@@ -57,9 +73,16 @@ let iter_pages t f =
     f no (read t no)
   done
 
-let magic = "PSPPAGES1"
+let magic = "PSPPAGES2"
+
+(* Serialized layout: magic, name, page size, page count, then per page
+   (payload length, padded-page CRC, payload bytes), and a trailing
+   CRC-32 of everything before it.  The trailing checksum is what makes
+   torn writes detectable: any truncation or bit flip anywhere in the
+   body fails it before parsing even starts. *)
 
 let save t ~path =
+  Psp_fault.Fault.inject "storage.page_file.save.transient";
   let w = Psp_util.Byte_io.Writer.create ~capacity:(size_bytes t) () in
   Psp_util.Byte_io.Writer.string w magic;
   Psp_util.Byte_io.Writer.string w t.name;
@@ -68,12 +91,52 @@ let save t ~path =
   for no = 0 to page_count t - 1 do
     let len = payload_length t no in
     Psp_util.Byte_io.Writer.varint w len;
+    Psp_util.Byte_io.Writer.u32 w (page_crc t no);
     Psp_util.Byte_io.Writer.bytes w (Bytes.sub (Psp_util.Dyn_array.get t.pages no) 0 len)
   done;
-  let oc = open_out_bin path in
+  let body = Psp_util.Byte_io.Writer.contents w in
+  Psp_util.Byte_io.Writer.u32 w (Psp_util.Crc32.digest body);
+  let blob = Psp_util.Byte_io.Writer.contents w in
+  let blob =
+    (* a torn write persists only a prefix of the blob *)
+    if Psp_fault.Fault.fires "storage.page_file.save.torn" then
+      Bytes.sub blob 0 (Bytes.length blob / 2)
+    else blob
+  in
+  (* write-then-rename so a crash mid-save never clobbers an existing
+     good file with a partial one *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_bytes oc (Psp_util.Byte_io.Writer.contents w))
+    (fun () -> output_bytes oc blob);
+  Sys.rename tmp path
+
+let parse ~path blob =
+  let total = Bytes.length blob in
+  if total < String.length magic + 4 then corrupt path "truncated header";
+  let body_len = total - 4 in
+  let footer = Psp_util.Byte_io.Reader.of_bytes ~pos:body_len blob in
+  if Psp_util.Byte_io.Reader.u32 footer <> Psp_util.Crc32.sub blob ~pos:0 ~len:body_len
+  then corrupt path "file checksum mismatch (torn or corrupted write)";
+  let r = Psp_util.Byte_io.Reader.of_bytes blob in
+  if Psp_util.Byte_io.Reader.string r <> magic then corrupt path "bad magic";
+  let name = Psp_util.Byte_io.Reader.string r in
+  let page_size = Psp_util.Byte_io.Reader.varint r in
+  if page_size <= 0 then corrupt path "non-positive page size";
+  let count = Psp_util.Byte_io.Reader.varint r in
+  let t = create ~name ~page_size in
+  for no = 0 to count - 1 do
+    let len = Psp_util.Byte_io.Reader.varint r in
+    if len < 0 || len > page_size then
+      corrupt path (Printf.sprintf "page %d: payload length %d out of range" no len);
+    let stored_crc = Psp_util.Byte_io.Reader.u32 r in
+    ignore (append t (Psp_util.Byte_io.Reader.bytes r len));
+    if page_crc t no <> stored_crc then
+      corrupt path (Printf.sprintf "page %d: checksum mismatch" no)
+  done;
+  if Psp_util.Byte_io.Reader.pos r <> body_len then corrupt path "trailing bytes";
+  t
 
 let load ~path =
   let ic = open_in_bin path in
@@ -82,18 +145,15 @@ let load ~path =
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  let r = Psp_util.Byte_io.Reader.of_bytes (Bytes.of_string blob) in
-  let fail msg = invalid_arg (Printf.sprintf "Page_file.load(%s): %s" path msg) in
-  (try if Psp_util.Byte_io.Reader.string r <> magic then fail "bad magic"
-   with Psp_util.Byte_io.Reader.Underflow -> fail "truncated header");
-  try
-    let name = Psp_util.Byte_io.Reader.string r in
-    let page_size = Psp_util.Byte_io.Reader.varint r in
-    let count = Psp_util.Byte_io.Reader.varint r in
-    let t = create ~name ~page_size in
-    for _ = 1 to count do
-      let len = Psp_util.Byte_io.Reader.varint r in
-      ignore (append t (Psp_util.Byte_io.Reader.bytes r len))
-    done;
-    t
-  with Psp_util.Byte_io.Reader.Underflow -> fail "truncated"
+  (* every malformation — truncation, bit flips, garbage — must surface
+     as the typed error, so catch the decoder's low-level failures too *)
+  match parse ~path (Bytes.of_string blob) with
+  | t -> Ok t
+  | exception Error e -> Stdlib.Error e
+  | exception Psp_util.Byte_io.Reader.Underflow ->
+      Stdlib.Error (Corrupt { path; reason = "truncated" })
+  | exception Invalid_argument reason -> Stdlib.Error (Corrupt { path; reason })
+  | exception Failure reason -> Stdlib.Error (Corrupt { path; reason })
+
+let load_exn ~path =
+  match load ~path with Ok t -> t | Error e -> raise (Error e)

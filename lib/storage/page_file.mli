@@ -6,9 +6,21 @@
     module is the in-memory model of such files: page payloads are real
     serialized bytes, and per-page payload lengths are recorded so the
     experiments can report page utilization (Figure 8a) and database
-    sizes from actual encodings. *)
+    sizes from actual encodings.
+
+    Integrity: every page carries a CRC-32 computed when it is appended.
+    The PIR server re-verifies it on each fetch ({!verify_page}), and
+    the on-disk format stores it per page plus a whole-file checksum, so
+    {!load} detects torn writes and bit rot as a typed {!error} instead
+    of crashing.  {!save} is atomic (temp file + rename): a fault
+    mid-save never clobbers an existing good file. *)
 
 type t
+
+type error = Corrupt of { path : string; reason : string }
+(** A malformed, truncated or checksum-failing on-disk file. *)
+
+exception Error of error
 
 val create : name:string -> page_size:int -> t
 (** Empty file.  @raise Invalid_argument if [page_size <= 0]. *)
@@ -37,14 +49,38 @@ val payload : t -> int -> bytes
 
 val payload_length : t -> int -> int
 
+val page_crc : t -> int -> int
+(** CRC-32 of the padded page, recorded at append time.
+    @raise Invalid_argument on an out-of-range page number. *)
+
+val verify_page : t -> int -> bytes -> bool
+(** [verify_page t no page] checks a (purported) copy of page [no]
+    against its recorded checksum — the server's integrity gate on
+    every PIR fetch.
+    @raise Invalid_argument on an out-of-range page number. *)
+
 val utilization : t -> float
 (** Mean fraction of page bytes holding payload; 0 for an empty file. *)
 
 val iter_pages : t -> (int -> bytes -> unit) -> unit
 
 val save : t -> path:string -> unit
-(** Serialize to disk (magic, name, page size, per-page payloads —
-    padding is not stored and is reconstructed on load). *)
+(** Serialize to disk (magic, name, page size, per-page payloads with
+    their CRCs, whole-file checksum — padding is not stored and is
+    reconstructed on load).  The write is atomic: bytes go to
+    [path ^ ".tmp"], renamed over [path] only when complete.
 
-val load : path:string -> t
-(** @raise Invalid_argument on a malformed or truncated file. *)
+    Failpoints: [storage.page_file.save.transient] (raises
+    {!Psp_fault.Fault.Injected} before anything is written) and
+    [storage.page_file.save.torn] (persists only a prefix of the blob,
+    simulating a torn write that {!load} must catch). *)
+
+val load : path:string -> (t, error) result
+(** Read a file back.  Any malformation — bad magic, truncation, a
+    flipped bit anywhere (caught by the whole-file and per-page
+    checksums), trailing garbage — yields [Error (Corrupt _)]; no
+    exception escapes for malformed input.
+    @raise Sys_error if the file cannot be opened at all. *)
+
+val load_exn : path:string -> t
+(** [load], raising {!Error} on a malformed file. *)

@@ -1,0 +1,19 @@
+(** CRC-32 (IEEE 802.3, polynomial 0xEDB88320) checksums.
+
+    Used by the storage layer to detect corrupted or torn page data:
+    every page carries a checksum computed at append time, verified on
+    PIR fetch and on file load.  Values are in [[0, 2^32)], stored as
+    little-endian [u32] on disk. *)
+
+val digest : bytes -> int
+(** Checksum of a whole buffer. *)
+
+val sub : bytes -> pos:int -> len:int -> int
+(** Checksum of a slice.
+    @raise Invalid_argument on an out-of-range slice. *)
+
+val update : int -> bytes -> pos:int -> len:int -> int
+(** Fold more data into a running checksum ([digest b = update 0 b ...]
+    composed over consecutive slices). *)
+
+val string : string -> int
