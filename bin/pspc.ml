@@ -7,6 +7,8 @@
      trace      print the adversary's view of a query and check it against
                 the published plan
      inspect    summarize a network's structure
+     lint       statically check [@@oblivious] code for secret-dependent
+                branches, lengths and effectful calls (see also psplint)
 
    Networks are passed either as `--preset old --preset-scale 16` or as
    DIMACS files (`--gr map.gr --co map.co`). *)
@@ -312,6 +314,38 @@ let inspect_cmd =
     Term.(const run $ preset_arg $ preset_scale $ gr_arg $ co_arg $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
+(* lint *)
+
+let lint_cmd =
+  let paths =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"PATH"
+             ~doc:"$(b,.cmt) files or directories searched recursively. Defaults to \
+                   the audited libraries under _build/default/lib.")
+  in
+  let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"Print only the summary line.") in
+  let audit =
+    Arg.(value & flag
+         & info [ "audit" ] ~doc:"List every $(b,[@@oblivious]) function audited.")
+  in
+  let run paths quiet audit =
+    let paths =
+      if paths <> [] then paths
+      else
+        List.filter_map
+          (fun lib ->
+            let dir = Printf.sprintf "_build/default/lib/%s" lib in
+            if Sys.file_exists dir then Some dir else None)
+          [ "core"; "pir"; "index" ]
+    in
+    exit (Psp_lint.Lint.main ~paths ~quiet ~audit)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically check the oblivious core for secret-dependent behaviour")
+    Term.(const run $ paths $ quiet $ audit)
+
+(* ------------------------------------------------------------------ *)
 (* render *)
 
 let render_cmd =
@@ -362,4 +396,10 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "pspc" ~doc)
-          [ generate_cmd; build_cmd; query_cmd; trace_cmd; inspect_cmd; render_cmd ]))
+          [ generate_cmd;
+            build_cmd;
+            query_cmd;
+            trace_cmd;
+            inspect_cmd;
+            render_cmd;
+            lint_cmd ]))

@@ -1,0 +1,17 @@
+(* psplint — static obliviousness & leakage linter for the PIR hot path.
+
+   Usage: psplint [--quiet] [--audit] PATH...
+
+   PATHs are .cmt files or directories searched recursively (dune emits
+   .cmt next to the objects, e.g. _build/default/lib/core/.psp_core.objs/byte).
+   Exit status: 0 clean, 1 findings, 2 bad input. *)
+
+let () =
+  let quiet = ref false and audit = ref false and paths = ref [] in
+  let spec =
+    [ ("--quiet", Arg.Set quiet, " Print only the summary line");
+      ("--audit", Arg.Set audit, " List every [@@oblivious] function audited") ]
+  in
+  let usage = "psplint [--quiet] [--audit] PATH..." in
+  Arg.parse (Arg.align spec) (fun p -> paths := p :: !paths) usage;
+  exit (Psp_lint.Lint.main ~paths:(List.rev !paths) ~quiet:!quiet ~audit:!audit)

@@ -1,4 +1,3 @@
-module PF = Psp_storage.Page_file
 module Server = Psp_pir.Server
 module Session = Psp_pir.Server.Session
 module H = Psp_index.Header
@@ -155,36 +154,46 @@ let with_retry ctx op =
             end)
   in
   go 1
+  [@@oblivious]
 
-let fetch ctx ~file ~page = with_retry ctx (fun () -> Session.fetch ctx.session ~file ~page)
+let fetch ctx ~file ~page:(page [@secret]) =
+  with_retry ctx (fun () -> Session.fetch ctx.session ~file ~page)
+  [@@oblivious]
 
-let fetch_window ctx ~file ~first ~count =
+let fetch_window ctx ~file ~first:(first [@secret]) ~count:(count [@secret]) =
   Array.init count (fun k -> fetch ctx ~file ~page:(first + k))
+  [@leak_ok
+    "window lengths are public plan constants (fi_span, r, pages_per_region) except the \
+     HY round-4 tail, whose length counts against the padded round4 budget"]
+  [@@oblivious]
 
-let dummy_fetch ctx ~file = ignore (fetch ctx ~file ~page:0)
+let dummy_fetch ctx ~file = ignore (fetch ctx ~file ~page:0) [@@oblivious]
 
-let lookup_entry ctx header ~psize rs rt =
+let lookup_entry ctx header ~psize (rs [@secret]) (rt [@secret]) =
   let region_count = header.H.region_count in
   let per_page = psize / E.lookup_entry_bytes in
   let idx = (rs * region_count) + rt in
   let page = idx / per_page in
   let blob = fetch ctx ~file:"lookup" ~page in
   E.decode_lookup_entry blob ~pos:(idx mod per_page * E.lookup_entry_bytes)
+  [@@oblivious]
 
 let decode_region_window header pages =
   let blob = Bytes.concat Bytes.empty (Array.to_list pages) in
   E.decode_region header.H.config blob
 
-let fetch_region ctx header store ~file region =
+let fetch_region ctx header store ~file (region [@secret]) =
   let first = header.H.region_first_page.(region) in
   let pages = fetch_window ctx ~file ~first ~count:header.H.pages_per_region in
   let records = decode_region_window header pages in
   List.iter (add_record store region) records
+  [@@oblivious]
 
 (* ------------------------------------------------------------------ *)
 (* CI (§5.4)                                                           *)
 
-let query_ci ctx header ~pad ~psize ~rs ~rt ~sx ~sy ~tx ~ty =
+let query_ci ctx header ~pad ~psize ~rs:(rs [@secret]) ~rt:(rt [@secret])
+    ~sx:(sx [@secret]) ~sy:(sy [@secret]) ~tx:(tx [@secret]) ~ty:(ty [@secret]) =
   let fi_span, m =
     match header.H.plan with
     | QP.Ci { fi_span; m } -> (fi_span, m)
@@ -196,33 +205,44 @@ let query_ci ctx header ~pad ~psize ~rs ~rt ~sx ~sy ~tx ~ty =
   let start = max 0 (min page (header.H.index_pages - fi_span)) in
   let window = fetch_window ctx ~file:"index" ~first:start ~count:fi_span in
   let regions =
-    match
-      FB.decode ~quantize:header.H.config.E.quantize ~pages:window
-        ~base_page:(page - start) ~offset
-    with
+    (match
+       FB.decode ~quantize:header.H.config.E.quantize ~pages:window
+         ~base_page:(page - start) ~offset
+     with
     | FB.Regions r -> r
-    | FB.Edges _ -> failwith "Client: CI look-up led to a subgraph record"
+    | FB.Edges _ -> failwith "Client: CI look-up led to a subgraph record")
+    [@leak_ok
+      "client-local decode of an already-fetched window; a malformed record fails \
+       closed with a constant message before any further fetch is issued"]
   in
   Session.next_round ctx.session;
   let to_fetch =
     List.sort_uniq compare (rs :: rt :: Array.to_list regions)
   in
   let budget = m + 2 in
-  if List.length to_fetch > budget then
-    failwith "Client: CI fetch set exceeds the query plan budget";
+  (if List.length to_fetch > budget then
+     failwith "Client: CI fetch set exceeds the query plan budget")
+  [@leak_ok
+    "budget check fails closed with a constant message; a well-formed database never \
+     trips it (m bounds every FI region set)"];
   let store = store_create () in
   List.iter (fetch_region ctx header store ~file:"data") to_fetch;
-  if pad then
-    for _ = List.length to_fetch + 1 to budget do
-      dummy_fetch ctx ~file:"data"
-    done;
+  (if pad then
+     for _ = List.length to_fetch + 1 to budget do
+       dummy_fetch ctx ~file:"data"
+     done)
+  [@leak_ok
+    "padding loop: real plus dummy region fetches always sum to the public plan \
+     budget m + 2, so the round-4 page count is query-independent"];
   let s = snap store rs ~x:sx ~y:sy and t = snap store rt ~x:tx ~y:ty in
   (dijkstra_store store ~source:s ~target:t, List.length to_fetch)
+  [@@oblivious]
 
 (* ------------------------------------------------------------------ *)
 (* PI and PI* (§6)                                                     *)
 
-let query_pi ctx header ~pad ~psize ~rs ~rt ~sx ~sy ~tx ~ty =
+let query_pi ctx header ~pad ~psize ~rs:(rs [@secret]) ~rt:(rt [@secret])
+    ~sx:(sx [@secret]) ~sy:(sy [@secret]) ~tx:(tx [@secret]) ~ty:(ty [@secret]) =
   ignore pad;
   let fi_span =
     match header.H.plan with
@@ -236,29 +256,37 @@ let query_pi ctx header ~pad ~psize ~rs ~rt ~sx ~sy ~tx ~ty =
   let start = max 0 (min page (header.H.index_pages - fi_span)) in
   let window = fetch_window ctx ~file:"index" ~first:start ~count:fi_span in
   let triples =
-    match
-      FB.decode ~quantize:header.H.config.E.quantize ~pages:window
-        ~base_page:(page - start) ~offset
-    with
+    (match
+       FB.decode ~quantize:header.H.config.E.quantize ~pages:window
+         ~base_page:(page - start) ~offset
+     with
     | FB.Edges e -> e
-    | FB.Regions _ -> failwith "Client: PI look-up led to a region-set record"
+    | FB.Regions _ -> failwith "Client: PI look-up led to a region-set record")
+    [@leak_ok
+      "client-local decode of an already-fetched window; a malformed record fails \
+       closed with a constant message before any further fetch is issued"]
   in
   let store = store_create () in
   fetch_region ctx header store ~file:"data" rs;
-  if rt <> rs then fetch_region ctx header store ~file:"data" rt
-  else
-    (* the plan always reads two regions' worth of data pages *)
-    for _ = 1 to header.H.pages_per_region do
-      dummy_fetch ctx ~file:"data"
-    done;
+  (if rt <> rs then fetch_region ctx header store ~file:"data" rt
+   else
+     (* the plan always reads two regions' worth of data pages *)
+     for _ = 1 to header.H.pages_per_region do
+       dummy_fetch ctx ~file:"data"
+     done)
+  [@leak_ok
+    "balanced branch: both arms fetch exactly pages_per_region data pages, so the \
+     trace is identical whether or not source and target share a region"];
   Array.iter (add_triple store) triples;
   let s = snap store rs ~x:sx ~y:sy and t = snap store rt ~x:tx ~y:ty in
   (dijkstra_store store ~source:s ~target:t, 2)
+  [@@oblivious]
 
 (* ------------------------------------------------------------------ *)
 (* HY (§6): one combined index+data file                               *)
 
-let query_hy ctx header ~pad ~psize ~rs ~rt ~sx ~sy ~tx ~ty =
+let query_hy ctx header ~pad ~psize ~rs:(rs [@secret]) ~rt:(rt [@secret])
+    ~sx:(sx [@secret]) ~sy:(sy [@secret]) ~tx:(tx [@secret]) ~ty:(ty [@secret]) =
   let r_pages, round4 =
     match header.H.plan with
     | QP.Hy { r; round4 } -> (r, round4)
@@ -268,65 +296,78 @@ let query_hy ctx header ~pad ~psize ~rs ~rt ~sx ~sy ~tx ~ty =
   let page, offset, span = lookup_entry ctx header ~psize rs rt in
   Session.next_round ctx.session;
   let store = store_create () in
-  let fetch_data_page region =
+  let fetch_data_page (region [@secret]) =
     let first = header.H.region_first_page.(region) in
     let pages = fetch_window ctx ~file:"combined" ~first ~count:1 in
     List.iter (add_record store region) (decode_region_window header pages)
   in
   let fetched_data = ref 0 in
-  let finish_with_regions regions =
+  let finish_with_regions (regions [@secret]) =
     let to_fetch = List.sort_uniq compare (rs :: rt :: Array.to_list regions) in
-    if List.length to_fetch > round4 then
-      failwith "Client: HY fetch set exceeds the query plan budget";
+    (if List.length to_fetch > round4 then
+       failwith "Client: HY fetch set exceeds the query plan budget")
+    [@leak_ok
+      "budget check fails closed with a constant message; a well-formed database \
+       never trips it (round4 bounds every region set plus endpoints)"];
     List.iter fetch_data_page to_fetch;
     fetched_data := !fetched_data + List.length to_fetch;
     let s = snap store rs ~x:sx ~y:sy and t = snap store rt ~x:tx ~y:ty in
     (dijkstra_store store ~source:s ~target:t, List.length to_fetch)
   in
-  let finish_with_triples triples =
+  let finish_with_triples (triples [@secret]) =
     fetch_data_page rs;
-    if rt <> rs then fetch_data_page rt else dummy_fetch ctx ~file:"combined";
+    (if rt <> rs then fetch_data_page rt else dummy_fetch ctx ~file:"combined")
+    [@leak_ok
+      "balanced branch: exactly one combined-file page is fetched either way"];
     fetched_data := !fetched_data + 2;
     Array.iter (add_triple store) triples;
     let s = snap store rs ~x:sx ~y:sy and t = snap store rt ~x:tx ~y:ty in
     (dijkstra_store store ~source:s ~target:t, 2)
   in
   let answer =
-    if span <= r_pages then begin
-      (* the whole record (and its reference chain) fits in round 3 *)
-      let start = max 0 (min page (header.H.data_offset - r_pages)) in
-      let window = fetch_window ctx ~file:"combined" ~first:start ~count:r_pages in
-      let decoded =
-        FB.decode ~quantize:header.H.config.E.quantize ~pages:window
-          ~base_page:(page - start) ~offset
-      in
-      Session.next_round ctx.session;
-      match decoded with
-      | FB.Regions regions -> finish_with_regions regions
-      | FB.Edges triples -> finish_with_triples triples
-    end
-    else begin
-      (* only subgraph records may span past r (r bounds region sets) *)
-      let head = fetch_window ctx ~file:"combined" ~first:page ~count:r_pages in
-      Session.next_round ctx.session;
-      let tail =
-        fetch_window ctx ~file:"combined" ~first:(page + r_pages)
-          ~count:(span - r_pages)
-      in
-      fetched_data := span - r_pages;
-      match
-        FB.decode ~quantize:header.H.config.E.quantize ~pages:(Array.append head tail)
-          ~base_page:0 ~offset
-      with
-      | FB.Edges triples -> finish_with_triples triples
-      | FB.Regions _ -> failwith "Client: HY record past r is not a subgraph"
-    end
+    (if span <= r_pages then begin
+       (* the whole record (and its reference chain) fits in round 3 *)
+       let start = max 0 (min page (header.H.data_offset - r_pages)) in
+       let window = fetch_window ctx ~file:"combined" ~first:start ~count:r_pages in
+       let decoded =
+         FB.decode ~quantize:header.H.config.E.quantize ~pages:window
+           ~base_page:(page - start) ~offset
+       in
+       Session.next_round ctx.session;
+       match decoded with
+       | FB.Regions regions -> finish_with_regions regions
+       | FB.Edges triples -> finish_with_triples triples
+     end
+     else begin
+       (* only subgraph records may span past r (r bounds region sets) *)
+       let head = fetch_window ctx ~file:"combined" ~first:page ~count:r_pages in
+       Session.next_round ctx.session;
+       let tail =
+         fetch_window ctx ~file:"combined" ~first:(page + r_pages)
+           ~count:(span - r_pages)
+       in
+       fetched_data := span - r_pages;
+       match
+         FB.decode ~quantize:header.H.config.E.quantize ~pages:(Array.append head tail)
+           ~base_page:0 ~offset
+       with
+       | FB.Edges triples -> finish_with_triples triples
+       | FB.Regions _ -> failwith "Client: HY record past r is not a subgraph"
+     end)
+    [@leak_ok
+      "both branches fetch exactly r combined pages in round 3; the long-record \
+       tail and every round-4 fetch count against the round4 budget, which the \
+       padding loop below tops up to its public value"]
   in
-  if pad then
-    for _ = !fetched_data + 1 to round4 do
-      dummy_fetch ctx ~file:"combined"
-    done;
+  (if pad then
+     for _ = !fetched_data + 1 to round4 do
+       dummy_fetch ctx ~file:"combined"
+     done)
+  [@leak_ok
+    "padding loop: real plus dummy round-4 fetches always sum to the public plan \
+     budget round4"];
   answer
+  [@@oblivious]
 
 (* ------------------------------------------------------------------ *)
 (* LM and AF (§4): incremental region fetching                         *)
@@ -375,7 +416,9 @@ let rect_distance (x0, y0, x1, y1) ~x ~y =
    stand-in: heuristic_scale times the rectangle's distance to the
    destination.  Without this, distant regions look free and get
    fetched eagerly. *)
-let query_incremental ctx header ~pad ~rs ~rt ~sx ~sy ~tx ~ty ~use_alt ~use_flags =
+let query_incremental ctx header ~pad ~rs:(rs [@secret]) ~rt:(rt [@secret])
+    ~sx:(sx [@secret]) ~sy:(sy [@secret]) ~tx:(tx [@secret]) ~ty:(ty [@secret])
+    ~use_alt ~use_flags =
   let budget_pages =
     match header.H.plan with
     | QP.Lm { total_data_pages } -> total_data_pages
@@ -385,47 +428,58 @@ let query_incremental ctx header ~pad ~rs ~rt ~sx ~sy ~tx ~ty ~use_alt ~use_flag
   let store = store_create () in
   let fetched = Hashtbl.create 16 in
   let pages_fetched = ref 0 in
-  let fetch region =
-    if not (Hashtbl.mem fetched region) then begin
-      Hashtbl.replace fetched region ();
-      fetch_region ctx header store ~file:"data" region;
-      pages_fetched := !pages_fetched + header.H.pages_per_region
-    end
+  let fetch (region [@secret]) =
+    (if not (Hashtbl.mem fetched region) then begin
+       Hashtbl.replace fetched region ();
+       fetch_region ctx header store ~file:"data" region;
+       pages_fetched := !pages_fetched + header.H.pages_per_region
+     end)
+    [@leak_ok
+      "region-level dedup: LM/AF deliberately trade access-pattern privacy for \
+       cost (DESIGN.md); with padding only the total page count — the public \
+       budget — is fixed, never the fetch order"]
   in
   (* round 2: the source and destination regions *)
   Session.next_round ctx.session;
   fetch rs;
-  if rt <> rs then fetch rt
-  else begin
-    for _ = 1 to header.H.pages_per_region do
-      dummy_fetch ctx ~file:"data"
-    done;
-    pages_fetched := !pages_fetched + header.H.pages_per_region
-  end;
+  (if rt <> rs then fetch rt
+   else begin
+     for _ = 1 to header.H.pages_per_region do
+       dummy_fetch ctx ~file:"data"
+     done;
+     pages_fetched := !pages_fetched + header.H.pages_per_region
+   end)
+  [@leak_ok
+    "balanced branch: both arms fetch exactly pages_per_region data pages in \
+     round 2"];
   let s = snap store rs ~x:sx ~y:sy and t = snap store rt ~x:tx ~y:ty in
   let t_record = Hashtbl.find store.records t in
   let rects = if use_alt then Some (region_rects header) else None in
   let dist = Hashtbl.create 1024 and parent = Hashtbl.create 1024 in
   let closed = Hashtbl.create 1024 in
   let region_of_frontier = Hashtbl.create 64 in
-  let h v =
-    if not use_alt then 0.0
-    else
-      match Hashtbl.find_opt store.records v with
-      | Some r -> alt_heuristic r t_record
-      | None -> (
-          (* unfetched: bound by its region's rectangle *)
-          match (rects, Hashtbl.find_opt region_of_frontier v) with
-          | Some rects, Some region ->
-              header.H.heuristic_scale
-              *. rect_distance rects.(region) ~x:t_record.E.x ~y:t_record.E.y
-          | _ -> 0.0)
+  let h (v [@secret]) =
+    (if not use_alt then 0.0
+     else
+       match Hashtbl.find_opt store.records v with
+       | Some r -> alt_heuristic r t_record
+       | None -> (
+           (* unfetched: bound by its region's rectangle *)
+           match (rects, Hashtbl.find_opt region_of_frontier v) with
+           | Some rects, Some region ->
+               header.H.heuristic_scale
+               *. rect_distance rects.(region) ~x:t_record.E.x ~y:t_record.E.y
+           | _ -> 0.0))
+    [@leak_ok
+      "heuristic evaluation is client-local arithmetic; it only steers which \
+       region the search pulls next, the incremental schemes' accepted \
+       access-pattern cost"]
   in
   let heap = Psp_util.Min_heap.create () in
   Hashtbl.replace dist s 0.0;
   Psp_util.Min_heap.push heap ~priority:(h s) s;
   let found = ref false in
-  while (not !found) && not (Psp_util.Min_heap.is_empty heap) do
+  (while (not !found) && not (Psp_util.Min_heap.is_empty heap) do
     match Psp_util.Min_heap.pop heap with
     | None -> ()
     | Some (key, u) ->
@@ -485,42 +539,57 @@ let query_incremental ctx header ~pad ~rs ~rt ~sx ~sy ~tx ~ty ~use_alt ~use_flag
                   record.E.adj
               end
         end
-  done;
-  if pad then
-    while !pages_fetched < budget_pages do
-      Session.next_round ctx.session;
-      for _ = 1 to header.H.pages_per_region do
-        dummy_fetch ctx ~file:"data"
-      done;
-      pages_fetched := !pages_fetched + header.H.pages_per_region
-    done;
+  done)
+  [@leak_ok
+    "the best-first search order is secret-dependent by design in LM/AF; every \
+     server-visible fetch it issues is counted against — and padded up to — the \
+     public page budget before the query returns"];
+  (if pad then
+     while !pages_fetched < budget_pages do
+       Session.next_round ctx.session;
+       for _ = 1 to header.H.pages_per_region do
+         dummy_fetch ctx ~file:"data"
+       done;
+       pages_fetched := !pages_fetched + header.H.pages_per_region
+     done)
+  [@leak_ok
+    "padding loop: tops the session up to the public page budget, one region's \
+     worth of dummy fetches per round"];
   let path =
-    if not !found then None
-    else begin
-      let rec build v acc =
-        match Hashtbl.find_opt parent v with
-        | None -> v :: acc
-        | Some p -> build p (v :: acc)
-      in
-      Some (build t [], Hashtbl.find dist t)
-    end
+    (if not !found then None
+     else begin
+       let rec build v acc =
+         match Hashtbl.find_opt parent v with
+         | None -> v :: acc
+         | Some p -> build p (v :: acc)
+       in
+       Some (build t [], Hashtbl.find dist t)
+     end)
+    [@leak_ok "path reconstruction is client-local; no fetch is issued after it"]
   in
   (* report the page budget consumed (in region units) rather than the
      distinct-region count: the rs = rt dummy slot counts against the
      plan, and calibration must budget for it *)
   (path, !pages_fetched / header.H.pages_per_region)
+  [@@oblivious]
 
 (* ------------------------------------------------------------------ *)
 
-let query ?(pad = true) ?(retry = default_retry) server ~sx ~sy ~tx ~ty =
-  let started = Sys.time () in
+let query ?(pad = true) ?(retry = default_retry) server ~sx:(sx [@secret])
+    ~sy:(sy [@secret]) ~tx:(tx [@secret]) ~ty:(ty [@secret]) =
+  let started =
+    (Sys.time ())
+    [@leak_ok
+      "wall-clock sample for the public stats record; it never influences the \
+       fetch schedule"]
+  in
   let session = Session.start server in
   let ctx = { session; policy = retry } in
   (* exhausting the retry budget degrades the result instead of raising:
      the session still finishes, so the partial trace and the recovery
      cost remain observable *)
   let outcome =
-    match
+    (match
       let header_pages = with_retry ctx (fun () -> Session.download session ~file:"header") in
       let header = H.of_pages header_pages in
       let psize = Bytes.length header_pages.(0) in
@@ -538,11 +607,20 @@ let query ?(pad = true) ?(retry = default_retry) server ~sx ~sy ~tx ~ty =
       | scheme -> failwith (Printf.sprintf "Client: unknown scheme %S" scheme)
     with
     | answer -> Ok answer
-    | exception Gave_up { point; attempts } -> Error (point, attempts)
+    | exception Gave_up { point; attempts } -> Error (point, attempts))
+    [@leak_ok
+      "the exception arm is steered by the fault schedule and retry budget alone \
+       (with_retry re-issues identical requests); degrading instead of raising \
+       keeps the partial trace and recovery cost observable"]
   in
   let stats = Session.finish session in
-  let client_seconds = Sys.time () -. started in
-  match outcome with
+  let client_seconds =
+    (Sys.time () -. started)
+    [@leak_ok
+      "wall-clock sample for the public stats record; the session is already \
+       finished"]
+  in
+  (match outcome with
   | Ok (path, regions_fetched) ->
       let status =
         match stats.Session.retries with
@@ -555,9 +633,14 @@ let query ?(pad = true) ?(retry = default_retry) server ~sx ~sy ~tx ~ty =
         stats;
         client_seconds;
         regions_fetched = 0;
-        status = Unavailable { point; attempts } }
+        status = Unavailable { point; attempts } })
+  [@leak_ok
+    "result assembly happens after the session closed; the server observes \
+     nothing from this match"]
+  [@@oblivious]
 
-let query_nodes ?pad ?retry server g s t =
+let query_nodes ?pad ?retry server g (s [@secret]) (t [@secret]) =
   let sx, sy = Psp_graph.Graph.coords g s in
   let tx, ty = Psp_graph.Graph.coords g t in
   query ?pad ?retry server ~sx ~sy ~tx ~ty
+  [@@oblivious]

@@ -145,19 +145,24 @@ let decode_region config blob =
 
 let lookup_entry_bytes = 10
 
+(* Look-up entries are fixed-width on purpose: the client reads one at a
+   secret-dependent offset, so a variable-length encoding (say, varints)
+   would turn the entry's position into a function of its content. *)
 let encode_lookup_entry ~page ~offset ~span =
   let w = W.create ~capacity:10 () in
   W.u32 w page;
   W.u32 w offset;
   W.u16 w span;
   W.contents w
+  [@@oblivious]
 
-let decode_lookup_entry blob ~pos =
+let decode_lookup_entry blob ~pos:(pos [@secret]) =
   let r = R.of_bytes ~pos blob in
   let page = R.u32 r in
   let offset = R.u32 r in
   let span = R.u16 r in
   (page, offset, span)
+  [@@oblivious]
 
 let encode_region_ids w ids =
   let prev = ref 0 in

@@ -9,6 +9,8 @@ type t =
   | Lm of { total_data_pages : int }
   | Af of { pages_per_region : int; max_regions : int }
 
+(* The plan is public by construction: everything below may depend only
+   on the published scheme parameters, never on a query. *)
 let pir_fetches = function
   | Ci { fi_span; m } -> [ ("lookup", 1); ("index", fi_span); ("data", m + 2) ]
   | Pi { fi_span } -> [ ("lookup", 1); ("index", fi_span); ("data", 2) ]
@@ -17,6 +19,7 @@ let pir_fetches = function
       [ ("lookup", 1); ("index", fi_span); ("data", 2 * cluster) ]
   | Lm { total_data_pages } -> [ ("data", total_data_pages) ]
   | Af { pages_per_region; max_regions } -> [ ("data", pages_per_region * max_regions) ]
+  [@@oblivious]
 
 let total_pir_fetches t = List.fold_left (fun acc (_, n) -> acc + n) 0 (pir_fetches t)
 
@@ -29,6 +32,7 @@ let rounds = function
       (* round 1 header, round 2 fetches two pages, then one per round *)
       1 + 1 + max 0 (total_data_pages - 2)
   | Af { max_regions; _ } -> 1 + 1 + max 0 (max_regions - 2)
+  [@@oblivious]
 
 let encode t =
   let w = W.create ~capacity:16 () in
@@ -56,6 +60,7 @@ let encode t =
       W.varint w pages_per_region;
       W.varint w max_regions);
   W.contents w
+  [@@oblivious]
 
 let decode blob =
   let r = R.of_bytes blob in

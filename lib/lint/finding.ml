@@ -1,0 +1,59 @@
+type rule =
+  | Secret_branch
+  | Secret_length
+  | Effectful_call
+  | Secret_exception
+  | Missing_justification
+
+let rule_slug = function
+  | Secret_branch -> "secret-branch"
+  | Secret_length -> "secret-length"
+  | Effectful_call -> "effectful-call"
+  | Secret_exception -> "secret-exception"
+  | Missing_justification -> "missing-justification"
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : rule;
+  func : string; (* enclosing [@@oblivious] binding *)
+  message : string;
+}
+
+let of_location ~rule ~func ~message (loc : Location.t) =
+  let p = loc.Location.loc_start in
+  { file = p.Lexing.pos_fname;
+    line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    rule;
+    func;
+    message }
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> Int.compare a.col b.col
+      | c -> c)
+  | c -> c
+
+let pp ppf t =
+  Format.fprintf ppf "%s:%d:%d: [%s] in %s: %s" t.file t.line t.col (rule_slug t.rule)
+    t.func t.message
+
+(* One audit entry per [@@oblivious] binding: what the analyzer saw. *)
+type audit = {
+  a_file : string;
+  a_line : int;
+  a_func : string;
+  secrets : string list; (* [@secret] sources in scope *)
+  justified : int; (* findings silenced by a justified [@leak_ok] *)
+  flagged : int; (* findings actually reported *)
+}
+
+let pp_audit ppf a =
+  Format.fprintf ppf "%s:%d: %s  secrets=[%s]  justified=%d  flagged=%d" a.a_file a.a_line
+    a.a_func
+    (String.concat ", " a.secrets)
+    a.justified a.flagged

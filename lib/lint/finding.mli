@@ -1,0 +1,34 @@
+(** Findings reported by the static obliviousness linter. *)
+
+type rule =
+  | Secret_branch  (** if/match/while/for steered by secret-derived data *)
+  | Secret_length  (** secret-dependent allocation or encoding length *)
+  | Effectful_call  (** oblivious code calling an ambient-effect function *)
+  | Secret_exception  (** secret-derived data embedded in an abort/exception *)
+  | Missing_justification  (** [\@leak_ok] without a non-empty reason string *)
+
+val rule_slug : rule -> string
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : rule;
+  func : string;
+  message : string;
+}
+
+val of_location : rule:rule -> func:string -> message:string -> Location.t -> t
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+type audit = {
+  a_file : string;
+  a_line : int;
+  a_func : string;
+  secrets : string list;
+  justified : int;
+  flagged : int;
+}
+
+val pp_audit : Format.formatter -> audit -> unit

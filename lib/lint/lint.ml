@@ -1,0 +1,90 @@
+(* Driver: load .cmt files, run the taint analysis, report. *)
+
+type report = {
+  findings : Finding.t list;
+  audits : Finding.audit list;
+  errors : string list; (* unreadable inputs *)
+  modules : int; (* implementations analyzed *)
+}
+
+let empty = { findings = []; audits = []; errors = []; modules = 0 }
+
+let merge a b =
+  { findings = a.findings @ b.findings;
+    audits = a.audits @ b.audits;
+    errors = a.errors @ b.errors;
+    modules = a.modules + b.modules }
+
+let analyze_cmt path =
+  match Cmt_format.read_cmt path with
+  | exception e ->
+      { empty with errors = [ Printf.sprintf "%s: %s" path (Printexc.to_string e) ] }
+  | cmt -> (
+      match cmt.Cmt_format.cmt_annots with
+      | Cmt_format.Implementation str ->
+          let findings, audits = Taint.analyze_structure str in
+          { empty with findings; audits; modules = 1 }
+      | _ -> empty)
+
+let is_cmt path =
+  Filename.check_suffix path ".cmt" && not (Filename.check_suffix path ".cmti")
+
+(* Directories are walked recursively; explicit files must be .cmt. *)
+let rec collect path =
+  match Sys.is_directory path with
+  | exception Sys_error e -> Error e
+  | true ->
+      let entries = Array.to_list (Sys.readdir path) in
+      List.fold_left
+        (fun acc entry ->
+          match (acc, collect (Filename.concat path entry)) with
+          | Error e, _ -> Error e
+          | Ok acc, Ok more -> Ok (acc @ more)
+          | Ok _, Error e -> Error e)
+        (Ok []) (List.sort compare entries)
+  | false -> if is_cmt path then Ok [ path ] else Ok []
+
+let run paths =
+  List.fold_left
+    (fun acc path ->
+      match collect path with
+      | Error e -> { acc with errors = acc.errors @ [ e ] }
+      | Ok cmts -> List.fold_left (fun acc cmt -> merge acc (analyze_cmt cmt)) acc cmts)
+    empty paths
+
+(* ------------------------------------------------------------------ *)
+(* CLI entry shared by bin/psplint and `pspc lint` *)
+
+let print_report ~quiet ~audit r =
+  if audit then begin
+    Printf.printf "oblivious functions audited: %d\n" (List.length r.audits);
+    List.iter
+      (fun a -> Format.printf "  %a@." Finding.pp_audit a)
+      (List.sort compare r.audits)
+  end;
+  if not quiet then
+    List.iter
+      (fun f -> Format.printf "%a@." Finding.pp f)
+      (List.sort Finding.compare r.findings);
+  List.iter (fun e -> Printf.eprintf "psplint: error: %s\n" e) r.errors;
+  let justified = List.fold_left (fun acc a -> acc + a.Finding.justified) 0 r.audits in
+  Printf.printf
+    "psplint: %d module(s), %d oblivious function(s), %d justified leak site(s), %d \
+     finding(s)\n"
+    r.modules (List.length r.audits) justified
+    (List.length r.findings)
+
+let exit_code r =
+  if r.errors <> [] then 2 else if r.findings <> [] then 1 else 0
+
+let main ~paths ~quiet ~audit =
+  if paths = [] then begin
+    Printf.eprintf
+      "psplint: no inputs (pass .cmt files or directories, e.g. _build/default/lib)\n";
+    2
+  end
+  else begin
+    let r = run paths in
+    print_report ~quiet ~audit r;
+    exit_code r
+  end

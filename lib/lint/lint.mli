@@ -1,0 +1,22 @@
+(** Linter driver: load [.cmt] files, analyze, report. *)
+
+type report = {
+  findings : Finding.t list;
+  audits : Finding.audit list;
+  errors : string list;
+  modules : int;
+}
+
+val analyze_cmt : string -> report
+(** Analyze one [.cmt] file.  Unreadable files land in [errors]; interface
+    and pack artifacts yield an empty report. *)
+
+val run : string list -> report
+(** Analyze every [.cmt] under the given files or directories. *)
+
+val print_report : quiet:bool -> audit:bool -> report -> unit
+val exit_code : report -> int
+(** [0] clean, [1] findings, [2] input errors. *)
+
+val main : paths:string list -> quiet:bool -> audit:bool -> int
+(** Full CLI behaviour: run, print, return the exit code. *)

@@ -1,0 +1,571 @@
+(* Taint-based obliviousness analysis over the typedtree.
+
+   Functions marked [@@oblivious] are checked: parameters (or any
+   pattern) marked [@secret] seed the taint, which propagates through
+   lets, applications, data-structure construction, known container
+   mutators and control dependence (anything bound or assigned under a
+   secret-steered branch is itself secret).  Reported:
+
+   - secret-branch:     if / match / while guard / for bound steered by taint
+   - secret-length:     tainted size argument to an allocation, or a
+                        variable-length encoder (varint) fed a tainted value
+   - effectful-call:    calls into ambient-effect APIs (I/O, clocks,
+                        randomness, process state) from oblivious code
+   - secret-exception:  tainted payload handed to raise/failwith/invalid_arg
+   - missing-justification: a [@leak_ok] escape hatch without a reason
+
+   A finding inside [(e [@leak_ok "reason"])] (or under a binding carrying
+   the attribute) is counted as justified instead of reported; the reason
+   string is mandatory.  The analysis is intraprocedural: local closures
+   taking secrets must mark their own parameters [@secret]. *)
+
+module SSet = Set.Make (String)
+module IMap = Map.Make (struct
+  type t = Ident.t
+
+  let compare = Ident.compare
+end)
+
+(* ------------------------------------------------------------------ *)
+(* Attribute helpers *)
+
+let attr_names = List.map (fun (a : Parsetree.attribute) -> a.attr_name.txt)
+let has_attr name attrs = List.mem name (attr_names attrs)
+
+let string_payload (a : Parsetree.attribute) =
+  match a.attr_payload with
+  | Parsetree.PStr
+      [ { pstr_desc =
+            Pstr_eval ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _ } ] ->
+      Some s
+  | _ -> None
+
+(* [@leak_ok "reason"] -> `Justified; [@leak_ok] / [@leak_ok ""] -> `Unjustified
+   (with the attribute's location); no attribute -> `Absent. *)
+let leak_ok attrs =
+  match
+    List.find_opt (fun (a : Parsetree.attribute) -> a.attr_name.txt = "leak_ok") attrs
+  with
+  | None -> `Absent
+  | Some a -> (
+      match string_payload a with
+      | Some s when String.trim s <> "" -> `Justified
+      | _ -> `Unjustified a.Parsetree.attr_loc)
+
+(* ------------------------------------------------------------------ *)
+(* Callee tables.  Names are matched after alias expansion and after
+   stripping the [Stdlib.] prefix. *)
+
+(* Entries ending in '.' or '_' are prefixes, others match exactly. *)
+let denylist =
+  [ "Printf.printf";
+    "Printf.eprintf";
+    "Printf.fprintf";
+    "Format.printf";
+    "Format.eprintf";
+    "Format.fprintf";
+    "print_";
+    "prerr_";
+    "output_";
+    "input_";
+    "really_input";
+    "read_line";
+    "read_int";
+    "read_float";
+    "open_";
+    "close_in";
+    "close_out";
+    "flush";
+    "flush_all";
+    "exit";
+    "at_exit";
+    "Sys.";
+    "Unix.";
+    "Random.";
+    "Out_channel.";
+    "In_channel.";
+    "Gc.";
+    "Domain.";
+    "Thread.";
+    "Mutex.";
+    "Condition.";
+    "Event.";
+    "Filename.temp_" ]
+
+let denylisted name =
+  List.exists
+    (fun entry ->
+      let n = String.length entry in
+      if n > 0 && (entry.[n - 1] = '.' || entry.[n - 1] = '_') then
+        String.length name >= n && String.sub name 0 n = entry
+      else name = entry)
+    denylist
+
+(* (suffix, index of the length-determining argument) *)
+let length_sensitive_table =
+  [ ("Bytes.create", 0);
+    ("Bytes.make", 0);
+    ("String.make", 0);
+    ("Array.make", 0);
+    ("Array.init", 0);
+    ("Array.create_float", 0);
+    ("List.init", 0);
+    ("Buffer.create", 0);
+    ("Byte_io.Writer.varint", 1);
+    ("Byte_io.Writer.bytes", 1);
+    ("Byte_io.varint_size", 0) ]
+
+(* (suffix, index of the mutated container argument) *)
+let mutator_table =
+  [ ("Hashtbl.replace", 0);
+    ("Hashtbl.add", 0);
+    ("Hashtbl.remove", 0);
+    ("Dyn_array.push", 0);
+    ("Min_heap.push", 0);
+    ("Buffer.add_string", 0);
+    ("Buffer.add_bytes", 0);
+    ("Buffer.add_char", 0);
+    ("Queue.add", 1);
+    ("Queue.push", 1);
+    ("Stack.push", 1);
+    ("Bytes.set", 0);
+    ("Bytes.blit", 2);
+    ("Bytes.fill", 0);
+    ("Array.set", 0);
+    ("Array.blit", 2);
+    ("Array.fill", 0) ]
+
+let suffix_match table name =
+  List.find_map
+    (fun (suffix, v) ->
+      let n = String.length name and s = String.length suffix in
+      if name = suffix then Some v
+      else if n > s && String.sub name (n - s) s = suffix && name.[n - s - 1] = '.' then
+        Some v
+      else None)
+    table
+
+let length_sensitive name = suffix_match length_sensitive_table name
+let mutator name = suffix_match mutator_table name
+let raise_like = [ "raise"; "raise_notrace"; "failwith"; "invalid_arg" ]
+
+let strip_stdlib name =
+  let prefix = "Stdlib." in
+  if String.length name > 7 && String.sub name 0 7 = prefix then
+    String.sub name 7 (String.length name - 7)
+  else name
+
+(* Expand a leading module alias (collected from `module X = Path` items
+   in the same file), repeatedly, then strip [Stdlib.]. *)
+let normalize aliases name =
+  let rec expand fuel name =
+    if fuel = 0 then name
+    else
+      match String.index_opt name '.' with
+      | None -> name
+      | Some i -> (
+          let head = String.sub name 0 i in
+          match List.assoc_opt head aliases with
+          | Some expansion ->
+              expand (fuel - 1) (expansion ^ String.sub name i (String.length name - i))
+          | None -> name)
+  in
+  strip_stdlib (expand 8 name)
+
+(* ------------------------------------------------------------------ *)
+(* The analysis proper *)
+
+type state = {
+  mutable vars : SSet.t IMap.t; (* ident -> secret sources it derives from *)
+  mutable changed : bool;
+  mutable findings : Finding.t list;
+  mutable justified : int;
+  mutable flagged : int;
+  mutable secrets : SSet.t; (* all seeds seen in this binding *)
+  aliases : (string * string) list;
+  func : string;
+}
+
+let taint_of st id = Option.value ~default:SSet.empty (IMap.find_opt id st.vars)
+
+let add_taint st id t =
+  if not (SSet.is_empty t) then begin
+    let old = taint_of st id in
+    let merged = SSet.union old t in
+    if not (SSet.equal old merged) then begin
+      st.vars <- IMap.add id merged st.vars;
+      st.changed <- true
+    end
+  end
+
+let describe t = String.concat ", " (SSet.elements t)
+
+let report st ~emit ~suppressed rule loc message =
+  if emit then
+    if suppressed then st.justified <- st.justified + 1
+    else begin
+      st.flagged <- st.flagged + 1;
+      st.findings <-
+        Finding.of_location ~rule ~func:st.func ~message loc :: st.findings
+    end
+
+(* Root identifier of an lvalue-ish expression: strips field projections
+   so that `t.shelter` mutations taint `t`. *)
+let rec root_ident (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_ident (Path.Pident id, _, _) -> Some id
+  | Texp_field (e, _, _) -> root_ident e
+  | _ -> None
+
+let seed_pattern (type k) st (p : k Typedtree.general_pattern) =
+  let seen_secret = ref false in
+  let mark (type k) (p : k Typedtree.general_pattern) =
+    if has_attr "secret" p.Typedtree.pat_attributes then begin
+      seen_secret := true;
+      List.iter
+        (fun id ->
+          let name = Ident.name id in
+          st.secrets <- SSet.add name st.secrets;
+          add_taint st id (SSet.singleton name))
+        (Typedtree.pat_bound_idents p)
+    end
+  in
+  let it =
+    { Tast_iterator.default_iterator with
+      pat =
+        (fun sub p ->
+          mark p;
+          Tast_iterator.default_iterator.pat sub p) }
+  in
+  it.pat it p;
+  !seen_secret
+
+(* Bind every variable of [p] with taint [t] (plus any [@secret] seeds). *)
+let bind_pattern (type k) st (p : k Typedtree.general_pattern) t =
+  ignore (seed_pattern st p);
+  List.iter (fun id -> add_taint st id t) (Typedtree.pat_bound_idents p)
+
+let callee_name st (fn : Typedtree.expression) =
+  match fn.exp_desc with
+  | Texp_ident (path, _, _) -> Some (normalize st.aliases (Path.name path))
+  | _ -> None
+
+(* [eval st ~emit ~suppressed ~ct e] returns the secret sources the value
+   of [e] may derive from.  [ct] is the control taint: sources steering
+   the branches enclosing [e].  [emit] is false during fixpoint rounds;
+   [suppressed] is true under a justified [@leak_ok]. *)
+let rec eval st ~emit ~suppressed ~ct (e : Typedtree.expression) =
+  let suppressed =
+    match leak_ok e.exp_attributes with
+    | `Justified -> true
+    | `Unjustified loc ->
+        report st ~emit ~suppressed:false Finding.Missing_justification loc
+          "[@leak_ok] requires a non-empty justification string";
+        suppressed
+    | `Absent -> suppressed
+  in
+  let eval1 = eval st ~emit ~suppressed ~ct in
+  let eval_opt = function None -> SSet.empty | Some e -> eval1 e in
+  let union_all = List.fold_left (fun acc e -> SSet.union acc (eval1 e)) SSet.empty in
+  match e.exp_desc with
+  | Texp_ident (Path.Pident id, _, _) -> taint_of st id
+  | Texp_ident _ | Texp_constant _ | Texp_unreachable | Texp_instvar _
+  | Texp_extension_constructor _ | Texp_new _ ->
+      SSet.empty
+  | Texp_let (_, vbs, body) ->
+      List.iter
+        (fun (vb : Typedtree.value_binding) ->
+          let suppressed =
+            match leak_ok vb.vb_attributes with
+            | `Justified -> true
+            | `Unjustified loc ->
+                report st ~emit ~suppressed:false Finding.Missing_justification loc
+                  "[@leak_ok] requires a non-empty justification string";
+                suppressed
+            | `Absent -> suppressed
+          in
+          let t = eval st ~emit ~suppressed ~ct vb.vb_expr in
+          bind_pattern st vb.vb_pat (SSet.union t ct))
+        vbs;
+      eval1 body
+  | Texp_function { cases; _ } ->
+      (* Analyze the body inline; the closure's own taint is whatever its
+         body may evaluate to, so applying it propagates captured secrets. *)
+      cases_taint st ~emit ~suppressed ~ct ~scrutinee:SSet.empty cases
+  | Texp_apply (fn, args) ->
+      let fn_taint = eval1 fn in
+      let arg_exprs = List.filter_map (fun (_, a) -> a) args in
+      let arg_taints = List.map eval1 arg_exprs in
+      let name = callee_name st fn in
+      let nth_taint i =
+        match List.nth_opt arg_taints i with Some t -> t | None -> SSet.empty
+      in
+      let nth_arg i = List.nth_opt arg_exprs i in
+      (match name with
+      | None -> ()
+      | Some name ->
+          if denylisted name then
+            report st ~emit ~suppressed Finding.Effectful_call e.exp_loc
+              (Printf.sprintf "call to ambient-effect function %s from oblivious code"
+                 name);
+          (match length_sensitive name with
+          | Some i when not (SSet.is_empty (nth_taint i)) ->
+              report st ~emit ~suppressed Finding.Secret_length e.exp_loc
+                (Printf.sprintf "length given to %s depends on secrets: %s" name
+                   (describe (nth_taint i)))
+          | _ -> ());
+          (match mutator name with
+          | Some i -> (
+              let payload =
+                List.fold_left SSet.union ct
+                  (List.filteri (fun j _ -> j <> i) arg_taints)
+              in
+              match nth_arg i with
+              | Some container when not (SSet.is_empty payload) -> (
+                  match root_ident container with
+                  | Some id -> add_taint st id payload
+                  | None -> ())
+              | _ -> ())
+          | None -> ());
+          if List.mem name raise_like then begin
+            let payload = List.fold_left SSet.union SSet.empty arg_taints in
+            if not (SSet.is_empty payload) then
+              report st ~emit ~suppressed Finding.Secret_exception e.exp_loc
+                (Printf.sprintf "exception payload carries secrets: %s"
+                   (describe payload))
+          end;
+          (* assignment through a reference *)
+          if name = ":=" || name = "incr" || name = "decr" then begin
+            let payload =
+              SSet.union ct
+                (match name with ":=" -> nth_taint 1 | _ -> SSet.empty)
+            in
+            match Option.bind (nth_arg 0) root_ident with
+            | Some id -> add_taint st id payload
+            | None -> ()
+          end);
+      List.fold_left SSet.union fn_taint arg_taints
+  | Texp_match (scrut, cases, _) ->
+      let t = eval1 scrut in
+      if (not (SSet.is_empty t)) && not (trivial_match cases) then
+        report st ~emit ~suppressed Finding.Secret_branch e.exp_loc
+          (Printf.sprintf "match scrutinee depends on secrets: %s" (describe t));
+      SSet.union t
+        (cases_taint st ~emit ~suppressed ~ct:(SSet.union ct t) ~scrutinee:t cases)
+  | Texp_try (body, cases) ->
+      let t = eval1 body in
+      SSet.union t (cases_taint st ~emit ~suppressed ~ct ~scrutinee:t cases)
+  | Texp_ifthenelse (cond, th, el) ->
+      let t = eval1 cond in
+      if not (SSet.is_empty t) then
+        report st ~emit ~suppressed Finding.Secret_branch e.exp_loc
+          (Printf.sprintf "conditional guard depends on secrets: %s" (describe t));
+      let ct' = SSet.union ct t in
+      let tb = eval st ~emit ~suppressed ~ct:ct' th in
+      let eb =
+        match el with
+        | None -> SSet.empty
+        | Some el -> eval st ~emit ~suppressed ~ct:ct' el
+      in
+      SSet.union t (SSet.union tb eb)
+  | Texp_while (cond, body) ->
+      let t = eval1 cond in
+      if not (SSet.is_empty t) then
+        report st ~emit ~suppressed Finding.Secret_branch e.exp_loc
+          (Printf.sprintf "while-loop guard depends on secrets: %s" (describe t));
+      ignore (eval st ~emit ~suppressed ~ct:(SSet.union ct t) body);
+      SSet.empty
+  | Texp_for (id, _, lo, hi, _, body) ->
+      let t = SSet.union (eval1 lo) (eval1 hi) in
+      if not (SSet.is_empty t) then
+        report st ~emit ~suppressed Finding.Secret_branch e.exp_loc
+          (Printf.sprintf "for-loop bound depends on secrets: %s" (describe t));
+      add_taint st id (SSet.union ct t);
+      ignore (eval st ~emit ~suppressed ~ct:(SSet.union ct t) body);
+      SSet.empty
+  | Texp_sequence (a, b) ->
+      ignore (eval1 a);
+      eval1 b
+  | Texp_tuple es | Texp_array es -> union_all es
+  | Texp_construct (_, _, es) -> union_all es
+  | Texp_variant (_, eo) -> eval_opt eo
+  | Texp_record { fields; extended_expression; _ } ->
+      let t =
+        Array.fold_left
+          (fun acc (_, def) ->
+            match def with
+            | Typedtree.Overridden (_, e) -> SSet.union acc (eval1 e)
+            | Typedtree.Kept _ -> acc)
+          SSet.empty fields
+      in
+      SSet.union t (eval_opt extended_expression)
+  | Texp_field (e, _, _) -> eval1 e
+  | Texp_setfield (target, _, _, value) ->
+      let tv = SSet.union ct (eval1 value) in
+      ignore (eval1 target);
+      (match root_ident target with
+      | Some id -> add_taint st id tv
+      | None -> ());
+      SSet.empty
+  | Texp_assert (cond, _) ->
+      let t = eval1 cond in
+      if not (SSet.is_empty t) then
+        report st ~emit ~suppressed Finding.Secret_branch e.exp_loc
+          (Printf.sprintf "assertion depends on secrets: %s" (describe t));
+      SSet.empty
+  | Texp_lazy e -> eval1 e
+  | Texp_letmodule (_, _, _, _, body) | Texp_open (_, body) -> eval1 body
+  | Texp_letexception (_, body) -> eval1 body
+  | Texp_letop { let_; ands; body; _ } ->
+      let t =
+        List.fold_left
+          (fun acc (bop : Typedtree.binding_op) -> SSet.union acc (eval1 bop.bop_exp))
+          (eval1 let_.bop_exp) ands
+      in
+      bind_pattern st body.c_lhs (SSet.union ct t);
+      SSet.union t (eval1 body.c_rhs)
+  | Texp_send (obj, _) -> eval1 obj
+  | Texp_setinstvar (_, _, _, e) ->
+      ignore (eval1 e);
+      SSet.empty
+  | Texp_override (_, overrides) ->
+      List.fold_left (fun acc (_, _, e) -> SSet.union acc (eval1 e)) SSet.empty overrides
+  | Texp_object _ | Texp_pack _ -> SSet.empty
+
+and cases_taint :
+    type k.
+    state ->
+    emit:bool ->
+    suppressed:bool ->
+    ct:SSet.t ->
+    scrutinee:SSet.t ->
+    k Typedtree.case list ->
+    SSet.t =
+ fun st ~emit ~suppressed ~ct ~scrutinee cases ->
+  List.fold_left
+    (fun acc (c : _ Typedtree.case) ->
+      bind_pattern st c.c_lhs (SSet.union ct scrutinee);
+      (match c.c_guard with Some g -> ignore (eval st ~emit ~suppressed ~ct g) | None -> ());
+      SSet.union acc (eval st ~emit ~suppressed ~ct c.c_rhs))
+    SSet.empty cases
+
+(* `match e with x -> ...` with a single catch-all value case selects
+   nothing, so a tainted scrutinee is not a branch leak there. *)
+and trivial_match (cases : Typedtree.computation Typedtree.case list) =
+  match cases with
+  | [ { c_lhs = { pat_desc = Tpat_value arg; _ }; c_guard = None; _ } ] -> (
+      match (arg :> Typedtree.pattern).pat_desc with
+      | Typedtree.Tpat_var _ | Typedtree.Tpat_any -> true
+      | _ -> false)
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Structure walking *)
+
+let analyze_binding ~aliases (vb : Typedtree.value_binding) =
+  let func =
+    match vb.vb_pat.pat_desc with
+    | Tpat_var (id, _) -> Ident.name id
+    | _ -> "<binding>"
+  in
+  let st =
+    { vars = IMap.empty;
+      changed = false;
+      findings = [];
+      justified = 0;
+      flagged = 0;
+      secrets = SSet.empty;
+      aliases;
+      func }
+  in
+  let suppressed =
+    match leak_ok vb.vb_attributes with
+    | `Justified -> true
+    | `Unjustified _ | `Absent -> false
+  in
+  (* Fixpoint: back edges (refs mutated under secret control read earlier
+     in the loop body) need repeated rounds before reporting. *)
+  let rounds = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !rounds < 16 do
+    st.changed <- false;
+    ignore (eval st ~emit:false ~suppressed ~ct:SSet.empty vb.vb_expr);
+    incr rounds;
+    if not st.changed then continue_ := false
+  done;
+  ignore (eval st ~emit:true ~suppressed ~ct:SSet.empty vb.vb_expr);
+  let audit =
+    { Finding.a_file = vb.vb_loc.loc_start.pos_fname;
+      a_line = vb.vb_loc.loc_start.pos_lnum;
+      a_func = func;
+      secrets = SSet.elements st.secrets;
+      justified = st.justified;
+      flagged = st.flagged }
+  in
+  (List.rev st.findings, audit)
+
+let rec analyze_items ~aliases items =
+  let findings = ref [] and audits = ref [] in
+  let aliases = ref aliases in
+  List.iter
+    (fun (item : Typedtree.structure_item) ->
+      match item.str_desc with
+      | Tstr_value (_, vbs) ->
+          List.iter
+            (fun (vb : Typedtree.value_binding) ->
+              if has_attr "oblivious" vb.vb_attributes then begin
+                let fs, a = analyze_binding ~aliases:!aliases vb in
+                findings := !findings @ fs;
+                audits := !audits @ [ a ]
+              end)
+            vbs
+      | Tstr_module mb -> (
+          match module_payload mb with
+          | `Alias (name, target) -> aliases := (name, target) :: !aliases
+          | `Structure (name, items) ->
+              let fs, au = analyze_items ~aliases:!aliases items in
+              let qualify (f : Finding.t) = { f with func = name ^ "." ^ f.func } in
+              findings := !findings @ List.map qualify fs;
+              audits :=
+                !audits
+                @ List.map
+                    (fun (a : Finding.audit) ->
+                      { a with Finding.a_func = name ^ "." ^ a.a_func })
+                    au
+          | `Other -> ())
+      | Tstr_recmodule mbs ->
+          List.iter
+            (fun mb ->
+              match module_payload mb with
+              | `Structure (name, items) ->
+                  let fs, au = analyze_items ~aliases:!aliases items in
+                  findings :=
+                    !findings
+                    @ List.map (fun (f : Finding.t) -> { f with func = name ^ "." ^ f.func }) fs;
+                  audits :=
+                    !audits
+                    @ List.map
+                        (fun (a : Finding.audit) ->
+                          { a with Finding.a_func = name ^ "." ^ a.a_func })
+                        au
+              | _ -> ())
+            mbs
+      | _ -> ())
+    items;
+  (!findings, !audits)
+
+and module_payload (mb : Typedtree.module_binding) =
+  let name = match mb.mb_name.txt with Some n -> n | None -> "_" in
+  let rec strip (me : Typedtree.module_expr) =
+    match me.mod_desc with
+    | Tmod_constraint (me, _, _, _) -> strip me
+    | desc -> desc
+  in
+  match strip mb.mb_expr with
+  | Tmod_ident (p, _) -> `Alias (name, Path.name p)
+  | Tmod_structure { str_items; _ } -> `Structure (name, str_items)
+  | _ -> `Other
+
+let analyze_structure (str : Typedtree.structure) =
+  analyze_items ~aliases:[] str.str_items

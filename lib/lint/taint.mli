@@ -1,0 +1,26 @@
+(** Taint-based obliviousness analysis over the typedtree.
+
+    [analyze_structure] scans an implementation for value bindings marked
+    [\@\@oblivious], seeds taint at patterns marked [\@secret], and returns
+    the findings together with one audit record per checked binding.  See
+    DESIGN.md §4 for the rule set and annotation conventions. *)
+
+val analyze_structure : Typedtree.structure -> Finding.t list * Finding.audit list
+
+(** {2 Callee classification — exposed for unit tests} *)
+
+val normalize : (string * string) list -> string -> string
+(** [normalize aliases name] expands a leading module alias and strips the
+    [Stdlib.] prefix, e.g. [normalize ["W", "Psp_util.Byte_io.Writer"]
+    "W.varint" = "Psp_util.Byte_io.Writer.varint"]. *)
+
+val denylisted : string -> bool
+(** Ambient-effect functions oblivious code must not call. *)
+
+val length_sensitive : string -> int option
+(** [Some i] when argument [i] of the named function determines an
+    allocation or encoding length. *)
+
+val mutator : string -> int option
+(** [Some i] when the named function mutates its [i]-th argument with the
+    other arguments' data (container writes propagate taint). *)

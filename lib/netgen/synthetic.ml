@@ -6,7 +6,7 @@ type spec = { nodes : int; edges : int; width : float; height : float; seed : in
    undirected streets.  [factor] models road curvature: the traversal
    cost is factor * straight-line length, always >= 1 so the Euclidean
    heuristic stays admissible. *)
-type street = { mutable u : int; mutable v : int; factor : float }
+type street = { u : int; mutable v : int; factor : float }
 
 type state = {
   xs : float Psp_util.Dyn_array.t;

@@ -34,6 +34,7 @@ let encrypt_slot ~key ~slot plaintext =
   let cipher = Psp_crypto.Chacha20.encrypt ~key ~nonce:(slot_nonce slot) plaintext in
   let mac_key = Psp_crypto.Hmac.derive ~key ~label:"slot-mac" in
   Bytes.cat cipher (Psp_crypto.Hmac.mac ~key:mac_key (Bytes.cat (slot_nonce slot) cipher))
+  [@@oblivious]
 
 let decrypt_slot ~key ~slot stored =
   let n = Bytes.length stored - 32 in
@@ -44,6 +45,7 @@ let decrypt_slot ~key ~slot stored =
   if not (Psp_crypto.Hmac.verify ~key:mac_key (Bytes.cat (slot_nonce slot) cipher) ~tag)
   then raise (Tampering_detected { slot });
   Psp_crypto.Chacha20.decrypt ~key ~nonce:(slot_nonce slot) cipher
+  [@@oblivious]
 
 (* Re-scatter every page (and fresh dummies) under this epoch's keys. *)
 let shuffle t =
@@ -61,6 +63,7 @@ let shuffle t =
   t.slots <- slots;
   Hashtbl.reset t.shelter;
   t.dummy_cursor <- 0
+  [@@oblivious]
 
 let create ~key file =
   let n = Psp_storage.Page_file.page_count file in
@@ -86,15 +89,16 @@ let slot_count t = t.n + t.dummies
 let shelter_capacity t = t.dummies
 let epoch t = t.epoch
 
-let read t i =
-  if i < 0 || i >= t.n then invalid_arg "Oblivious_store.read: page out of range";
+let read t (i [@secret]) =
+  (if i < 0 || i >= t.n then invalid_arg "Oblivious_store.read: page out of range")
+  [@leak_ok "bounds check fails closed with a constant message before any slot is touched"];
   let enc_key = Psp_crypto.Hmac.derive ~key:(epoch_key t) ~label:"enc" in
   let fetch_slot slot =
     Psp_util.Dyn_array.push t.trace (Slot { epoch = t.epoch; slot });
     decrypt_slot ~key:enc_key ~slot t.slots.(slot)
   in
   let result =
-    match Hashtbl.find_opt t.shelter i with
+    (match Hashtbl.find_opt t.shelter i with
     | Some cached ->
         (* already sheltered: touch the next unused dummy instead, so the
            host cannot tell a repeat from a fresh read *)
@@ -106,16 +110,23 @@ let read t i =
         let slot = Psp_crypto.Feistel.forward t.perm i in
         let page = fetch_slot slot in
         Hashtbl.replace t.shelter i page;
-        page
+        page)
+    [@leak_ok
+      "both arms touch exactly one freshly permuted physical slot: a sheltered hit \
+       consumes the next unused dummy, a miss fetches the target"]
   in
   (* sheltered + consumed dummies = accesses this epoch; reshuffling at a
      fixed access count keeps the epoch cadence pattern-independent *)
-  if Hashtbl.length t.shelter + t.dummy_cursor >= t.dummies then begin
-    t.epoch <- t.epoch + 1;
-    Psp_util.Dyn_array.push t.trace (Reshuffle { epoch = t.epoch });
-    shuffle t
-  end;
+  (if Hashtbl.length t.shelter + t.dummy_cursor >= t.dummies then begin
+     t.epoch <- t.epoch + 1;
+     Psp_util.Dyn_array.push t.trace (Reshuffle { epoch = t.epoch });
+     shuffle t
+   end)
+  [@leak_ok
+    "shelter size + consumed dummies advances by one per read, so the reshuffle \
+     cadence is a public function of the access count alone"];
   result
+  [@@oblivious]
 
 let physical_trace t = Psp_util.Dyn_array.to_list t.trace
 let clear_trace t = Psp_util.Dyn_array.clear t.trace

@@ -82,6 +82,7 @@ let rebuild t level contents =
           (Bytes.make t.page_size '\000')
   done;
   Psp_util.Dyn_array.push t.trace (Rebuild { level = level.depth; items = domain })
+  [@@oblivious]
 
 let create ?(cache_capacity = 4) ~key file =
   let n = Psp_storage.Page_file.page_count file in
@@ -146,12 +147,14 @@ let touch_dummy t level =
       (Printf.sprintf "Pyramid_store: level %d dummy budget exhausted" level.depth);
   level.dummy_cursor <- level.dummy_cursor + 1;
   Psp_util.Dyn_array.push t.trace (Slot { level = level.depth; epoch = level.epoch; slot })
+  [@@oblivious]
 
-let touch_real t level id =
+let touch_real t level (id [@secret]) =
   let slot = Hashtbl.find level.assign id in
   Psp_util.Dyn_array.push t.trace (Slot { level = level.depth; epoch = level.epoch; slot });
   let enc_key = Psp_crypto.Hmac.derive ~key:(level_key t level) ~label:"enc" in
   Psp_crypto.Chacha20.decrypt ~key:enc_key ~nonce:(slot_nonce slot) level.slots.(slot)
+  [@@oblivious]
 
 (* base-4 merge counter: flush f lands in level 1 + (times 4 divides f) *)
 let merge_target t =
@@ -176,33 +179,43 @@ let flush t =
     rebuild t t.levels.(j) (Hashtbl.create 8)
   done;
   t.cache <- []
+  [@@oblivious]
 
-let read t id =
-  if id < 0 || id >= t.n then invalid_arg "Pyramid_store.read: page out of range";
+let read t (id [@secret]) =
+  (if id < 0 || id >= t.n then invalid_arg "Pyramid_store.read: page out of range")
+  [@leak_ok "bounds check fails closed with a constant message before any slot is touched"];
   let found = ref (List.assoc_opt id t.cache) in
-  Array.iter
-    (fun level ->
-      match !found with
-      | Some _ -> touch_dummy t level
-      | None ->
-          if Psp_crypto.Bloom.mem level.bloom id then
-            if Hashtbl.mem level.assign id then found := Some (touch_real t level id)
-            else begin
-              (* Bloom false positive: covered by a dummy touch *)
-              t.fp <- t.fp + 1;
-              touch_dummy t level
-            end
-          else touch_dummy t level)
-    t.levels;
+  (Array.iter
+     (fun level ->
+       match !found with
+       | Some _ -> touch_dummy t level
+       | None ->
+           if Psp_crypto.Bloom.mem level.bloom id then
+             if Hashtbl.mem level.assign id then found := Some (touch_real t level id)
+             else begin
+               (* Bloom false positive: covered by a dummy touch *)
+               t.fp <- t.fp + 1;
+               touch_dummy t level
+             end
+           else touch_dummy t level)
+     t.levels)
+  [@leak_ok
+    "every level is touched exactly once per read — the real slot on the first hit, a \
+     fresh dummy otherwise — so the per-level slot sequence is independent of the page"];
   let page =
-    match !found with
+    (match !found with
     | Some page -> page
-    | None -> failwith "Pyramid_store: page lost (invariant violation)"
+    | None -> failwith "Pyramid_store: page lost (invariant violation)")
+    [@leak_ok "a lost page is an invariant violation; fails closed with a constant message"]
   in
   t.cache <- (id, page) :: t.cache;
   t.queries <- t.queries + 1;
-  if t.queries mod t.cache_capacity = 0 then flush t;
+  (if t.queries mod t.cache_capacity = 0 then flush t)
+  [@leak_ok
+    "the query counter advances by one per read, so the flush-and-rebuild cadence is a \
+     public function of the access count alone"];
   page
+  [@@oblivious]
 
 let physical_trace t = Psp_util.Dyn_array.to_list t.trace
 let clear_trace t = Psp_util.Dyn_array.clear t.trace

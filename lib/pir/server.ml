@@ -88,15 +88,19 @@ module Session = struct
   let next_round t =
     t.round <- t.round + 1;
     t.comm_seconds <- t.comm_seconds +. t.server.cost.Cost_model.rtt
+    [@@oblivious]
 
   let round t = t.round
 
-  let fetch t ~file:name ~page =
+  let fetch t ~file:name ~page:(page [@secret]) =
     let f = file t.server name in
     let pages = Psp_storage.Page_file.page_count f in
-    if page < 0 || page >= pages then
-      invalid_arg
-        (Printf.sprintf "Session.fetch(%s): page %d out of range [0,%d)" name page pages);
+    (* the requested page index is secret: the abort message may only name
+       the file and its public page range, never the index itself *)
+    (if page < 0 || page >= pages then
+       invalid_arg
+         (Printf.sprintf "Session.fetch(%s): page out of range [0,%d)" name pages))
+    [@leak_ok "bounds check fails closed; the message is redacted to public data"];
     t.pir_seconds <- t.pir_seconds +. Cost_model.pir_fetch_seconds t.server.cost ~file_pages:pages;
     t.comm_seconds <-
       t.comm_seconds
@@ -116,18 +120,25 @@ module Session = struct
           | Pyramid store -> Pyramid_store.read store page)
     in
     let bytes =
-      if Psp_fault.Fault.fires "pir.fetch.corrupt" then begin
-        (* flip one bit; the checksum gate below must catch it *)
-        let b = Bytes.copy bytes in
-        if Bytes.length b > 0 then
-          Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x01));
-        b
-      end
-      else bytes
+      (if Psp_fault.Fault.fires "pir.fetch.corrupt" then begin
+         (* flip one bit; the checksum gate below must catch it *)
+         let b = Bytes.copy bytes in
+         if Bytes.length b > 0 then
+           Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x01));
+         b
+       end
+       else bytes)
+      [@leak_ok
+        "fault-injection test hook: flips one bit of the already-fetched page, whose \
+         length is the file's public page size"]
     in
-    if not (Psp_storage.Page_file.verify_page f page bytes) then
-      raise (Page_corrupt { file = name; page });
+    (if not (Psp_storage.Page_file.verify_page f page bytes) then
+       raise (Page_corrupt { file = name; page }))
+    [@leak_ok
+      "integrity failure aborts the query; the exception stays inside the client trust \
+       boundary and Client.recoverable redacts it to the file name before reporting"];
     bytes
+    [@@oblivious]
 
   let download t ~file:name =
     let f = file t.server name in
@@ -138,6 +149,7 @@ module Session = struct
     Trace.record t.trace (Trace.Plain_download { round = t.round; file = name; pages });
     Psp_fault.Fault.inject "pir.download.transient";
     Array.init pages (Psp_storage.Page_file.read f)
+    [@@oblivious]
 
   let plain_fetch t ~file:name ~page =
     let f = file t.server name in
@@ -153,6 +165,7 @@ module Session = struct
     t.retries <- t.retries + 1;
     t.recovery_seconds <- t.recovery_seconds +. backoff;
     t.comm_seconds <- t.comm_seconds +. backoff
+    [@@oblivious]
 
   let finish t =
     { rounds = t.round;

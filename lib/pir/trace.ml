@@ -5,7 +5,7 @@ type event =
 type t = { events : event Psp_util.Dyn_array.t }
 
 let create () = { events = Psp_util.Dyn_array.create () }
-let record t e = Psp_util.Dyn_array.push t.events e
+let record t e = Psp_util.Dyn_array.push t.events e [@@oblivious]
 let events t = Psp_util.Dyn_array.to_list t.events
 let length t = Psp_util.Dyn_array.length t.events
 
@@ -21,6 +21,7 @@ let fingerprint t =
           Buffer.add_string buf (Printf.sprintf "D%d:%s:%d;" round file pages))
     (events t);
   Psp_crypto.Sha256.hex (Psp_crypto.Sha256.digest_string (Buffer.contents buf))
+  [@@oblivious]
 
 let per_round_file_counts t =
   let table = Hashtbl.create 16 in

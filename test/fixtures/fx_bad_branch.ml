@@ -1,0 +1,40 @@
+(* Secret-dependent control flow: every EXPECT line must be flagged. *)
+
+let branch_on_secret (x [@secret]) =
+  if x > 0 then 1 else 0 (* EXPECT: secret-branch *)
+  [@@oblivious]
+
+let match_on_secret (x [@secret]) =
+  match x with (* EXPECT: secret-branch *)
+  | 0 -> "zero"
+  | _ -> "other"
+  [@@oblivious]
+
+let loop_to_secret (n [@secret]) =
+  let total = ref 0 in
+  for i = 1 to n do (* EXPECT: secret-branch *)
+    total := !total + i
+  done;
+  !total
+  [@@oblivious]
+
+let while_on_secret (n [@secret]) =
+  let k = ref n in
+  while !k > 0 do (* EXPECT: secret-branch *)
+    decr k
+  done
+  [@@oblivious]
+
+(* Taint must flow through lets and arithmetic before the branch. *)
+let branch_on_derived (x [@secret]) =
+  let y = (x * 3) + 1 in
+  let z = y mod 7 in
+  if z = 0 then "divisible" else "not" (* EXPECT: secret-branch *)
+  [@@oblivious]
+
+(* Implicit flow: a ref written under a secret branch carries taint. *)
+let implicit_flow (x [@secret]) =
+  let flag = ref false in
+  (if x > 10 then flag := true) [@leak_ok "the branch itself is accounted for"];
+  if !flag then 1 else 0 (* EXPECT: secret-branch *)
+  [@@oblivious]

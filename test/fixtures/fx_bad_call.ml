@@ -1,0 +1,33 @@
+(* Ambient effects inside oblivious code, and escape hatches without a
+   justification.  An unjustified [@leak_ok] does NOT suppress the
+   underlying finding: both are reported. *)
+
+let print_progress (x [@secret]) =
+  Printf.printf "step\n"; (* EXPECT: effectful-call *)
+  x + 1
+  [@@oblivious]
+
+let timestamped (x [@secret]) =
+  let t = Sys.time () in (* EXPECT: effectful-call *)
+  x + int_of_float t
+  [@@oblivious]
+
+let random_pad (x [@secret]) =
+  x + Random.int 7 (* EXPECT: effectful-call *)
+  [@@oblivious]
+
+(* Effects are flagged even when no secret is in sight: oblivious code
+   must not touch ambient channels at all. *)
+let leaks_nothing_but_still_flagged () =
+  print_string "hello" (* EXPECT: effectful-call *)
+  [@@oblivious]
+
+let unjustified_hatch (x [@secret]) =
+  (if x > 0 then 1 else 0) (* EXPECT: secret-branch *)
+  [@leak_ok] (* EXPECT: missing-justification *)
+  [@@oblivious]
+
+let empty_reason (x [@secret]) =
+  (if x land 1 = 1 then 1 else 0) (* EXPECT: secret-branch *)
+  [@leak_ok "   "] (* EXPECT: missing-justification *)
+  [@@oblivious]

@@ -1,0 +1,26 @@
+(* Known-good oblivious code: psplint must report zero findings here. *)
+
+(* Straight-line arithmetic on a secret is fine. *)
+let mask (x [@secret]) = x land 0xFF [@@oblivious]
+
+(* Branching on public data is fine, even next to a secret. *)
+let clamp limit (x [@secret]) = if limit > 0 then x mod limit else x [@@oblivious]
+
+(* Constant-length allocation is fine; only the *length* is checked. *)
+let widen (x [@secret]) =
+  let b = Bytes.make 8 '\000' in
+  Bytes.set b 0 (Char.chr (x land 0xFF));
+  b
+  [@@oblivious]
+
+(* Arithmetic select: no branch, both inputs always evaluated. *)
+let select (bit [@secret]) a b = (bit * a) + ((1 - bit) * b) [@@oblivious]
+
+(* A secret-steered branch is allowed when justified. *)
+let balanced_touch (bit [@secret]) pages =
+  (if bit = 1 then Array.set pages 0 1 else Array.set pages 0 0)
+  [@leak_ok "balanced branch: both arms write exactly one slot of a local array"]
+  [@@oblivious]
+
+(* Non-oblivious helpers are out of scope: effects are fine here. *)
+let debug_print x = Printf.printf "x=%d\n" x

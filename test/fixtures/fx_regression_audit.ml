@@ -1,0 +1,21 @@
+(* Regression guard for the leak the annotation audit surfaced in
+   Server.Session.fetch: the bounds-check message embedded the secret
+   page index, so a logged or surfaced exception revealed which page the
+   client asked for.  The broken shape is preserved here so psplint can
+   never silently stop catching it; the repaired shape below must stay
+   clean. *)
+
+let fetch_unredacted name pages (page [@secret]) =
+  (if page < 0 || page >= pages then (* EXPECT: secret-branch *)
+     invalid_arg (Printf.sprintf "fetch(%s): page %d out of range" name page)); (* EXPECT: secret-exception *)
+  page * 2
+  [@@oblivious]
+
+(* The repaired shape: message redacted to public data, bounds check
+   justified — zero findings expected. *)
+let fetch_redacted name pages (page [@secret]) =
+  (if page < 0 || page >= pages then
+     invalid_arg (Printf.sprintf "fetch(%s): page out of range [0,%d)" name pages))
+  [@leak_ok "bounds check fails closed; the message is redacted to public data"];
+  page * 2
+  [@@oblivious]

@@ -1,0 +1,200 @@
+(* psplint: unit tests for callee classification and taint plumbing, plus
+   end-to-end runs over the compiled fixtures in test/fixtures/.
+
+   The fixture sources carry [(* EXPECT: rule-slug *)] markers on the
+   exact line a finding must be reported; the expectations are re-read
+   from the source at test time, so fixture edits cannot silently drift
+   out of sync with the assertions. *)
+
+module Lint = Psp_lint.Lint
+module Taint = Psp_lint.Taint
+module Finding = Psp_lint.Finding
+
+(* Paths are relative to the test runner's cwd, [_build/default/test]. *)
+let fixture_src name = Filename.concat "fixtures" (name ^ ".ml")
+
+let fixture_cmt name =
+  Filename.concat "fixtures/.psp_lint_fixtures.objs/byte"
+    ("psp_lint_fixtures__" ^ String.capitalize_ascii name ^ ".cmt")
+
+let lib_cmt lib m =
+  Printf.sprintf "../lib/%s/.psp_%s.objs/byte/psp_%s__%s.cmt" lib lib lib m
+
+(* ------------------------------------------------------------------ *)
+(* Unit: name normalization and callee tables *)
+
+let test_normalize () =
+  let aliases =
+    [ ("W", "Psp_util.Byte_io.Writer");
+      ("Session", "Psp_pir.Server.Session");
+      ("S2", "Session") ]
+  in
+  Alcotest.(check string)
+    "alias expanded" "Psp_util.Byte_io.Writer.varint"
+    (Taint.normalize aliases "W.varint");
+  Alcotest.(check string)
+    "chained alias" "Psp_pir.Server.Session.fetch"
+    (Taint.normalize aliases "S2.fetch");
+  Alcotest.(check string)
+    "stdlib stripped" "Sys.time"
+    (Taint.normalize [] "Stdlib.Sys.time");
+  Alcotest.(check string) "bare name untouched" "foo" (Taint.normalize aliases "foo");
+  Alcotest.(check string)
+    "unknown module untouched" "Other.f" (Taint.normalize aliases "Other.f")
+
+let test_denylist () =
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " denied") true (Taint.denylisted name))
+    [ "Printf.printf"; "Sys.time"; "Unix.gettimeofday"; "Random.int";
+      "print_string"; "exit"; "Out_channel.open_text" ];
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " allowed") false (Taint.denylisted name))
+    [ "Printf.sprintf"; "Format.asprintf"; "List.iter"; "Hashtbl.replace";
+      "Psp_pir.Server.Session.fetch"; "exitf" ]
+
+let test_length_sensitive () =
+  Alcotest.(check (option int)) "Bytes.create" (Some 0)
+    (Taint.length_sensitive "Bytes.create");
+  Alcotest.(check (option int)) "qualified varint" (Some 1)
+    (Taint.length_sensitive "Psp_util.Byte_io.Writer.varint");
+  Alcotest.(check (option int)) "suffix needs module boundary" None
+    (Taint.length_sensitive "MyBytes.create");
+  Alcotest.(check (option int)) "plain call" None (Taint.length_sensitive "List.map")
+
+let test_mutator () =
+  Alcotest.(check (option int)) "Hashtbl.replace" (Some 0)
+    (Taint.mutator "Hashtbl.replace");
+  Alcotest.(check (option int)) "Queue.add mutates arg 1" (Some 1)
+    (Taint.mutator "Queue.add");
+  Alcotest.(check (option int)) "qualified Dyn_array.push" (Some 0)
+    (Taint.mutator "Psp_util.Dyn_array.push");
+  Alcotest.(check (option int)) "reader is not a mutator" None
+    (Taint.mutator "Hashtbl.find_opt")
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: fixtures with EXPECT markers *)
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc n =
+    match input_line ic with
+    | line -> go ((n, line) :: acc) (n + 1)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go [] 1
+
+(* Every [(* EXPECT: slug *)] occurrence, as a (line, slug) list. *)
+let expectations path =
+  let marker = "(* EXPECT: " in
+  let mlen = String.length marker in
+  let find_marker line pos =
+    let n = String.length line in
+    let rec go i =
+      if i + mlen > n then None
+      else if String.sub line i mlen = marker then Some i
+      else go (i + 1)
+    in
+    go pos
+  in
+  List.concat_map
+    (fun (n, line) ->
+      let rec scan pos acc =
+        match find_marker line pos with
+        | None -> List.rev acc
+        | Some i -> (
+            let start = i + mlen in
+            match String.index_from_opt line start ' ' with
+            | None -> List.rev acc
+            | Some stop -> scan stop ((n, String.sub line start (stop - start)) :: acc))
+      in
+      scan 0 [])
+    (read_lines path)
+
+let found_pairs (r : Lint.report) =
+  List.map (fun (f : Finding.t) -> (f.line, Finding.rule_slug f.rule)) r.findings
+
+let finding_pair = Alcotest.(pair int string)
+let sorted = List.sort compare
+
+let check_fixture name () =
+  let r = Lint.analyze_cmt (fixture_cmt name) in
+  Alcotest.(check (list string)) "no read errors" [] r.errors;
+  Alcotest.(check (list finding_pair))
+    (name ^ " findings match EXPECT markers")
+    (sorted (expectations (fixture_src name)))
+    (sorted (found_pairs r))
+
+let test_good_audit () =
+  let r = Lint.analyze_cmt (fixture_cmt "fx_good") in
+  Alcotest.(check (list string)) "no read errors" [] r.errors;
+  Alcotest.(check int) "five audited functions" 5 (List.length r.audits);
+  Alcotest.(check bool) "one justified site" true
+    (List.exists (fun (a : Finding.audit) -> a.justified = 1) r.audits);
+  (* debug_print is not [@@oblivious], so its printf must not appear *)
+  Alcotest.(check (list finding_pair)) "clean" [] (found_pairs r)
+
+let test_exit_codes () =
+  Alcotest.(check int) "clean -> 0" 0
+    (Lint.exit_code (Lint.analyze_cmt (fixture_cmt "fx_good")));
+  Alcotest.(check int) "findings -> 1" 1
+    (Lint.exit_code (Lint.analyze_cmt (fixture_cmt "fx_bad_branch")));
+  Alcotest.(check int) "unreadable -> 2" 2
+    (Lint.exit_code (Lint.analyze_cmt "fixtures/no_such_file.cmt"))
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: the real oblivious core must stay clean *)
+
+let core_cmts =
+  [ lib_cmt "core" "Client";
+    lib_cmt "pir" "Server";
+    lib_cmt "pir" "Oblivious_store";
+    lib_cmt "pir" "Pyramid_store";
+    lib_cmt "pir" "Trace";
+    lib_cmt "index" "Query_plan";
+    lib_cmt "index" "Encoding" ]
+
+let test_oblivious_core_clean () =
+  let r = Lint.run core_cmts in
+  Alcotest.(check (list string)) "no read errors" [] r.errors;
+  Alcotest.(check (list finding_pair)) "zero findings on the oblivious core" []
+    (found_pairs r);
+  Alcotest.(check bool) "audit is non-trivial" true (List.length r.audits >= 25)
+
+(* The audit must actually see the secrets: a silent annotation typo
+   (e.g. [@secert]) would otherwise pass as vacuously clean. *)
+let test_core_secrets_seeded () =
+  let r = Lint.run core_cmts in
+  let audit_of name =
+    match List.find_opt (fun (a : Finding.audit) -> a.a_func = name) r.audits with
+    | Some a -> a
+    | None -> Alcotest.failf "no audit record for %s" name
+  in
+  Alcotest.(check (list string))
+    "client query secrets" [ "sx"; "sy"; "tx"; "ty" ] (audit_of "query").secrets;
+  Alcotest.(check (list string))
+    "session fetch secrets" [ "page" ] (audit_of "Session.fetch").secrets;
+  Alcotest.(check bool) "session fetch justifies sites" true
+    ((audit_of "Session.fetch").justified >= 3)
+
+let () =
+  Alcotest.run "lint"
+    [ ( "tables",
+        [ Alcotest.test_case "normalize" `Quick test_normalize;
+          Alcotest.test_case "denylist" `Quick test_denylist;
+          Alcotest.test_case "length-sensitive" `Quick test_length_sensitive;
+          Alcotest.test_case "mutators" `Quick test_mutator ] );
+      ( "fixtures",
+        [ Alcotest.test_case "good is clean" `Quick test_good_audit;
+          Alcotest.test_case "bad branch" `Quick (check_fixture "fx_bad_branch");
+          Alcotest.test_case "bad length" `Quick (check_fixture "fx_bad_length");
+          Alcotest.test_case "bad call" `Quick (check_fixture "fx_bad_call");
+          Alcotest.test_case "regression: fetch message" `Quick
+            (check_fixture "fx_regression_audit");
+          Alcotest.test_case "exit codes" `Quick test_exit_codes ] );
+      ( "oblivious-core",
+        [ Alcotest.test_case "zero findings" `Quick test_oblivious_core_clean;
+          Alcotest.test_case "secrets seeded" `Quick test_core_secrets_seeded ] ) ]
