@@ -96,6 +96,25 @@ type measurement = {
 exception Infeasible of string
 (** A file exceeds what the (scaled) PIR interface supports. *)
 
+(* ------------------------------------------------------------------ *)
+(* Bench-run registry: every [run] call records its per-query latency
+   samples here, and the driver dumps them (plus the lib/obs snapshot)
+   to BENCH_<experiment>.json after each experiment. *)
+
+type run_record = {
+  r_label : string;               (** "<scheme>:<network>" *)
+  r_samples : float array;        (** per-query simulated response, seconds *)
+  r_fetches_per_query : int;      (** plan: private page fetches per query *)
+  r_retries : int;
+  r_recovery_seconds : float;
+  r_unavailable : int;
+  r_correct : int;
+  r_total : int;
+}
+
+let bench_runs : run_record list ref = ref []
+let reset_runs () = bench_runs := []
+
 let feasible env db =
   List.for_all (fun f -> PF.size_bytes f <= env.full_limit) (DB.files db)
 
@@ -145,6 +164,17 @@ let run env preset db =
       | _ -> ())
     queries;
   let data_fetches, index_fetches = plan_fetches db in
+  bench_runs :=
+    { r_label =
+        Printf.sprintf "%s:%s" db.DB.scheme (Psp_netgen.Presets.short_name preset);
+      r_samples = Array.of_list (List.rev_map Response_time.total !times);
+      r_fetches_per_query = data_fetches + index_fetches;
+      r_retries = !retries;
+      r_recovery_seconds = !recovery;
+      r_unavailable = !unavailable;
+      r_correct = !correct;
+      r_total = Array.length queries }
+    :: !bench_runs;
   { time = Response_time.mean !times;
     space_bytes = DB.total_bytes db;
     data_fetches;
@@ -341,3 +371,65 @@ let table ~columns rows =
 
 let seconds v = Printf.sprintf "%.2f" v
 let megabytes v = Printf.sprintf "%.2f" (mb v)
+
+(* ------------------------------------------------------------------ *)
+(* JSON artifacts: one BENCH_<experiment>.json per experiment, holding
+   each run's throughput and latency quantiles plus the full lib/obs
+   snapshot.  EXPERIMENTS.md ("Telemetry columns") documents the
+   format; CI validates it against a schema. *)
+
+module J = Psp_obs.Json
+
+(* nearest-rank percentile over a sorted copy of the samples *)
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else begin
+    let rank = int_of_float (ceil (q *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+  end
+
+let run_json r =
+  let sorted = Array.copy r.r_samples in
+  Array.sort compare sorted;
+  let sum = Array.fold_left ( +. ) 0.0 r.r_samples in
+  let n = Array.length r.r_samples in
+  J.Obj
+    [ ("label", J.String r.r_label);
+      ("queries", J.Int n);
+      ("correct", J.Int r.r_correct);
+      ("fetches_per_query", J.Int r.r_fetches_per_query);
+      ("throughput_qps",
+       J.Float (if sum > 0.0 then float_of_int n /. sum else 0.0));
+      ("latency_seconds",
+       J.Obj
+         [ ("mean", J.Float (if n = 0 then nan else sum /. float_of_int n));
+           ("p50", J.Float (percentile sorted 0.50));
+           ("p95", J.Float (percentile sorted 0.95));
+           ("p99", J.Float (percentile sorted 0.99));
+           ("min", J.Float (if n = 0 then nan else sorted.(0)));
+           ("max", J.Float (if n = 0 then nan else sorted.(n - 1))) ]);
+      ("retries", J.Int r.r_retries);
+      ("recovery_seconds", J.Float r.r_recovery_seconds);
+      ("unavailable", J.Int r.r_unavailable) ]
+
+let write_bench env ~experiment =
+  let path = Printf.sprintf "BENCH_%s.json" experiment in
+  let doc =
+    J.Obj
+      [ ("schema", J.String "psp-bench/1");
+        ("experiment", J.String experiment);
+        ("scale", J.Float env.scale);
+        ("queries_per_workload", J.Int env.queries);
+        ("seed", J.Int env.seed);
+        ("page_size", J.Int env.page_size);
+        ("runs", J.List (List.rev_map run_json !bench_runs));
+        ("metrics", Psp_obs.Obs.to_json ()) ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (J.to_string_pretty doc);
+      output_char oc '\n');
+  path

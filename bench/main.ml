@@ -46,8 +46,15 @@ let run_experiments env selected =
   List.iter
     (fun (id, _, f) ->
       let t0 = Unix.gettimeofday () in
+      (* fresh telemetry per experiment, so each BENCH_<id>.json snapshot
+         covers exactly that experiment's queries *)
+      Psp_obs.Obs.reset ();
+      Harness.reset_runs ();
       f env;
-      Printf.printf "[%s done in %.1fs]\n%!" id (Unix.gettimeofday () -. t0))
+      let artifact = Harness.write_bench env ~experiment:id in
+      Printf.printf "[%s done in %.1fs, wrote %s]\n%!" id
+        (Unix.gettimeofday () -. t0)
+        artifact)
     wanted;
   Printf.printf "\nall done in %.1fs\n" (Unix.gettimeofday () -. started)
 

@@ -6,6 +6,7 @@
      query      answer a private shortest-path query end to end
      trace      print the adversary's view of a query and check it against
                 the published plan
+     stats      run sample queries and report the telemetry registry
      inspect    summarize a network's structure
      lint       statically check [@@oblivious] code for secret-dependent
                 branches, lengths and effectful calls (see also psplint)
@@ -17,6 +18,7 @@ open Cmdliner
 module G = Psp_graph.Graph
 module DB = Psp_index.Database
 module PF = Psp_storage.Page_file
+module Obs = Psp_obs.Obs
 
 (* ------------------------------------------------------------------ *)
 (* Shared options *)
@@ -60,6 +62,13 @@ let fault_arg =
 let fault_seed_arg =
   let doc = "Seed for probabilistic (p:F) fault schedules." in
   Arg.(value & opt int 2012 & info [ "fault-seed" ] ~doc)
+
+let metrics_arg =
+  let doc = "Print the telemetry registry (lib/obs) after the command finishes." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let report_metrics metrics =
+  if metrics then Format.printf "@.telemetry:@.%a" Obs.pp ()
 
 let arm_faults specs seed =
   Psp_fault.Fault.reset ();
@@ -194,7 +203,8 @@ let query_cmd =
   let oblivious =
     Arg.(value & flag & info [ "oblivious" ] ~doc:"Serve through the real ORAM.")
   in
-  let run preset preset_scale gr co seed scheme page_size s t oblivious faults fault_seed =
+  let run preset preset_scale gr co seed scheme page_size s t oblivious faults fault_seed
+      metrics =
     let g = load_network preset preset_scale gr co seed in
     let db = build_database g scheme page_size seed in
     let mode = if oblivious then `Oblivious else `Simulated in
@@ -203,6 +213,7 @@ let query_cmd =
         ~key:(Psp_crypto.Sha256.digest_string "pspc") (DB.files db)
     in
     arm_faults faults fault_seed;
+    Obs.reset ();
     let rng = Psp_util.Rng.create seed in
     let s = Option.value ~default:(Psp_util.Rng.int rng (G.node_count g)) s in
     let t = Option.value ~default:(Psp_util.Rng.int rng (G.node_count g)) t in
@@ -219,20 +230,22 @@ let query_cmd =
            else "MISMATCH"));
     report_status r;
     let rt = Psp_core.Response_time.of_result r in
-    Format.printf "  simulated response: %a@." Psp_core.Response_time.pp rt
+    Format.printf "  simulated response: %a@." Psp_core.Response_time.pp rt;
+    report_metrics metrics
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Run one private shortest-path query end to end")
     Term.(
       const run $ preset_arg $ preset_scale $ gr_arg $ co_arg $ seed_arg $ scheme_arg
-      $ page_size_arg $ s_arg $ t_arg $ oblivious $ fault_arg $ fault_seed_arg)
+      $ page_size_arg $ s_arg $ t_arg $ oblivious $ fault_arg $ fault_seed_arg
+      $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* trace *)
 
 let trace_cmd =
   let count = Arg.(value & opt int 5 & info [ "n" ] ~doc:"Queries to trace.") in
-  let run preset preset_scale gr co seed scheme page_size count faults fault_seed =
+  let run preset preset_scale gr co seed scheme page_size count faults fault_seed metrics =
     let g = load_network preset preset_scale gr co seed in
     let db = build_database g scheme page_size seed in
     let server =
@@ -240,6 +253,7 @@ let trace_cmd =
         ~key:(Psp_crypto.Sha256.digest_string "pspc") (DB.files db)
     in
     arm_faults faults fault_seed;
+    Obs.reset ();
     let queries = Psp_netgen.Synthetic.random_queries g ~count ~seed:(seed + 1) in
     let results =
       Array.to_list
@@ -273,19 +287,60 @@ let trace_cmd =
     if retries > 0 then
       Printf.printf "recovered from injected faults with %d retries total\n" retries;
     let header_pages = PF.page_count db.DB.header_file in
-    match Psp_core.Privacy.conforms db.DB.header ~header_pages (List.hd traces) with
+    (match Psp_core.Privacy.conforms db.DB.header ~header_pages (List.hd traces) with
     | Ok () -> Printf.printf "trace conforms to the published query plan\n"
     | Error e ->
         if faults = [] then Printf.printf "PLAN VIOLATION: %s\n" e
         else
           Printf.printf
-            "trace deviates from the fault-free plan (expected under injection): %s\n" e
+            "trace deviates from the fault-free plan (expected under injection): %s\n" e);
+    report_metrics metrics
   in
   Cmd.v
     (Cmd.info "trace" ~doc:"Show the adversary's view and check indistinguishability")
     Term.(
       const run $ preset_arg $ preset_scale $ gr_arg $ co_arg $ seed_arg $ scheme_arg
-      $ page_size_arg $ count $ fault_arg $ fault_seed_arg)
+      $ page_size_arg $ count $ fault_arg $ fault_seed_arg $ metrics_arg)
+
+(* ------------------------------------------------------------------ *)
+(* stats *)
+
+let stats_cmd =
+  let count =
+    Arg.(value & opt int 10 & info [ "queries" ] ~doc:"Queries to run before reporting.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the full snapshot as JSON.")
+  in
+  let shape =
+    Arg.(value & flag
+         & info [ "shape" ]
+             ~doc:"Print only the constant-shape digest (identical for every \
+                   same-plan query; see docs/OBSERVABILITY.md).")
+  in
+  let run preset preset_scale gr co seed scheme page_size count json shape_only =
+    let g = load_network preset preset_scale gr co seed in
+    let db = build_database g scheme page_size seed in
+    let server =
+      Psp_pir.Server.create ~cost:Psp_pir.Cost_model.ibm4764
+        ~key:(Psp_crypto.Sha256.digest_string "pspc") (DB.files db)
+    in
+    Obs.reset ();
+    let queries = Psp_netgen.Synthetic.random_queries g ~count ~seed:(seed + 1) in
+    Array.iter (fun (s, t) -> ignore (Psp_core.Client.query_nodes server g s t)) queries;
+    if shape_only then print_endline (Obs.shape ())
+    else if json then print_endline (Psp_obs.Json.to_string_pretty (Obs.to_json ()))
+    else begin
+      Printf.printf "telemetry after %d %s queries:\n" count db.DB.scheme;
+      Format.printf "%a" Obs.pp ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run sample queries and report the oblivious telemetry registry")
+    Term.(
+      const run $ preset_arg $ preset_scale $ gr_arg $ co_arg $ seed_arg $ scheme_arg
+      $ page_size_arg $ count $ json $ shape)
 
 (* ------------------------------------------------------------------ *)
 (* inspect *)
@@ -400,6 +455,7 @@ let () =
             build_cmd;
             query_cmd;
             trace_cmd;
+            stats_cmd;
             inspect_cmd;
             render_cmd;
             lint_cmd ]))

@@ -4,6 +4,18 @@ module H = Psp_index.Header
 module QP = Psp_index.Query_plan
 module E = Psp_index.Encoding
 module FB = Psp_index.Fi_builder
+module Obs = Psp_obs.Obs
+
+(* Telemetry (DESIGN.md §5): query/status totals and whole-query
+   latency.  Span names below ("query", "plan", "lookup", ...) are
+   static strings, and every recorded value is either a constant delta
+   or the wall-clock of a whole oblivious phase whose work the public
+   plan fixes. *)
+let m_queries = Obs.counter "client.queries"
+let m_served = Obs.counter "client.status.served"
+let m_degraded = Obs.counter "client.status.degraded"
+let m_unavailable = Obs.counter "client.status.unavailable"
+let m_query_seconds = Obs.histogram "client.query_seconds"
 
 type retry_policy = { max_attempts : int; base_backoff : float }
 
@@ -182,6 +194,11 @@ let decode_region_window header pages =
   let blob = Bytes.concat Bytes.empty (Array.to_list pages) in
   E.decode_region header.H.config blob
 
+(* No span here: fetch_region runs once per *real* region while dummy
+   fetches skip it, so a span at this site would put a data-dependent
+   call count into the telemetry shape (the constant-shape test catches
+   exactly this).  The decode span lives at the once-per-query FB.decode
+   sites instead. *)
 let fetch_region ctx header store ~file (region [@secret]) =
   let first = header.H.region_first_page.(region) in
   let pages = fetch_window ctx ~file ~first ~count:header.H.pages_per_region in
@@ -200,20 +217,26 @@ let query_ci ctx header ~pad ~psize ~rs:(rs [@secret]) ~rt:(rt [@secret])
     | _ -> failwith "Client: CI database with non-CI plan"
   in
   Session.next_round ctx.session;
-  let page, offset, _span = lookup_entry ctx header ~psize rs rt in
+  let page, offset, _span =
+    Obs.with_span "lookup" (fun () -> lookup_entry ctx header ~psize rs rt)
+  in
   Session.next_round ctx.session;
   let start = max 0 (min page (header.H.index_pages - fi_span)) in
-  let window = fetch_window ctx ~file:"index" ~first:start ~count:fi_span in
+  let window =
+    Obs.with_span "index_scan" (fun () ->
+        fetch_window ctx ~file:"index" ~first:start ~count:fi_span)
+  in
   let regions =
-    (match
-       FB.decode ~quantize:header.H.config.E.quantize ~pages:window
-         ~base_page:(page - start) ~offset
-     with
-    | FB.Regions r -> r
-    | FB.Edges _ -> failwith "Client: CI look-up led to a subgraph record")
-    [@leak_ok
-      "client-local decode of an already-fetched window; a malformed record fails \
-       closed with a constant message before any further fetch is issued"]
+    Obs.with_span "decode" (fun () ->
+        (match
+           FB.decode ~quantize:header.H.config.E.quantize ~pages:window
+             ~base_page:(page - start) ~offset
+         with
+        | FB.Regions r -> r
+        | FB.Edges _ -> failwith "Client: CI look-up led to a subgraph record")
+        [@leak_ok
+          "client-local decode of an already-fetched window; a malformed record fails \
+           closed with a constant message before any further fetch is issued"])
   in
   Session.next_round ctx.session;
   let to_fetch =
@@ -226,16 +249,18 @@ let query_ci ctx header ~pad ~psize ~rs:(rs [@secret]) ~rt:(rt [@secret])
     "budget check fails closed with a constant message; a well-formed database never \
      trips it (m bounds every FI region set)"];
   let store = store_create () in
-  List.iter (fetch_region ctx header store ~file:"data") to_fetch;
-  (if pad then
-     for _ = List.length to_fetch + 1 to budget do
-       dummy_fetch ctx ~file:"data"
-     done)
-  [@leak_ok
-    "padding loop: real plus dummy region fetches always sum to the public plan \
-     budget m + 2, so the round-4 page count is query-independent"];
-  let s = snap store rs ~x:sx ~y:sy and t = snap store rt ~x:tx ~y:ty in
-  (dijkstra_store store ~source:s ~target:t, List.length to_fetch)
+  Obs.with_span "fetch_regions" (fun () ->
+      List.iter (fetch_region ctx header store ~file:"data") to_fetch;
+      (if pad then
+         for _ = List.length to_fetch + 1 to budget do
+           dummy_fetch ctx ~file:"data"
+         done)
+      [@leak_ok
+        "padding loop: real plus dummy region fetches always sum to the public plan \
+         budget m + 2, so the round-4 page count is query-independent"]);
+  Obs.with_span "solve" (fun () ->
+      let s = snap store rs ~x:sx ~y:sy and t = snap store rt ~x:tx ~y:ty in
+      (dijkstra_store store ~source:s ~target:t, List.length to_fetch))
   [@@oblivious]
 
 (* ------------------------------------------------------------------ *)
@@ -251,35 +276,43 @@ let query_pi ctx header ~pad ~psize ~rs:(rs [@secret]) ~rt:(rt [@secret])
     | _ -> failwith "Client: PI database with non-PI plan"
   in
   Session.next_round ctx.session;
-  let page, offset, _span = lookup_entry ctx header ~psize rs rt in
+  let page, offset, _span =
+    Obs.with_span "lookup" (fun () -> lookup_entry ctx header ~psize rs rt)
+  in
   Session.next_round ctx.session;
   let start = max 0 (min page (header.H.index_pages - fi_span)) in
-  let window = fetch_window ctx ~file:"index" ~first:start ~count:fi_span in
+  let window =
+    Obs.with_span "index_scan" (fun () ->
+        fetch_window ctx ~file:"index" ~first:start ~count:fi_span)
+  in
   let triples =
-    (match
-       FB.decode ~quantize:header.H.config.E.quantize ~pages:window
-         ~base_page:(page - start) ~offset
-     with
-    | FB.Edges e -> e
-    | FB.Regions _ -> failwith "Client: PI look-up led to a region-set record")
-    [@leak_ok
-      "client-local decode of an already-fetched window; a malformed record fails \
-       closed with a constant message before any further fetch is issued"]
+    Obs.with_span "decode" (fun () ->
+        (match
+           FB.decode ~quantize:header.H.config.E.quantize ~pages:window
+             ~base_page:(page - start) ~offset
+         with
+        | FB.Edges e -> e
+        | FB.Regions _ -> failwith "Client: PI look-up led to a region-set record")
+        [@leak_ok
+          "client-local decode of an already-fetched window; a malformed record fails \
+           closed with a constant message before any further fetch is issued"])
   in
   let store = store_create () in
-  fetch_region ctx header store ~file:"data" rs;
-  (if rt <> rs then fetch_region ctx header store ~file:"data" rt
-   else
-     (* the plan always reads two regions' worth of data pages *)
-     for _ = 1 to header.H.pages_per_region do
-       dummy_fetch ctx ~file:"data"
-     done)
-  [@leak_ok
-    "balanced branch: both arms fetch exactly pages_per_region data pages, so the \
-     trace is identical whether or not source and target share a region"];
+  Obs.with_span "fetch_regions" (fun () ->
+      fetch_region ctx header store ~file:"data" rs;
+      (if rt <> rs then fetch_region ctx header store ~file:"data" rt
+       else
+         (* the plan always reads two regions' worth of data pages *)
+         for _ = 1 to header.H.pages_per_region do
+           dummy_fetch ctx ~file:"data"
+         done)
+      [@leak_ok
+        "balanced branch: both arms fetch exactly pages_per_region data pages, so the \
+         trace is identical whether or not source and target share a region"]);
   Array.iter (add_triple store) triples;
-  let s = snap store rs ~x:sx ~y:sy and t = snap store rt ~x:tx ~y:ty in
-  (dijkstra_store store ~source:s ~target:t, 2)
+  Obs.with_span "solve" (fun () ->
+      let s = snap store rs ~x:sx ~y:sy and t = snap store rt ~x:tx ~y:ty in
+      (dijkstra_store store ~source:s ~target:t, 2))
   [@@oblivious]
 
 (* ------------------------------------------------------------------ *)
@@ -293,7 +326,9 @@ let query_hy ctx header ~pad ~psize ~rs:(rs [@secret]) ~rt:(rt [@secret])
     | _ -> failwith "Client: HY database with non-HY plan"
   in
   Session.next_round ctx.session;
-  let page, offset, span = lookup_entry ctx header ~psize rs rt in
+  let page, offset, span =
+    Obs.with_span "lookup" (fun () -> lookup_entry ctx header ~psize rs rt)
+  in
   Session.next_round ctx.session;
   let store = store_create () in
   let fetch_data_page (region [@secret]) =
@@ -324,49 +359,55 @@ let query_hy ctx header ~pad ~psize ~rs:(rs [@secret]) ~rt:(rt [@secret])
     let s = snap store rs ~x:sx ~y:sy and t = snap store rt ~x:tx ~y:ty in
     (dijkstra_store store ~source:s ~target:t, 2)
   in
-  let answer =
-    (if span <= r_pages then begin
-       (* the whole record (and its reference chain) fits in round 3 *)
-       let start = max 0 (min page (header.H.data_offset - r_pages)) in
-       let window = fetch_window ctx ~file:"combined" ~first:start ~count:r_pages in
-       let decoded =
-         FB.decode ~quantize:header.H.config.E.quantize ~pages:window
-           ~base_page:(page - start) ~offset
-       in
-       Session.next_round ctx.session;
-       match decoded with
-       | FB.Regions regions -> finish_with_regions regions
-       | FB.Edges triples -> finish_with_triples triples
-     end
-     else begin
-       (* only subgraph records may span past r (r bounds region sets) *)
-       let head = fetch_window ctx ~file:"combined" ~first:page ~count:r_pages in
-       Session.next_round ctx.session;
-       let tail =
-         fetch_window ctx ~file:"combined" ~first:(page + r_pages)
-           ~count:(span - r_pages)
-       in
-       fetched_data := span - r_pages;
-       match
-         FB.decode ~quantize:header.H.config.E.quantize ~pages:(Array.append head tail)
-           ~base_page:0 ~offset
-       with
-       | FB.Edges triples -> finish_with_triples triples
-       | FB.Regions _ -> failwith "Client: HY record past r is not a subgraph"
-     end)
-    [@leak_ok
-      "both branches fetch exactly r combined pages in round 3; the long-record \
-       tail and every round-4 fetch count against the round4 budget, which the \
-       padding loop below tops up to its public value"]
-  in
-  (if pad then
-     for _ = !fetched_data + 1 to round4 do
-       dummy_fetch ctx ~file:"combined"
-     done)
-  [@leak_ok
-    "padding loop: real plus dummy round-4 fetches always sum to the public plan \
-     budget round4"];
-  answer
+  (* one span covers rounds 3-4 including padding, so the span's page
+     count is the constant r + round4 regardless of where the record's
+     real/dummy split falls *)
+  Obs.with_span "rounds" (fun () ->
+      let answer =
+        (if span <= r_pages then begin
+           (* the whole record (and its reference chain) fits in round 3 *)
+           let start = max 0 (min page (header.H.data_offset - r_pages)) in
+           let window = fetch_window ctx ~file:"combined" ~first:start ~count:r_pages in
+           let decoded =
+             Obs.with_span "decode" (fun () ->
+                 FB.decode ~quantize:header.H.config.E.quantize ~pages:window
+                   ~base_page:(page - start) ~offset)
+           in
+           Session.next_round ctx.session;
+           match decoded with
+           | FB.Regions regions -> finish_with_regions regions
+           | FB.Edges triples -> finish_with_triples triples
+         end
+         else begin
+           (* only subgraph records may span past r (r bounds region sets) *)
+           let head = fetch_window ctx ~file:"combined" ~first:page ~count:r_pages in
+           Session.next_round ctx.session;
+           let tail =
+             fetch_window ctx ~file:"combined" ~first:(page + r_pages)
+               ~count:(span - r_pages)
+           in
+           fetched_data := span - r_pages;
+           match
+             Obs.with_span "decode" (fun () ->
+                 FB.decode ~quantize:header.H.config.E.quantize
+                   ~pages:(Array.append head tail) ~base_page:0 ~offset)
+           with
+           | FB.Edges triples -> finish_with_triples triples
+           | FB.Regions _ -> failwith "Client: HY record past r is not a subgraph"
+         end)
+        [@leak_ok
+          "both branches fetch exactly r combined pages in round 3; the long-record \
+           tail and every round-4 fetch count against the round4 budget, which the \
+           padding loop below tops up to its public value"]
+      in
+      (if pad then
+         for _ = !fetched_data + 1 to round4 do
+           dummy_fetch ctx ~file:"combined"
+         done)
+      [@leak_ok
+        "padding loop: real plus dummy round-4 fetches always sum to the public plan \
+         budget round4"];
+      answer)
   [@@oblivious]
 
 (* ------------------------------------------------------------------ *)
@@ -441,17 +482,18 @@ let query_incremental ctx header ~pad ~rs:(rs [@secret]) ~rt:(rt [@secret])
   in
   (* round 2: the source and destination regions *)
   Session.next_round ctx.session;
-  fetch rs;
-  (if rt <> rs then fetch rt
-   else begin
-     for _ = 1 to header.H.pages_per_region do
-       dummy_fetch ctx ~file:"data"
-     done;
-     pages_fetched := !pages_fetched + header.H.pages_per_region
-   end)
-  [@leak_ok
-    "balanced branch: both arms fetch exactly pages_per_region data pages in \
-     round 2"];
+  Obs.with_span "fetch_regions" (fun () ->
+      fetch rs;
+      (if rt <> rs then fetch rt
+       else begin
+         for _ = 1 to header.H.pages_per_region do
+           dummy_fetch ctx ~file:"data"
+         done;
+         pages_fetched := !pages_fetched + header.H.pages_per_region
+       end)
+      [@leak_ok
+        "balanced branch: both arms fetch exactly pages_per_region data pages in \
+         round 2"]);
   let s = snap store rs ~x:sx ~y:sy and t = snap store rt ~x:tx ~y:ty in
   let t_record = Hashtbl.find store.records t in
   let rects = if use_alt then Some (region_rects header) else None in
@@ -479,67 +521,71 @@ let query_incremental ctx header ~pad ~rs:(rs [@secret]) ~rt:(rt [@secret])
   Hashtbl.replace dist s 0.0;
   Psp_util.Min_heap.push heap ~priority:(h s) s;
   let found = ref false in
-  (while (not !found) && not (Psp_util.Min_heap.is_empty heap) do
-    match Psp_util.Min_heap.pop heap with
-    | None -> ()
-    | Some (key, u) ->
-        if not (Hashtbl.mem closed u) then begin
-          match Hashtbl.find_opt store.records u with
-          | None ->
-              (* node lives in a region we have not fetched yet *)
-              let region =
-                match Hashtbl.find_opt region_of_frontier u with
-                | Some r -> r
-                | None -> failwith "Client: frontier node with unknown region"
-              in
-              Session.next_round ctx.session;
-              fetch region;
-              Psp_util.Min_heap.push heap ~priority:(Hashtbl.find dist u +. h u) u
-          | Some record when key +. 1e-12 < Hashtbl.find dist u +. h u ->
-              (* the node was queued before its region (and heuristic)
-                 was known: its key understates g + h, and closing it now
-                 could be premature — re-queue at the proper key *)
-              ignore record;
-              Psp_util.Min_heap.push heap ~priority:(Hashtbl.find dist u +. h u) u
-          | Some record ->
-              Hashtbl.replace closed u ();
-              if u = t then found := true
-              else begin
-                let du = Hashtbl.find dist u in
-                List.iter
-                  (fun (e : E.adj) ->
-                    let usable =
-                      (not use_flags)
-                      ||
-                      match e.E.flags with
-                      | Some flags -> Psp_util.Bitset.mem flags rt
-                      | None -> failwith "Client: AF database lacks arc-flags"
-                    in
-                    if usable then begin
-                      let nd = du +. e.E.weight in
-                      let better =
-                        match Hashtbl.find_opt dist e.E.target with
-                        | Some old -> nd < old
-                        | None -> true
-                      in
-                      if better then begin
-                        Hashtbl.replace dist e.E.target nd;
-                        Hashtbl.replace parent e.E.target u;
-                        (* the mixed (rect / ALT) heuristic is admissible
-                           but not consistent, so a strict improvement
-                           must reopen an already-closed node; with
-                           reopening, stopping at t's first pop stays
-                           exact *)
-                        Hashtbl.remove closed e.E.target;
-                        if e.E.target_region >= 0 then
-                          Hashtbl.replace region_of_frontier e.E.target e.E.target_region;
-                        Psp_util.Min_heap.push heap ~priority:(nd +. h e.E.target) e.E.target
-                      end
-                    end)
-                  record.E.adj
-              end
-        end
-  done)
+  (* the search span's fetch count is query-dependent — exactly the
+     access-pattern cost LM/AF accept; the padding loop below still tops
+     the session total up to the public budget *)
+  (Obs.with_span "search" (fun () ->
+       while (not !found) && not (Psp_util.Min_heap.is_empty heap) do
+       match Psp_util.Min_heap.pop heap with
+       | None -> ()
+       | Some (key, u) ->
+           if not (Hashtbl.mem closed u) then begin
+             match Hashtbl.find_opt store.records u with
+             | None ->
+                 (* node lives in a region we have not fetched yet *)
+                 let region =
+                   match Hashtbl.find_opt region_of_frontier u with
+                   | Some r -> r
+                   | None -> failwith "Client: frontier node with unknown region"
+                 in
+                 Session.next_round ctx.session;
+                 fetch region;
+                 Psp_util.Min_heap.push heap ~priority:(Hashtbl.find dist u +. h u) u
+             | Some record when key +. 1e-12 < Hashtbl.find dist u +. h u ->
+                 (* the node was queued before its region (and heuristic)
+                    was known: its key understates g + h, and closing it now
+                    could be premature — re-queue at the proper key *)
+                 ignore record;
+                 Psp_util.Min_heap.push heap ~priority:(Hashtbl.find dist u +. h u) u
+             | Some record ->
+                 Hashtbl.replace closed u ();
+                 if u = t then found := true
+                 else begin
+                   let du = Hashtbl.find dist u in
+                   List.iter
+                     (fun (e : E.adj) ->
+                       let usable =
+                         (not use_flags)
+                         ||
+                         match e.E.flags with
+                         | Some flags -> Psp_util.Bitset.mem flags rt
+                         | None -> failwith "Client: AF database lacks arc-flags"
+                       in
+                       if usable then begin
+                         let nd = du +. e.E.weight in
+                         let better =
+                           match Hashtbl.find_opt dist e.E.target with
+                           | Some old -> nd < old
+                           | None -> true
+                         in
+                         if better then begin
+                           Hashtbl.replace dist e.E.target nd;
+                           Hashtbl.replace parent e.E.target u;
+                           (* the mixed (rect / ALT) heuristic is admissible
+                              but not consistent, so a strict improvement
+                              must reopen an already-closed node; with
+                              reopening, stopping at t's first pop stays
+                              exact *)
+                           Hashtbl.remove closed e.E.target;
+                           if e.E.target_region >= 0 then
+                             Hashtbl.replace region_of_frontier e.E.target e.E.target_region;
+                           Psp_util.Min_heap.push heap ~priority:(nd +. h e.E.target) e.E.target
+                         end
+                       end)
+                     record.E.adj
+                 end
+           end
+       done))
   [@leak_ok
     "the best-first search order is secret-dependent by design in LM/AF; every \
      server-visible fetch it issues is counted against — and padded up to — the \
@@ -577,66 +623,81 @@ let query_incremental ctx header ~pad ~rs:(rs [@secret]) ~rt:(rt [@secret])
 
 let query ?(pad = true) ?(retry = default_retry) server ~sx:(sx [@secret])
     ~sy:(sy [@secret]) ~tx:(tx [@secret]) ~ty:(ty [@secret]) =
-  let started =
-    (Sys.time ())
-    [@leak_ok
-      "wall-clock sample for the public stats record; it never influences the \
-       fetch schedule"]
-  in
-  let session = Session.start server in
-  let ctx = { session; policy = retry } in
-  (* exhausting the retry budget degrades the result instead of raising:
-     the session still finishes, so the partial trace and the recovery
-     cost remain observable *)
-  let outcome =
-    (match
-      let header_pages = with_retry ctx (fun () -> Session.download session ~file:"header") in
-      let header = H.of_pages header_pages in
-      let psize = Bytes.length header_pages.(0) in
-      let rs = H.locate header ~x:sx ~y:sy and rt = H.locate header ~x:tx ~y:ty in
-      match header.H.scheme with
-      | "CI" -> query_ci ctx header ~pad ~psize ~rs ~rt ~sx ~sy ~tx ~ty
-      | "PI" | "PI*" -> query_pi ctx header ~pad ~psize ~rs ~rt ~sx ~sy ~tx ~ty
-      | "HY" -> query_hy ctx header ~pad ~psize ~rs ~rt ~sx ~sy ~tx ~ty
-      | "LM" ->
-          query_incremental ctx header ~pad ~rs ~rt ~sx ~sy ~tx ~ty ~use_alt:true
-            ~use_flags:false
-      | "AF" ->
-          query_incremental ctx header ~pad ~rs ~rt ~sx ~sy ~tx ~ty ~use_alt:false
-            ~use_flags:true
-      | scheme -> failwith (Printf.sprintf "Client: unknown scheme %S" scheme)
-    with
-    | answer -> Ok answer
-    | exception Gave_up { point; attempts } -> Error (point, attempts))
-    [@leak_ok
-      "the exception arm is steered by the fault schedule and retry budget alone \
-       (with_retry re-issues identical requests); degrading instead of raising \
-       keeps the partial trace and recovery cost observable"]
-  in
-  let stats = Session.finish session in
-  let client_seconds =
-    (Sys.time () -. started)
-    [@leak_ok
-      "wall-clock sample for the public stats record; the session is already \
-       finished"]
-  in
-  (match outcome with
-  | Ok (path, regions_fetched) ->
-      let status =
-        match stats.Session.retries with
-        | 0 -> Served
-        | retries -> Degraded { retries }
+  Obs.incr m_queries;
+  Obs.with_span "query" (fun () ->
+      let started =
+        (Sys.time ())
+        [@leak_ok
+          "wall-clock sample for the public stats record; it never influences the \
+           fetch schedule"]
       in
-      { path; stats; client_seconds; regions_fetched; status }
-  | Error (point, attempts) ->
-      { path = None;
-        stats;
-        client_seconds;
-        regions_fetched = 0;
-        status = Unavailable { point; attempts } })
-  [@leak_ok
-    "result assembly happens after the session closed; the server observes \
-     nothing from this match"]
+      let session = Session.start server in
+      let ctx = { session; policy = retry } in
+      (* exhausting the retry budget degrades the result instead of raising:
+         the session still finishes, so the partial trace and the recovery
+         cost remain observable *)
+      let outcome =
+        (match
+          let header, psize, rs, rt =
+            (* plan selection: the header download and region location fix
+               the public query plan before any oblivious round begins *)
+            Obs.with_span "plan" (fun () ->
+                let header_pages =
+                  with_retry ctx (fun () -> Session.download session ~file:"header")
+                in
+                let header = H.of_pages header_pages in
+                let psize = Bytes.length header_pages.(0) in
+                (header, psize, H.locate header ~x:sx ~y:sy, H.locate header ~x:tx ~y:ty))
+          in
+          match header.H.scheme with
+          | "CI" -> query_ci ctx header ~pad ~psize ~rs ~rt ~sx ~sy ~tx ~ty
+          | "PI" | "PI*" -> query_pi ctx header ~pad ~psize ~rs ~rt ~sx ~sy ~tx ~ty
+          | "HY" -> query_hy ctx header ~pad ~psize ~rs ~rt ~sx ~sy ~tx ~ty
+          | "LM" ->
+              query_incremental ctx header ~pad ~rs ~rt ~sx ~sy ~tx ~ty ~use_alt:true
+                ~use_flags:false
+          | "AF" ->
+              query_incremental ctx header ~pad ~rs ~rt ~sx ~sy ~tx ~ty ~use_alt:false
+                ~use_flags:true
+          | scheme -> failwith (Printf.sprintf "Client: unknown scheme %S" scheme)
+        with
+        | answer -> Ok answer
+        | exception Gave_up { point; attempts } -> Error (point, attempts))
+        [@leak_ok
+          "the exception arm is steered by the fault schedule and retry budget alone \
+           (with_retry re-issues identical requests); degrading instead of raising \
+           keeps the partial trace and recovery cost observable"]
+      in
+      let stats = Session.finish session in
+      let client_seconds =
+        (Sys.time () -. started)
+        [@leak_ok
+          "wall-clock sample for the public stats record; the session is already \
+           finished"]
+      in
+      Obs.observe m_query_seconds client_seconds;
+      (match outcome with
+      | Ok (path, regions_fetched) ->
+          let status =
+            match stats.Session.retries with
+            | 0 ->
+                Obs.incr m_served;
+                Served
+            | retries ->
+                Obs.incr m_degraded;
+                Degraded { retries }
+          in
+          { path; stats; client_seconds; regions_fetched; status }
+      | Error (point, attempts) ->
+          Obs.incr m_unavailable;
+          { path = None;
+            stats;
+            client_seconds;
+            regions_fetched = 0;
+            status = Unavailable { point; attempts } })
+      [@leak_ok
+        "result assembly happens after the session closed; the server observes \
+         nothing from this match"])
   [@@oblivious]
 
 let query_nodes ?pad ?retry server g (s [@secret]) (t [@secret]) =

@@ -6,19 +6,27 @@
     (ii) communication time and (iii) client-side computation. *)
 
 type t = {
-  pir_seconds : float;
-  comm_seconds : float;
-  server_cpu_seconds : float;
-  client_seconds : float;
+  pir_seconds : float;  (** SCP time for the private page retrievals *)
+  comm_seconds : float;  (** simulated transfer time (3G link) *)
+  server_cpu_seconds : float;  (** plaintext server work (OBF only) *)
+  client_seconds : float;  (** client-side decode + Dijkstra *)
 }
 
 val total : t -> float
+(** Sum of the components: the reported response time. *)
 
 val of_result : Client.result -> t
+(** Decomposition of one query's result (from the session's cost-model
+    accounting plus the measured client time). *)
 
 val zero : t
+(** All components zero — the fold seed for {!add}. *)
+
 val add : t -> t -> t
+(** Component-wise sum. *)
+
 val scale : float -> t -> t
+(** Component-wise scaling. *)
 
 val mean : t list -> t
 (** Component-wise mean (the 1,000-query workload average). *)

@@ -16,6 +16,8 @@ val sized_for : key:bytes -> label:string -> expected:int -> fp_rate:float -> t
     at target false-positive rate [fp_rate]. *)
 
 val add : t -> int -> unit
+(** Insert an element (idempotent for the filter's purposes). *)
+
 val mem : t -> int -> bool
 (** No false negatives; false positives at roughly the design rate. *)
 
@@ -23,7 +25,10 @@ val count : t -> int
 (** Number of [add] calls so far. *)
 
 val bits : t -> int
+(** Cell count the filter was created with. *)
+
 val fp_estimate : t -> float
 (** Expected false-positive probability given current load. *)
 
 val clear : t -> unit
+(** Empty the filter in place, keeping key, size and probe count. *)

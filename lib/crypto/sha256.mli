@@ -9,8 +9,13 @@ type ctx
 (** Streaming hash context. *)
 
 val init : unit -> ctx
+(** A fresh context. *)
+
 val feed : ctx -> bytes -> unit
+(** Absorb a chunk; chunks may arrive at any granularity. *)
+
 val feed_string : ctx -> string -> unit
+(** {!feed} for strings. *)
 
 val finalize : ctx -> bytes
 (** 32-byte digest.  The context must not be reused afterwards. *)
@@ -19,5 +24,7 @@ val digest : bytes -> bytes
 (** One-shot hash. *)
 
 val digest_string : string -> bytes
+(** One-shot hash of a string. *)
+
 val hex : bytes -> string
 (** Lowercase hexadecimal rendering of a digest. *)

@@ -61,7 +61,12 @@ let fires name =
         | Hits l -> List.mem p.hits l
         | Probability q -> Psp_util.Rng.float p.rng 1.0 < q
       in
-      if fail then p.fired <- p.fired + 1;
+      if fail then begin
+        p.fired <- p.fired + 1;
+        (* failpoint names are operator-chosen configuration, and the
+           schedule is a public function of the hit ordinal *)
+        Psp_obs.Obs.incr (Psp_obs.Obs.counter ("fault.fired." ^ name))
+      end;
       fail
 
 let inject name =

@@ -3,6 +3,7 @@ type rule =
   | Secret_length
   | Effectful_call
   | Secret_exception
+  | Secret_telemetry
   | Missing_justification
 
 let rule_slug = function
@@ -10,6 +11,7 @@ let rule_slug = function
   | Secret_length -> "secret-length"
   | Effectful_call -> "effectful-call"
   | Secret_exception -> "secret-exception"
+  | Secret_telemetry -> "secret-telemetry"
   | Missing_justification -> "missing-justification"
 
 type t = {

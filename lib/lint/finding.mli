@@ -5,6 +5,9 @@ type rule =
   | Secret_length  (** secret-dependent allocation or encoding length *)
   | Effectful_call  (** oblivious code calling an ambient-effect function *)
   | Secret_exception  (** secret-derived data embedded in an abort/exception *)
+  | Secret_telemetry
+      (** secret-derived data recorded through an [Obs] metric/span sink,
+          or a metric update made under secret-dependent control flow *)
   | Missing_justification  (** [\@leak_ok] without a non-empty reason string *)
 
 val rule_slug : rule -> string

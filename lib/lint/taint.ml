@@ -136,6 +136,25 @@ let mutator_table =
     ("Array.blit", 2);
     ("Array.fill", 0) ]
 
+(* (suffix, indices of the recorded-payload arguments).  Telemetry
+   sinks: everything reaching lib/obs is published to the (adversarial)
+   server operator, so a tainted payload — or any metric update made
+   under secret control, which publishes the branch taken — leaks.
+   Instrument names (argument 0 of the intern functions) are included:
+   a secret-derived metric name leaks through the registry keys. *)
+let telemetry_table =
+  [ ("Obs.counter", [ 0 ]);
+    ("Obs.gauge", [ 0 ]);
+    ("Obs.histogram", [ 0 ]);
+    ("Obs.incr", []);
+    ("Obs.add", [ 1 ]);
+    ("Obs.set", [ 1 ]);
+    ("Obs.observe", [ 1 ]);
+    ("Obs.add_pages", [ 0 ]);
+    ("Obs.enter", [ 0 ]);
+    ("Obs.exit", []);
+    ("Obs.with_span", [ 0 ]) ]
+
 let suffix_match table name =
   List.find_map
     (fun (suffix, v) ->
@@ -148,6 +167,7 @@ let suffix_match table name =
 
 let length_sensitive name = suffix_match length_sensitive_table name
 let mutator name = suffix_match mutator_table name
+let telemetry name = suffix_match telemetry_table name
 let raise_like = [ "raise"; "raise_notrace"; "failwith"; "invalid_arg" ]
 
 let strip_stdlib name =
@@ -327,6 +347,23 @@ let rec eval st ~emit ~suppressed ~ct (e : Typedtree.expression) =
                   | Some id -> add_taint st id payload
                   | None -> ())
               | _ -> ())
+          | None -> ());
+          (match telemetry name with
+          | Some payload_idxs ->
+              let payload =
+                List.fold_left
+                  (fun acc i -> SSet.union acc (nth_taint i))
+                  SSet.empty payload_idxs
+              in
+              if not (SSet.is_empty payload) then
+                report st ~emit ~suppressed Finding.Secret_telemetry e.exp_loc
+                  (Printf.sprintf "value recorded via %s depends on secrets: %s" name
+                     (describe payload))
+              else if not (SSet.is_empty ct) then
+                report st ~emit ~suppressed Finding.Secret_telemetry e.exp_loc
+                  (Printf.sprintf
+                     "metric update %s under secret-dependent control flow: %s" name
+                     (describe ct))
           | None -> ());
           if List.mem name raise_like then begin
             let payload = List.fold_left SSet.union SSet.empty arg_taints in

@@ -24,3 +24,9 @@ val length_sensitive : string -> int option
 val mutator : string -> int option
 (** [Some i] when the named function mutates its [i]-th argument with the
     other arguments' data (container writes propagate taint). *)
+
+val telemetry : string -> int list option
+(** [Some idxs] when the named function is a [lib/obs] telemetry sink;
+    [idxs] are the recorded-payload arguments (instrument names and
+    recorded values).  A tainted payload — or any sink call made under
+    secret-dependent control flow — is a [secret-telemetry] finding. *)

@@ -1,0 +1,90 @@
+(* Hand-rolled JSON emitter: the observability layer must stay
+   zero-dependency so every library in the repo can link it. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let float_repr f =
+  if Float.is_nan f then "\"nan\""
+  else if f = Float.infinity then "\"inf\""
+  else if f = Float.neg_infinity then "\"-inf\""
+  else
+    let s = Printf.sprintf "%.17g" f in
+    (* make sure the token still parses as a JSON number, not an int *)
+    if String.contains s '.' || String.contains s 'e' then s else s ^ ".0"
+
+let rec emit ~indent ~level buf v =
+  let nl pad =
+    if indent then begin
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make (2 * pad) ' ')
+    end
+  in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          nl (level + 1);
+          emit ~indent ~level:(level + 1) buf item)
+        items;
+      nl level;
+      Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj members ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, item) ->
+          if i > 0 then Buffer.add_char buf ',';
+          nl (level + 1);
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf (if indent then "\": " else "\":");
+          emit ~indent ~level:(level + 1) buf item)
+        members;
+      nl level;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  emit ~indent:false ~level:0 buf v;
+  Buffer.contents buf
+
+let to_string_pretty v =
+  let buf = Buffer.create 256 in
+  emit ~indent:true ~level:0 buf v;
+  Buffer.contents buf

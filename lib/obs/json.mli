@@ -1,0 +1,33 @@
+(** Minimal JSON emission, shared by the metrics exporter and the bench
+    harness.
+
+    Only what the observability artifacts need: objects, arrays, strings
+    with full escaping, integers and floats.  Floats are rendered with
+    ["%.17g"] so a round-trip through any conforming parser recovers the
+    exact double; non-finite floats (which JSON cannot represent) are
+    rendered as strings ["inf"], ["-inf"] and ["nan"].  No parser lives
+    here — the test suite carries its own tiny reader to validate
+    round-trips from the outside. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+      (** Members are emitted in the given order (callers sort when a
+          canonical form matters). *)
+
+val escape : string -> string
+(** [escape s] is [s] with the JSON string escapes applied — quotes,
+    backslash, control characters — {e without} the surrounding
+    quotes. *)
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val to_string_pretty : t -> string
+(** Two-space indented rendering, for committed artifacts meant to be
+    read and diffed by humans (the [BENCH_*.json] files). *)

@@ -1,4 +1,13 @@
+module Obs = Psp_obs.Obs
+
 exception Tampering_detected of { slot : int }
+
+(* Telemetry: a sqrt-ORAM read touches exactly one physical slot, and
+   the reshuffle cadence is a public function of the access count
+   (DESIGN.md §5) — both are safe to count.  Which slot, or whether a
+   read was a shelter hit, is never recorded. *)
+let m_slot_reads = Obs.counter "oram.sqrt.slot_reads"
+let m_shuffles = Obs.counter "oram.sqrt.shuffles"
 
 type physical_event =
   | Slot of { epoch : int; slot : int }
@@ -49,6 +58,7 @@ let decrypt_slot ~key ~slot stored =
 
 (* Re-scatter every page (and fresh dummies) under this epoch's keys. *)
 let shuffle t =
+  Obs.incr m_shuffles;
   let key = epoch_key t in
   let perm_key = Psp_crypto.Hmac.derive ~key ~label:"perm" in
   let enc_key = Psp_crypto.Hmac.derive ~key ~label:"enc" in
@@ -90,6 +100,8 @@ let shelter_capacity t = t.dummies
 let epoch t = t.epoch
 
 let read t (i [@secret]) =
+  (* constant delta before any secret-dependent work: one read = one slot *)
+  Obs.incr m_slot_reads;
   (if i < 0 || i >= t.n then invalid_arg "Oblivious_store.read: page out of range")
   [@leak_ok "bounds check fails closed with a constant message before any slot is touched"];
   let enc_key = Psp_crypto.Hmac.derive ~key:(epoch_key t) ~label:"enc" in

@@ -1,6 +1,18 @@
+module Obs = Psp_obs.Obs
+
 type physical_event =
   | Slot of { level : int; epoch : int; slot : int }
   | Rebuild of { level : int; items : int }
+
+(* Telemetry: a pyramid read touches exactly one slot per level, and the
+   flush/rebuild cadence is a public function of the query count — both
+   safe to count.  The Bloom false-positive counter [fp] is the textbook
+   counter-example: it depends on which pages were requested, so it is
+   test-visible only (bloom_false_positives) and must never be exported
+   through lib/obs (see docs/OBSERVABILITY.md). *)
+let m_slot_reads = Obs.counter "oram.pyramid.slot_reads"
+let m_rebuilds = Obs.counter "oram.pyramid.rebuilds"
+let m_flushes = Obs.counter "oram.pyramid.flushes"
 
 (* Level j holds at most [cap] items in [cap + dummies] encrypted slots
    scattered by a per-epoch Feistel permutation; a keyed Bloom filter
@@ -46,6 +58,7 @@ let slot_nonce slot =
    items land on permuted slots, the Bloom filter is re-keyed, every
    slot (incl. dummies) is re-encrypted. *)
 let rebuild t level contents =
+  Obs.incr m_rebuilds;
   level.epoch <- level.epoch + 1;
   let key = level_key t level in
   let perm_key = Psp_crypto.Hmac.derive ~key ~label:"perm" in
@@ -61,10 +74,12 @@ let rebuild t level contents =
   level.dummy_cursor <- 0;
   (* deterministic item order: sorted logical ids *)
   let ids = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) contents []) in
+  (* the message names the level and its public capacity only: the live
+     item count reflects which pages were accessed this epoch *)
   if List.length ids > level.cap then
     invalid_arg
-      (Printf.sprintf "Pyramid_store: level %d overflow (%d > %d)" level.depth
-         (List.length ids) level.cap);
+      (Printf.sprintf "Pyramid_store: level %d overflow (cap %d exceeded)" level.depth
+         level.cap);
   List.iteri
     (fun index id ->
       let slot = Psp_crypto.Feistel.forward level.perm index in
@@ -162,6 +177,7 @@ let merge_target t =
   min (Array.length t.levels) (1 + count t.flushes 0)
 
 let flush t =
+  Obs.incr m_flushes;
   t.flushes <- t.flushes + 1;
   let target = merge_target t in
   let merged = Hashtbl.create 64 in
@@ -182,6 +198,11 @@ let flush t =
   [@@oblivious]
 
 let read t (id [@secret]) =
+  (* constant per-read delta fixed by the public layout: one slot per level *)
+  (Obs.add m_slot_reads (Array.length t.levels))
+  [@leak_ok
+    "the level count is the store's public layout (a function of n and the cache \
+     capacity), not of which pages were accessed"];
   (if id < 0 || id >= t.n then invalid_arg "Pyramid_store.read: page out of range")
   [@leak_ok "bounds check fails closed with a constant message before any slot is touched"];
   let found = ref (List.assoc_opt id t.cache) in

@@ -40,15 +40,24 @@ val create : ?cache_capacity:int -> key:bytes -> Psp_storage.Page_file.t -> t
     @raise Invalid_argument on an empty file. *)
 
 val page_count : t -> int
+(** Logical pages served (the snapshotted file's page count). *)
+
 val level_count : t -> int
+(** Pyramid depth: number of levels below the SCP cache. *)
+
 val cache_capacity : t -> int
+(** SCP cache slots; also the flush (and level-1 rebuild) cadence. *)
 
 val read : t -> int -> bytes
 (** Logical page content.
     @raise Invalid_argument on an out-of-range page. *)
 
 val physical_trace : t -> physical_event list
+(** Host-visible events since creation (or the last {!clear_trace}),
+    in order — what obliviousness tests compare across accesses. *)
+
 val clear_trace : t -> unit
+(** Forget the recorded events (the store's state is untouched). *)
 
 val bloom_false_positives : t -> int
 (** Diagnostic: dummy-vs-real slot mispredictions survived so far

@@ -1,3 +1,5 @@
+module Obs = Psp_obs.Obs
+
 type mode = [ `Simulated | `Oblivious | `Pyramid ]
 
 type store = Sqrt of Oblivious_store.t | Pyramid of Pyramid_store.t
@@ -51,6 +53,21 @@ let database_bytes t =
 module Session = struct
   type server = t
 
+  (* Telemetry (DESIGN.md §5): everything recorded here is derived from
+     the public query plan — file names, per-plan fetch counts, round
+     counts — or from the deterministic simulated cost model, never from
+     the secret page indices.  psplint's secret-telemetry rule checks
+     every site inside the [@@oblivious] functions below. *)
+  let m_sessions = Obs.counter "pir.sessions"
+  let m_fetches = Obs.counter "pir.fetch.total"
+  let m_rounds = Obs.counter "pir.rounds"
+  let m_retries = Obs.counter "pir.retries"
+  let m_downloads = Obs.counter "pir.download.pages"
+  let m_plain = Obs.counter "pir.plain_fetch.total"
+  let m_pir_seconds = Obs.histogram "pir.session.pir_seconds"
+  let m_comm_seconds = Obs.histogram "pir.session.comm_seconds"
+  let m_fetch_file name = Obs.counter ("pir.fetch.pages." ^ name)
+
   type stats = {
     rounds : int;
     pir_seconds : float;
@@ -75,6 +92,7 @@ module Session = struct
   }
 
   let start server =
+    Obs.incr m_sessions;
     { server;
       round = 1;
       pir_seconds = 0.0;
@@ -86,6 +104,7 @@ module Session = struct
       trace = Trace.create () }
 
   let next_round t =
+    Obs.incr m_rounds;
     t.round <- t.round + 1;
     t.comm_seconds <- t.comm_seconds +. t.server.cost.Cost_model.rtt
     [@@oblivious]
@@ -93,51 +112,59 @@ module Session = struct
   let round t = t.round
 
   let fetch t ~file:name ~page:(page [@secret]) =
-    let f = file t.server name in
-    let pages = Psp_storage.Page_file.page_count f in
-    (* the requested page index is secret: the abort message may only name
-       the file and its public page range, never the index itself *)
-    (if page < 0 || page >= pages then
-       invalid_arg
-         (Printf.sprintf "Session.fetch(%s): page out of range [0,%d)" name pages))
-    [@leak_ok "bounds check fails closed; the message is redacted to public data"];
-    t.pir_seconds <- t.pir_seconds +. Cost_model.pir_fetch_seconds t.server.cost ~file_pages:pages;
-    t.comm_seconds <-
-      t.comm_seconds
-      +. Cost_model.transfer_seconds t.server.cost ~bytes:(Psp_storage.Page_file.page_size f);
-    Hashtbl.replace t.fetch_counts name
-      (1 + Option.value ~default:0 (Hashtbl.find_opt t.fetch_counts name));
-    (* the attempt is recorded before any fault fires: the adversary saw
-       the request whether or not the retrieval succeeded *)
-    Trace.record t.trace (Trace.Pir_fetch { round = t.round; file = name });
-    Psp_fault.Fault.inject "pir.fetch.transient";
-    let bytes =
-      match t.server.mode with
-      | `Simulated -> Psp_storage.Page_file.read f page
-      | `Oblivious | `Pyramid -> (
-          match Hashtbl.find t.server.stores name with
-          | Sqrt store -> Oblivious_store.read store page
-          | Pyramid store -> Pyramid_store.read store page)
-    in
-    let bytes =
-      (if Psp_fault.Fault.fires "pir.fetch.corrupt" then begin
-         (* flip one bit; the checksum gate below must catch it *)
-         let b = Bytes.copy bytes in
-         if Bytes.length b > 0 then
-           Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x01));
-         b
-       end
-       else bytes)
-      [@leak_ok
-        "fault-injection test hook: flips one bit of the already-fetched page, whose \
-         length is the file's public page size"]
-    in
-    (if not (Psp_storage.Page_file.verify_page f page bytes) then
-       raise (Page_corrupt { file = name; page }))
-    [@leak_ok
-      "integrity failure aborts the query; the exception stays inside the client trust \
-       boundary and Client.recoverable redacts it to the file name before reporting"];
-    bytes
+    Obs.with_span "pir_fetch" (fun () ->
+        (* all recorded quantities are public: the file name, a constant
+           delta per fetch and per page — never the secret index *)
+        Obs.incr m_fetches;
+        Obs.incr (m_fetch_file name);
+        Obs.add_pages 1;
+        let f = file t.server name in
+        let pages = Psp_storage.Page_file.page_count f in
+        (* the requested page index is secret: the abort message may only name
+           the file and its public page range, never the index itself *)
+        (if page < 0 || page >= pages then
+           invalid_arg
+             (Printf.sprintf "Session.fetch(%s): page out of range [0,%d)" name pages))
+        [@leak_ok "bounds check fails closed; the message is redacted to public data"];
+        t.pir_seconds <-
+          t.pir_seconds +. Cost_model.pir_fetch_seconds t.server.cost ~file_pages:pages;
+        t.comm_seconds <-
+          t.comm_seconds
+          +. Cost_model.transfer_seconds t.server.cost
+               ~bytes:(Psp_storage.Page_file.page_size f);
+        Hashtbl.replace t.fetch_counts name
+          (1 + Option.value ~default:0 (Hashtbl.find_opt t.fetch_counts name));
+        (* the attempt is recorded before any fault fires: the adversary saw
+           the request whether or not the retrieval succeeded *)
+        Trace.record t.trace (Trace.Pir_fetch { round = t.round; file = name });
+        Psp_fault.Fault.inject "pir.fetch.transient";
+        let bytes =
+          match t.server.mode with
+          | `Simulated -> Psp_storage.Page_file.read f page
+          | `Oblivious | `Pyramid -> (
+              match Hashtbl.find t.server.stores name with
+              | Sqrt store -> Oblivious_store.read store page
+              | Pyramid store -> Pyramid_store.read store page)
+        in
+        let bytes =
+          (if Psp_fault.Fault.fires "pir.fetch.corrupt" then begin
+             (* flip one bit; the checksum gate below must catch it *)
+             let b = Bytes.copy bytes in
+             if Bytes.length b > 0 then
+               Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x01));
+             b
+           end
+           else bytes)
+          [@leak_ok
+            "fault-injection test hook: flips one bit of the already-fetched page, whose \
+             length is the file's public page size"]
+        in
+        (if not (Psp_storage.Page_file.verify_page f page bytes) then
+           raise (Page_corrupt { file = name; page }))
+        [@leak_ok
+          "integrity failure aborts the query; the exception stays inside the client trust \
+           boundary and Client.recoverable redacts it to the file name before reporting"];
+        bytes)
     [@@oblivious]
 
   let download t ~file:name =
@@ -147,11 +174,16 @@ module Session = struct
       t.comm_seconds
       +. Cost_model.transfer_seconds t.server.cost ~bytes:(Psp_storage.Page_file.size_bytes f);
     Trace.record t.trace (Trace.Plain_download { round = t.round; file = name; pages });
+    (* public: whole-file downloads touch a page count fixed by the layout *)
+    Obs.add m_downloads pages;
+    Obs.add_pages pages;
     Psp_fault.Fault.inject "pir.download.transient";
     Array.init pages (Psp_storage.Page_file.read f)
     [@@oblivious]
 
   let plain_fetch t ~file:name ~page =
+    Obs.incr m_plain;
+    Obs.add_pages 1;
     let f = file t.server name in
     t.server_cpu_seconds <- t.server_cpu_seconds +. Cost_model.plain_fetch_seconds t.server.cost;
     t.comm_seconds <-
@@ -162,12 +194,16 @@ module Session = struct
   let add_server_compute t seconds = t.server_cpu_seconds <- t.server_cpu_seconds +. seconds
 
   let note_retry t ~backoff =
+    Obs.incr m_retries;
     t.retries <- t.retries + 1;
     t.recovery_seconds <- t.recovery_seconds +. backoff;
     t.comm_seconds <- t.comm_seconds +. backoff
     [@@oblivious]
 
   let finish t =
+    (* simulated cost-model totals: deterministic functions of the plan *)
+    Obs.observe m_pir_seconds t.pir_seconds;
+    Obs.observe m_comm_seconds t.comm_seconds;
     { rounds = t.round;
       pir_seconds = t.pir_seconds;
       comm_seconds = t.comm_seconds;

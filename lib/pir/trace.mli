@@ -17,11 +17,17 @@ type event =
 type t
 
 val create : unit -> t
+(** An empty trace. *)
+
 val record : t -> event -> unit
+(** Append one observed event. *)
+
 val events : t -> event list
 (** In chronological order. *)
 
 val length : t -> int
+(** Number of recorded events. *)
+
 val equal : t -> t -> bool
 (** Event-for-event equality — the indistinguishability predicate. *)
 
@@ -34,3 +40,4 @@ val per_round_file_counts : t -> ((int * string) * int) list
     the published "query plan" shape. *)
 
 val pp : Format.formatter -> t -> unit
+(** Per-round rendering of the view, for [pspc trace]. *)

@@ -1,3 +1,12 @@
+module Obs = Psp_obs.Obs
+
+(* Telemetry: page-level traffic volumes only — how many pages were
+   read/appended/saved — never which page (DESIGN.md §5). *)
+let m_page_reads = Obs.counter "storage.page_reads"
+let m_page_appends = Obs.counter "storage.page_appends"
+let m_file_saves = Obs.counter "storage.file_saves"
+let m_file_loads = Obs.counter "storage.file_loads"
+
 type t = {
   name : string;
   page_size : int;
@@ -26,7 +35,10 @@ let page_count t = Psp_util.Dyn_array.length t.pages
 let size_bytes t = page_count t * t.page_size
 
 let append t payload =
+  Obs.incr m_page_appends;
   let len = Bytes.length payload in
+  (* build-time only: the payload length describes the file being
+     constructed (or re-parsed), not any query *)
   if len > t.page_size then
     invalid_arg
       (Printf.sprintf "Page_file.append(%s): payload %d exceeds page size %d" t.name
@@ -40,13 +52,22 @@ let append t payload =
 
 let append_blank t = append t Bytes.empty
 
-let check t no =
-  if no < 0 || no >= page_count t then
-    invalid_arg (Printf.sprintf "Page_file.read(%s): page %d out of range" t.name no)
+let check t (no [@secret]) =
+  (* the index is secret when reached from the PIR hot path (Session.fetch
+     serves [@secret] page numbers): the abort message may only name the
+     file and its public page range, never the index itself *)
+  (if no < 0 || no >= page_count t then
+     invalid_arg
+       (Printf.sprintf "Page_file.read(%s): page out of range [0,%d)" t.name
+          (page_count t)))
+  [@leak_ok "bounds check fails closed; the message is redacted to public data"]
+  [@@oblivious]
 
-let read t no =
+let read t (no [@secret]) =
+  Obs.incr m_page_reads;
   check t no;
   Bytes.copy (Psp_util.Dyn_array.get t.pages no)
+  [@@oblivious]
 
 let payload_length t no =
   check t no;
@@ -54,12 +75,15 @@ let payload_length t no =
 
 let payload t no = Bytes.sub (read t no) 0 (payload_length t no)
 
-let page_crc t no =
+let page_crc t (no [@secret]) =
   check t no;
   Psp_util.Dyn_array.get t.crcs no
+  [@@oblivious]
 
-let verify_page t no page =
+let verify_page t (no [@secret]) page =
+  (* no branch: && returns a secret-derived bool the caller must justify *)
   Bytes.length page = t.page_size && Psp_util.Crc32.digest page = page_crc t no
+  [@@oblivious]
 
 let utilization t =
   if page_count t = 0 then 0.0
@@ -82,6 +106,7 @@ let magic = "PSPPAGES2"
    body fails it before parsing even starts. *)
 
 let save t ~path =
+  Obs.incr m_file_saves;
   Psp_fault.Fault.inject "storage.page_file.save.transient";
   let w = Psp_util.Byte_io.Writer.create ~capacity:(size_bytes t) () in
   Psp_util.Byte_io.Writer.string w magic;
@@ -112,6 +137,9 @@ let save t ~path =
     (fun () -> output_bytes oc blob);
   Sys.rename tmp path
 
+(* Parse diagnostics below may name page numbers and lengths: they
+   describe the on-disk artifact being loaded offline, which the host
+   already possesses in full — nothing query-dependent flows here. *)
 let parse ~path blob =
   let total = Bytes.length blob in
   if total < String.length magic + 4 then corrupt path "truncated header";
@@ -139,6 +167,7 @@ let parse ~path blob =
   t
 
 let load ~path =
+  Obs.incr m_file_loads;
   let ic = open_in_bin path in
   let blob =
     Fun.protect

@@ -5,31 +5,47 @@
     are measured in real bytes — page utilization and database sizes in
     the experiments are computed from these encodings. *)
 
+(** Append-only growable buffer of encoded values. *)
 module Writer : sig
   type t
 
   val create : ?capacity:int -> unit -> t
+  (** A fresh writer; [capacity] pre-sizes the backing buffer. *)
+
   val length : t -> int
+  (** Bytes written so far. *)
 
   val u8 : t -> int -> unit
   (** @raise Invalid_argument if outside [0,255]. *)
 
   val u16 : t -> int -> unit
+  (** Little-endian 16-bit unsigned write.
+      @raise Invalid_argument if outside [0,65535]. *)
+
   val u32 : t -> int -> unit
-  (** @raise Invalid_argument if outside the unsigned range. *)
+  (** Little-endian 32-bit unsigned write.
+      @raise Invalid_argument if outside the unsigned range. *)
 
   val i64 : t -> int64 -> unit
+  (** Little-endian 64-bit write. *)
+
   val varint : t -> int -> unit
   (** LEB128 encoding of a non-negative integer. *)
 
   val float64 : t -> float -> unit
+  (** IEEE-754 double, little-endian. *)
+
   val bytes : t -> bytes -> unit
+  (** Raw bytes, no length prefix. *)
+
   val string : t -> string -> unit
   (** Length-prefixed (varint) string. *)
 
   val contents : t -> bytes
+  (** Copy of everything written so far. *)
 end
 
+(** Cursor over an immutable byte buffer; reads mirror {!Writer}. *)
 module Reader : sig
   type t
 
@@ -37,18 +53,40 @@ module Reader : sig
   (** Raised when a read runs past the end of the buffer. *)
 
   val of_bytes : ?pos:int -> bytes -> t
+  (** A reader over [b], starting at [pos] (default 0). *)
+
   val pos : t -> int
+  (** Current cursor position. *)
+
   val remaining : t -> int
+  (** Bytes left before {!Underflow}. *)
+
   val seek : t -> int -> unit
+  (** Move the cursor to an absolute position. *)
 
   val u8 : t -> int
+  (** Read one unsigned byte. *)
+
   val u16 : t -> int
+  (** Read a little-endian 16-bit unsigned value. *)
+
   val u32 : t -> int
+  (** Read a little-endian 32-bit unsigned value. *)
+
   val i64 : t -> int64
+  (** Read a little-endian 64-bit value. *)
+
   val varint : t -> int
+  (** Read a LEB128 non-negative integer. *)
+
   val float64 : t -> float
+  (** Read an IEEE-754 double. *)
+
   val bytes : t -> int -> bytes
+  (** [bytes r n] reads exactly [n] raw bytes. *)
+
   val string : t -> string
+  (** Read a varint-length-prefixed string. *)
 end
 
 val varint_size : int -> int

@@ -6,8 +6,13 @@
 type 'a t
 
 val create : ?capacity:int -> unit -> 'a t
+(** An empty array; [capacity] pre-sizes the backing store. *)
+
 val length : 'a t -> int
+(** Number of elements currently held. *)
+
 val is_empty : 'a t -> bool
+(** [is_empty t] is [length t = 0]. *)
 
 val get : 'a t -> int -> 'a
 (** @raise Invalid_argument on out-of-range index. *)
@@ -22,17 +27,34 @@ val pop : 'a t -> 'a option
 (** Remove and return the last element. *)
 
 val last : 'a t -> 'a option
+(** The last element without removing it, if any. *)
 
 val clear : 'a t -> unit
+(** Drop every element (the backing store is kept). *)
 
 val to_array : 'a t -> 'a array
 (** Snapshot of the current contents. *)
 
 val of_array : 'a array -> 'a t
+(** A dynamic array seeded with a copy of the given elements. *)
+
 val to_list : 'a t -> 'a list
+(** Contents in index order. *)
+
 val iter : ('a -> unit) -> 'a t -> unit
+(** Apply a function to every element in index order. *)
+
 val iteri : (int -> 'a -> unit) -> 'a t -> unit
+(** Like {!iter}, also passing the element's index. *)
+
 val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+(** Fold over the elements in index order. *)
+
 val map : ('a -> 'b) -> 'a t -> 'b t
+(** A fresh dynamic array of the images, in order. *)
+
 val exists : ('a -> bool) -> 'a t -> bool
+(** Whether any element satisfies the predicate. *)
+
 val sort : ('a -> 'a -> int) -> 'a t -> unit
+(** Sort in place by the given comparison. *)

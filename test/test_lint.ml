@@ -63,6 +63,22 @@ let test_length_sensitive () =
     (Taint.length_sensitive "MyBytes.create");
   Alcotest.(check (option int)) "plain call" None (Taint.length_sensitive "List.map")
 
+let test_telemetry () =
+  Alcotest.(check (option (list int)))
+    "Obs.add records arg 1" (Some [ 1 ]) (Taint.telemetry "Obs.add");
+  Alcotest.(check (option (list int)))
+    "qualified Obs.observe" (Some [ 1 ])
+    (Taint.telemetry "Psp_obs.Obs.observe");
+  Alcotest.(check (option (list int)))
+    "Obs.incr has no payload but is still a sink" (Some [])
+    (Taint.telemetry "Psp_obs.Obs.incr");
+  Alcotest.(check (option (list int)))
+    "span names are payloads" (Some [ 0 ]) (Taint.telemetry "Obs.with_span");
+  Alcotest.(check (option (list int)))
+    "suffix needs module boundary" None (Taint.telemetry "MyObs.add");
+  Alcotest.(check (option (list int)))
+    "unrelated call" None (Taint.telemetry "Hashtbl.add")
+
 let test_mutator () =
   Alcotest.(check (option int)) "Hashtbl.replace" (Some 0)
     (Taint.mutator "Hashtbl.replace");
@@ -150,6 +166,7 @@ let test_exit_codes () =
 
 let core_cmts =
   [ lib_cmt "core" "Client";
+    lib_cmt "storage" "Page_file";
     lib_cmt "pir" "Server";
     lib_cmt "pir" "Oblivious_store";
     lib_cmt "pir" "Pyramid_store";
@@ -186,12 +203,14 @@ let () =
         [ Alcotest.test_case "normalize" `Quick test_normalize;
           Alcotest.test_case "denylist" `Quick test_denylist;
           Alcotest.test_case "length-sensitive" `Quick test_length_sensitive;
-          Alcotest.test_case "mutators" `Quick test_mutator ] );
+          Alcotest.test_case "mutators" `Quick test_mutator;
+          Alcotest.test_case "telemetry sinks" `Quick test_telemetry ] );
       ( "fixtures",
         [ Alcotest.test_case "good is clean" `Quick test_good_audit;
           Alcotest.test_case "bad branch" `Quick (check_fixture "fx_bad_branch");
           Alcotest.test_case "bad length" `Quick (check_fixture "fx_bad_length");
           Alcotest.test_case "bad call" `Quick (check_fixture "fx_bad_call");
+          Alcotest.test_case "bad telemetry" `Quick (check_fixture "fx_bad_telemetry");
           Alcotest.test_case "regression: fetch message" `Quick
             (check_fixture "fx_regression_audit");
           Alcotest.test_case "exit codes" `Quick test_exit_codes ] );
