@@ -403,3 +403,89 @@ let resilience env =
       [ "method"; "retries"; "retries/query"; "recovery (s/query)"; "overhead";
         "correct"; "unavailable" ]
     rows
+
+(* ------------------------------------------------------------------ *)
+
+(* Batched multi-query serving: N same-plan queries walk the plan in
+   lockstep (Psp_pir.Batcher), so each round's page requests merge into
+   one oblivious-store pass and the log²N pass cost amortizes across the
+   batch (Table 2).  Reports per-query response and throughput as the
+   batch width grows; BENCH_batch.json captures the same series. *)
+let batch env =
+  header_line "Batched serving: amortized response vs batch width";
+  let preset = P.Oldenburg in
+  let g = graph env preset in
+  let entries =
+    [ ("CI", DB.build_ci ~page_size:env.page_size g); ("HY", tuned_hy env preset) ]
+  in
+  let widths = [ 1; 2; 4; 8; 16 ] in
+  let queries = workload env preset in
+  let rows =
+    List.concat_map
+      (fun (name, db) ->
+        check_feasible env db;
+        let serve w =
+          let server = Psp_pir.Server.create ~cost:env.cost ~key (DB.files db) in
+          let times = ref [] and correct = ref 0 in
+          let retries = ref 0 and recovery = ref 0.0 and unavailable = ref 0 in
+          let i = ref 0 in
+          while !i < Array.length queries do
+            let chunk = Array.sub queries !i (min w (Array.length queries - !i)) in
+            (* replay any armed fault schedule identically per batch *)
+            if Psp_fault.Fault.active () then Psp_fault.Fault.rewind ();
+            let rs = Client.query_nodes_batch server g chunk in
+            Array.iteri
+              (fun k (r : Client.result) ->
+                let s, t = chunk.(k) in
+                times := Response_time.of_result r :: !times;
+                retries := !retries + r.Client.stats.Psp_pir.Server.Session.retries;
+                recovery :=
+                  !recovery +. r.Client.stats.Psp_pir.Server.Session.recovery_seconds;
+                (match r.Client.status with
+                | Client.Unavailable _ -> incr unavailable
+                | _ -> ());
+                let truth = Psp_graph.Dijkstra.distance g s t in
+                match r.Client.path with
+                | Some (_, got)
+                  when Float.abs (got -. truth) <= 1e-3 *. Float.max 1.0 truth ->
+                    incr correct
+                | _ -> ())
+              rs;
+            i := !i + Array.length chunk
+          done;
+          let data_fetches, index_fetches = plan_fetches db in
+          let samples = Array.of_list (List.rev_map Response_time.total !times) in
+          bench_runs :=
+            { r_label =
+                Printf.sprintf "%s-b%d:%s" name w
+                  (Psp_netgen.Presets.short_name preset);
+              r_samples = samples;
+              r_fetches_per_query = data_fetches + index_fetches;
+              r_retries = !retries;
+              r_recovery_seconds = !recovery;
+              r_unavailable = !unavailable;
+              r_correct = !correct;
+              r_total = Array.length queries }
+            :: !bench_runs;
+          (samples, !correct)
+        in
+        let base = ref nan in
+        List.map
+          (fun w ->
+            let samples, correct = serve w in
+            let n = Array.length samples in
+            let sum = Array.fold_left ( +. ) 0.0 samples in
+            let mean = sum /. float_of_int n in
+            if w = 1 then base := mean;
+            [ Printf.sprintf "%s b=%d" name w;
+              seconds mean;
+              Printf.sprintf "%.2fx" (!base /. mean);
+              Printf.sprintf "%.0f" (3600.0 *. float_of_int n /. sum);
+              Printf.sprintf "%d/%d" correct n ])
+          widths)
+      entries
+  in
+  table
+    ~columns:
+      [ "method"; "response (s/query)"; "speedup"; "throughput (q/h)"; "correct" ]
+    rows

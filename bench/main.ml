@@ -21,6 +21,7 @@ let all_experiments : (string * string * (Harness.env -> unit)) list =
     ("f12", "Figure 12: larger networks", Experiments.figure12);
     ("extras", "extra ablations", Experiments.extras);
     ("resilience", "resilience: retry cost under fault injection", Experiments.resilience);
+    ("batch", "batched serving: response vs batch width", Experiments.batch);
     ("kernels", "bechamel kernel micro-benchmarks", fun env -> Kernels.run env) ]
 
 let run_experiments env selected =

@@ -88,6 +88,8 @@ let report_status (r : Psp_core.Client.result) =
   | Psp_core.Client.Unavailable { point; attempts } ->
       Printf.printf "  UNAVAILABLE: gave up after %d attempts at failpoint %s\n" attempts
         point
+  | Psp_core.Client.Unknown_scheme { scheme } ->
+      Printf.printf "  UNKNOWN SCHEME: header announces %S; update this client\n" scheme
 
 let load_network preset preset_scale gr co seed =
   match (preset, gr, co) with
@@ -238,6 +240,91 @@ let query_cmd =
     Term.(
       const run $ preset_arg $ preset_scale $ gr_arg $ co_arg $ seed_arg $ scheme_arg
       $ page_size_arg $ s_arg $ t_arg $ oblivious $ fault_arg $ fault_seed_arg
+      $ metrics_arg)
+
+(* ------------------------------------------------------------------ *)
+(* batch *)
+
+let batch_cmd =
+  let width =
+    Arg.(value & opt int 4 & info [ "width" ] ~doc:"Queries per merged batch.")
+  in
+  let count =
+    Arg.(value & opt int 8 & info [ "queries" ] ~doc:"Total queries to serve.")
+  in
+  let oblivious =
+    Arg.(value & flag & info [ "oblivious" ] ~doc:"Serve through the real ORAM.")
+  in
+  let run preset preset_scale gr co seed scheme page_size width count oblivious faults
+      fault_seed metrics =
+    if width <= 0 then failwith "--width must be positive";
+    let g = load_network preset preset_scale gr co seed in
+    let db = build_database g scheme page_size seed in
+    let mode = if oblivious then `Oblivious else `Simulated in
+    let server =
+      Psp_pir.Server.create ~mode ~cost:Psp_pir.Cost_model.ibm4764
+        ~key:(Psp_crypto.Sha256.digest_string "pspc") (DB.files db)
+    in
+    arm_faults faults fault_seed;
+    Obs.reset ();
+    let queries = Psp_netgen.Synthetic.random_queries g ~count ~seed:(seed + 1) in
+    let results = ref [] in
+    let chunk_start = ref 0 in
+    while !chunk_start < count do
+      let w = min width (count - !chunk_start) in
+      let chunk = Array.sub queries !chunk_start w in
+      (* replay the same fault schedule for every batch, as `pspc trace`
+         does per query *)
+      Psp_fault.Fault.rewind ();
+      let rs = Psp_core.Client.query_nodes_batch server g chunk in
+      Array.iteri
+        (fun i r -> results := ((fst chunk.(i), snd chunk.(i)), r) :: !results)
+        rs;
+      chunk_start := !chunk_start + w
+    done;
+    Psp_fault.Fault.reset ();
+    let results = List.rev !results in
+    let correct = ref 0 and answered = ref 0 in
+    let total_response = ref 0.0 in
+    List.iter
+      (fun ((s, t), (r : Psp_core.Client.result)) ->
+        (match r.Psp_core.Client.path with
+        | Some (_, cost) ->
+            incr answered;
+            let truth = Psp_graph.Dijkstra.distance g s t in
+            if Float.abs (cost -. truth) <= 1e-3 *. Float.max 1.0 truth then
+              incr correct
+        | None -> ());
+        report_status r;
+        total_response :=
+          !total_response
+          +. Psp_core.Response_time.total (Psp_core.Response_time.of_result r))
+      results;
+    let traces =
+      List.map
+        (fun (_, (r : Psp_core.Client.result)) ->
+          r.Psp_core.Client.stats.Psp_pir.Server.Session.trace)
+        results
+    in
+    (match Psp_core.Privacy.indistinguishable traces with
+    | Ok () ->
+        Printf.printf
+          "all %d member traces identical: batched queries are indistinguishable\n"
+          count
+    | Error e -> Printf.printf "PRIVACY VIOLATION: %s\n" e);
+    Printf.printf
+      "%s: served %d queries in batches of %d: %d answered, %d correct\n"
+      db.DB.scheme count width !answered !correct;
+    Printf.printf "  amortized simulated response: %.3fs per query\n"
+      (!total_response /. float_of_int (max 1 count));
+    report_metrics metrics
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Serve many private queries as merged same-plan batches")
+    Term.(
+      const run $ preset_arg $ preset_scale $ gr_arg $ co_arg $ seed_arg $ scheme_arg
+      $ page_size_arg $ width $ count $ oblivious $ fault_arg $ fault_seed_arg
       $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -454,6 +541,7 @@ let () =
           [ generate_cmd;
             build_cmd;
             query_cmd;
+            batch_cmd;
             trace_cmd;
             stats_cmd;
             inspect_cmd;

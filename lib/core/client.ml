@@ -1,30 +1,38 @@
-module Server = Psp_pir.Server
 module Session = Psp_pir.Server.Session
+module Batcher = Psp_pir.Batcher
 module H = Psp_index.Header
-module QP = Psp_index.Query_plan
-module E = Psp_index.Encoding
-module FB = Psp_index.Fi_builder
 module Obs = Psp_obs.Obs
 
+(* The client facade: header download, region location and scheme
+   dispatch.  The retrieval protocol itself lives in {!Engine} (one
+   plan-walker for every scheme) and the per-scheme state machines under
+   schemes/ — this module only assembles results and telemetry. *)
+
 (* Telemetry (DESIGN.md §5): query/status totals and whole-query
-   latency.  Span names below ("query", "plan", "lookup", ...) are
-   static strings, and every recorded value is either a constant delta
-   or the wall-clock of a whole oblivious phase whose work the public
-   plan fixes. *)
+   latency.  Span names below ("query", "plan", ...) are static strings,
+   and every recorded value is either a constant delta or the wall-clock
+   of a whole oblivious phase whose work the public plan fixes. *)
 let m_queries = Obs.counter "client.queries"
 let m_served = Obs.counter "client.status.served"
 let m_degraded = Obs.counter "client.status.degraded"
 let m_unavailable = Obs.counter "client.status.unavailable"
+let m_unknown = Obs.counter "client.status.unknown_scheme"
 let m_query_seconds = Obs.histogram "client.query_seconds"
+let m_batches = Obs.counter "client.batches"
+let m_batch_width = Obs.histogram "client.batch_width"
 
-type retry_policy = { max_attempts : int; base_backoff : float }
+type retry_policy = Engine.retry_policy = {
+  max_attempts : int;
+  base_backoff : float;
+}
 
-let default_retry = { max_attempts = 4; base_backoff = 0.1 }
+let default_retry = Engine.default_retry
 
 type status =
   | Served
   | Degraded of { retries : int }
   | Unavailable of { point : string; attempts : int }
+  | Unknown_scheme of { scheme : string }
 
 type result = {
   path : (int list * float) option;
@@ -34,590 +42,43 @@ type result = {
   status : status;
 }
 
-(* ------------------------------------------------------------------ *)
-(* Client-side store of downloaded network data                        *)
-
-type store = {
-  records : (int, E.node_record) Hashtbl.t;
-  adj : (int, (int * float) Psp_util.Dyn_array.t) Hashtbl.t;
-  by_region : (int, E.node_record list) Hashtbl.t;
-}
-
-let store_create () =
-  { records = Hashtbl.create 256; adj = Hashtbl.create 256; by_region = Hashtbl.create 8 }
-
-let adj_of store v =
-  match Hashtbl.find_opt store.adj v with
-  | Some a -> a
-  | None ->
-      let a = Psp_util.Dyn_array.create () in
-      Hashtbl.replace store.adj v a;
-      a
-
-let add_record store region (r : E.node_record) =
-  if not (Hashtbl.mem store.records r.E.id) then begin
-    Hashtbl.replace store.records r.E.id r;
-    Hashtbl.replace store.by_region region
-      (r :: Option.value ~default:[] (Hashtbl.find_opt store.by_region region));
-    let a = adj_of store r.E.id in
-    List.iter (fun e -> Psp_util.Dyn_array.push a (e.E.target, e.E.weight)) r.E.adj
-  end
-
-let add_triple store (t : E.edge_triple) =
-  Psp_util.Dyn_array.push (adj_of store t.E.e_src) (t.E.e_dst, t.E.e_weight)
-
-let snap store region ~x ~y =
-  match Hashtbl.find_opt store.by_region region with
-  | None | Some [] -> failwith "Client: located region holds no nodes"
-  | Some records ->
-      let best = ref (List.hd records) and best_d = ref infinity in
-      List.iter
-        (fun (r : E.node_record) ->
-          let dx = r.E.x -. x and dy = r.E.y -. y in
-          let d = (dx *. dx) +. (dy *. dy) in
-          if d < !best_d then begin
-            best := r;
-            best_d := d
-          end)
-        records;
-      !best.E.id
-
-(* Plain Dijkstra over the downloaded adjacency. *)
-let dijkstra_store store ~source ~target =
-  if source = target then Some ([ source ], 0.0)
-  else begin
-    let dist = Hashtbl.create 256 and parent = Hashtbl.create 256 in
-    let closed = Hashtbl.create 256 in
-    let heap = Psp_util.Min_heap.create () in
-    Hashtbl.replace dist source 0.0;
-    Psp_util.Min_heap.push heap ~priority:0.0 source;
-    let found = ref false in
-    while (not !found) && not (Psp_util.Min_heap.is_empty heap) do
-      match Psp_util.Min_heap.pop heap with
-      | None -> ()
-      | Some (d, u) ->
-          if not (Hashtbl.mem closed u) then begin
-            Hashtbl.replace closed u ();
-            if u = target then found := true
-            else
-              match Hashtbl.find_opt store.adj u with
-              | None -> ()
-              | Some edges ->
-                  Psp_util.Dyn_array.iter
-                    (fun (v, w) ->
-                      let nd = d +. w in
-                      let better =
-                        match Hashtbl.find_opt dist v with
-                        | Some old -> nd < old
-                        | None -> true
-                      in
-                      if better then begin
-                        Hashtbl.replace dist v nd;
-                        Hashtbl.replace parent v u;
-                        Psp_util.Min_heap.push heap ~priority:nd v
-                      end)
-                    edges
-          end
-    done;
-    if not !found then None
-    else begin
-      let rec build v acc =
-        match Hashtbl.find_opt parent v with
-        | None -> v :: acc
-        | Some p -> build p (v :: acc)
-      in
-      Some (build target [], Hashtbl.find dist target)
-    end
-  end
+type endpoints = { sx : float; sy : float; tx : float; ty : float }
 
 (* ------------------------------------------------------------------ *)
-(* Protocol plumbing                                                   *)
 
-type ctx = { session : Session.t; policy : retry_policy }
-
-exception Gave_up of { point : string; attempts : int }
-
-let recoverable = function
-  | Psp_fault.Fault.Injected { point; _ } -> Some point
-  | Server.Page_corrupt { file; _ } -> Some (Printf.sprintf "pir.fetch.corrupt(%s)" file)
-  | _ -> None
-
-(* Bounded retry with deterministic exponential backoff.  Obliviousness
-   hinges on the schedule here: whether, when and how long we retry is a
-   function of the fault outcome and the attempt number alone — never of
-   the query's coordinates, pages or intermediate results.  A retried
-   fetch re-issues the identical page request, so under a fixed fault
-   schedule every query's trace gains the same extra events in the same
-   places (DESIGN.md, "Failure handling"). *)
-let with_retry ctx op =
-  let rec go attempt =
-    match op () with
-    | v -> v
-    | exception e -> (
-        match recoverable e with
-        | None -> raise e
-        | Some point ->
-            if attempt >= ctx.policy.max_attempts then
-              raise (Gave_up { point; attempts = attempt })
-            else begin
-              Session.note_retry ctx.session
-                ~backoff:(ctx.policy.base_backoff *. float_of_int (1 lsl (attempt - 1)));
-              go (attempt + 1)
-            end)
-  in
-  go 1
+let locate header (e [@secret]) =
+  { Engine.rs = H.locate header ~x:e.sx ~y:e.sy;
+    rt = H.locate header ~x:e.tx ~y:e.ty;
+    sx = e.sx;
+    sy = e.sy;
+    tx = e.tx;
+    ty = e.ty }
   [@@oblivious]
 
-let fetch ctx ~file ~page:(page [@secret]) =
-  with_retry ctx (fun () -> Session.fetch ctx.session ~file ~page)
-  [@@oblivious]
+let status_of_stats stats =
+  match stats.Session.retries with
+  | 0 ->
+      Obs.incr m_served;
+      Served
+  | retries ->
+      Obs.incr m_degraded;
+      Degraded { retries }
 
-let fetch_window ctx ~file ~first:(first [@secret]) ~count:(count [@secret]) =
-  Array.init count (fun k -> fetch ctx ~file ~page:(first + k))
-  [@leak_ok
-    "window lengths are public plan constants (fi_span, r, pages_per_region) except the \
-     HY round-4 tail, whose length counts against the padded round4 budget"]
-  [@@oblivious]
+let unavailable_result stats client_seconds ~point ~attempts =
+  Obs.incr m_unavailable;
+  { path = None;
+    stats;
+    client_seconds;
+    regions_fetched = 0;
+    status = Unavailable { point; attempts } }
 
-let dummy_fetch ctx ~file = ignore (fetch ctx ~file ~page:0) [@@oblivious]
-
-let lookup_entry ctx header ~psize (rs [@secret]) (rt [@secret]) =
-  let region_count = header.H.region_count in
-  let per_page = psize / E.lookup_entry_bytes in
-  let idx = (rs * region_count) + rt in
-  let page = idx / per_page in
-  let blob = fetch ctx ~file:"lookup" ~page in
-  E.decode_lookup_entry blob ~pos:(idx mod per_page * E.lookup_entry_bytes)
-  [@@oblivious]
-
-let decode_region_window header pages =
-  let blob = Bytes.concat Bytes.empty (Array.to_list pages) in
-  E.decode_region header.H.config blob
-
-(* No span here: fetch_region runs once per *real* region while dummy
-   fetches skip it, so a span at this site would put a data-dependent
-   call count into the telemetry shape (the constant-shape test catches
-   exactly this).  The decode span lives at the once-per-query FB.decode
-   sites instead. *)
-let fetch_region ctx header store ~file (region [@secret]) =
-  let first = header.H.region_first_page.(region) in
-  let pages = fetch_window ctx ~file ~first ~count:header.H.pages_per_region in
-  let records = decode_region_window header pages in
-  List.iter (add_record store region) records
-  [@@oblivious]
-
-(* ------------------------------------------------------------------ *)
-(* CI (§5.4)                                                           *)
-
-let query_ci ctx header ~pad ~psize ~rs:(rs [@secret]) ~rt:(rt [@secret])
-    ~sx:(sx [@secret]) ~sy:(sy [@secret]) ~tx:(tx [@secret]) ~ty:(ty [@secret]) =
-  let fi_span, m =
-    match header.H.plan with
-    | QP.Ci { fi_span; m } -> (fi_span, m)
-    | _ -> failwith "Client: CI database with non-CI plan"
-  in
-  Session.next_round ctx.session;
-  let page, offset, _span =
-    Obs.with_span "lookup" (fun () -> lookup_entry ctx header ~psize rs rt)
-  in
-  Session.next_round ctx.session;
-  let start = max 0 (min page (header.H.index_pages - fi_span)) in
-  let window =
-    Obs.with_span "index_scan" (fun () ->
-        fetch_window ctx ~file:"index" ~first:start ~count:fi_span)
-  in
-  let regions =
-    Obs.with_span "decode" (fun () ->
-        (match
-           FB.decode ~quantize:header.H.config.E.quantize ~pages:window
-             ~base_page:(page - start) ~offset
-         with
-        | FB.Regions r -> r
-        | FB.Edges _ -> failwith "Client: CI look-up led to a subgraph record")
-        [@leak_ok
-          "client-local decode of an already-fetched window; a malformed record fails \
-           closed with a constant message before any further fetch is issued"])
-  in
-  Session.next_round ctx.session;
-  let to_fetch =
-    List.sort_uniq compare (rs :: rt :: Array.to_list regions)
-  in
-  let budget = m + 2 in
-  (if List.length to_fetch > budget then
-     failwith "Client: CI fetch set exceeds the query plan budget")
-  [@leak_ok
-    "budget check fails closed with a constant message; a well-formed database never \
-     trips it (m bounds every FI region set)"];
-  let store = store_create () in
-  Obs.with_span "fetch_regions" (fun () ->
-      List.iter (fetch_region ctx header store ~file:"data") to_fetch;
-      (if pad then
-         for _ = List.length to_fetch + 1 to budget do
-           dummy_fetch ctx ~file:"data"
-         done)
-      [@leak_ok
-        "padding loop: real plus dummy region fetches always sum to the public plan \
-         budget m + 2, so the round-4 page count is query-independent"]);
-  Obs.with_span "solve" (fun () ->
-      let s = snap store rs ~x:sx ~y:sy and t = snap store rt ~x:tx ~y:ty in
-      (dijkstra_store store ~source:s ~target:t, List.length to_fetch))
-  [@@oblivious]
-
-(* ------------------------------------------------------------------ *)
-(* PI and PI* (§6)                                                     *)
-
-let query_pi ctx header ~pad ~psize ~rs:(rs [@secret]) ~rt:(rt [@secret])
-    ~sx:(sx [@secret]) ~sy:(sy [@secret]) ~tx:(tx [@secret]) ~ty:(ty [@secret]) =
-  ignore pad;
-  let fi_span =
-    match header.H.plan with
-    | QP.Pi { fi_span } -> fi_span
-    | QP.Pi_star { fi_span; _ } -> fi_span
-    | _ -> failwith "Client: PI database with non-PI plan"
-  in
-  Session.next_round ctx.session;
-  let page, offset, _span =
-    Obs.with_span "lookup" (fun () -> lookup_entry ctx header ~psize rs rt)
-  in
-  Session.next_round ctx.session;
-  let start = max 0 (min page (header.H.index_pages - fi_span)) in
-  let window =
-    Obs.with_span "index_scan" (fun () ->
-        fetch_window ctx ~file:"index" ~first:start ~count:fi_span)
-  in
-  let triples =
-    Obs.with_span "decode" (fun () ->
-        (match
-           FB.decode ~quantize:header.H.config.E.quantize ~pages:window
-             ~base_page:(page - start) ~offset
-         with
-        | FB.Edges e -> e
-        | FB.Regions _ -> failwith "Client: PI look-up led to a region-set record")
-        [@leak_ok
-          "client-local decode of an already-fetched window; a malformed record fails \
-           closed with a constant message before any further fetch is issued"])
-  in
-  let store = store_create () in
-  Obs.with_span "fetch_regions" (fun () ->
-      fetch_region ctx header store ~file:"data" rs;
-      (if rt <> rs then fetch_region ctx header store ~file:"data" rt
-       else
-         (* the plan always reads two regions' worth of data pages *)
-         for _ = 1 to header.H.pages_per_region do
-           dummy_fetch ctx ~file:"data"
-         done)
-      [@leak_ok
-        "balanced branch: both arms fetch exactly pages_per_region data pages, so the \
-         trace is identical whether or not source and target share a region"]);
-  Array.iter (add_triple store) triples;
-  Obs.with_span "solve" (fun () ->
-      let s = snap store rs ~x:sx ~y:sy and t = snap store rt ~x:tx ~y:ty in
-      (dijkstra_store store ~source:s ~target:t, 2))
-  [@@oblivious]
-
-(* ------------------------------------------------------------------ *)
-(* HY (§6): one combined index+data file                               *)
-
-let query_hy ctx header ~pad ~psize ~rs:(rs [@secret]) ~rt:(rt [@secret])
-    ~sx:(sx [@secret]) ~sy:(sy [@secret]) ~tx:(tx [@secret]) ~ty:(ty [@secret]) =
-  let r_pages, round4 =
-    match header.H.plan with
-    | QP.Hy { r; round4 } -> (r, round4)
-    | _ -> failwith "Client: HY database with non-HY plan"
-  in
-  Session.next_round ctx.session;
-  let page, offset, span =
-    Obs.with_span "lookup" (fun () -> lookup_entry ctx header ~psize rs rt)
-  in
-  Session.next_round ctx.session;
-  let store = store_create () in
-  let fetch_data_page (region [@secret]) =
-    let first = header.H.region_first_page.(region) in
-    let pages = fetch_window ctx ~file:"combined" ~first ~count:1 in
-    List.iter (add_record store region) (decode_region_window header pages)
-  in
-  let fetched_data = ref 0 in
-  let finish_with_regions (regions [@secret]) =
-    let to_fetch = List.sort_uniq compare (rs :: rt :: Array.to_list regions) in
-    (if List.length to_fetch > round4 then
-       failwith "Client: HY fetch set exceeds the query plan budget")
-    [@leak_ok
-      "budget check fails closed with a constant message; a well-formed database \
-       never trips it (round4 bounds every region set plus endpoints)"];
-    List.iter fetch_data_page to_fetch;
-    fetched_data := !fetched_data + List.length to_fetch;
-    let s = snap store rs ~x:sx ~y:sy and t = snap store rt ~x:tx ~y:ty in
-    (dijkstra_store store ~source:s ~target:t, List.length to_fetch)
-  in
-  let finish_with_triples (triples [@secret]) =
-    fetch_data_page rs;
-    (if rt <> rs then fetch_data_page rt else dummy_fetch ctx ~file:"combined")
-    [@leak_ok
-      "balanced branch: exactly one combined-file page is fetched either way"];
-    fetched_data := !fetched_data + 2;
-    Array.iter (add_triple store) triples;
-    let s = snap store rs ~x:sx ~y:sy and t = snap store rt ~x:tx ~y:ty in
-    (dijkstra_store store ~source:s ~target:t, 2)
-  in
-  (* one span covers rounds 3-4 including padding, so the span's page
-     count is the constant r + round4 regardless of where the record's
-     real/dummy split falls *)
-  Obs.with_span "rounds" (fun () ->
-      let answer =
-        (if span <= r_pages then begin
-           (* the whole record (and its reference chain) fits in round 3 *)
-           let start = max 0 (min page (header.H.data_offset - r_pages)) in
-           let window = fetch_window ctx ~file:"combined" ~first:start ~count:r_pages in
-           let decoded =
-             Obs.with_span "decode" (fun () ->
-                 FB.decode ~quantize:header.H.config.E.quantize ~pages:window
-                   ~base_page:(page - start) ~offset)
-           in
-           Session.next_round ctx.session;
-           match decoded with
-           | FB.Regions regions -> finish_with_regions regions
-           | FB.Edges triples -> finish_with_triples triples
-         end
-         else begin
-           (* only subgraph records may span past r (r bounds region sets) *)
-           let head = fetch_window ctx ~file:"combined" ~first:page ~count:r_pages in
-           Session.next_round ctx.session;
-           let tail =
-             fetch_window ctx ~file:"combined" ~first:(page + r_pages)
-               ~count:(span - r_pages)
-           in
-           fetched_data := span - r_pages;
-           match
-             Obs.with_span "decode" (fun () ->
-                 FB.decode ~quantize:header.H.config.E.quantize
-                   ~pages:(Array.append head tail) ~base_page:0 ~offset)
-           with
-           | FB.Edges triples -> finish_with_triples triples
-           | FB.Regions _ -> failwith "Client: HY record past r is not a subgraph"
-         end)
-        [@leak_ok
-          "both branches fetch exactly r combined pages in round 3; the long-record \
-           tail and every round-4 fetch count against the round4 budget, which the \
-           padding loop below tops up to its public value"]
-      in
-      (if pad then
-         for _ = !fetched_data + 1 to round4 do
-           dummy_fetch ctx ~file:"combined"
-         done)
-      [@leak_ok
-        "padding loop: real plus dummy round-4 fetches always sum to the public plan \
-         budget round4"];
-      answer)
-  [@@oblivious]
-
-(* ------------------------------------------------------------------ *)
-(* LM and AF (§4): incremental region fetching                         *)
-
-let alt_heuristic (v : E.node_record) (t : E.node_record) =
-  match (v.E.landmark, t.E.landmark) with
-  | Some (to_v, from_v), Some (to_t, from_t) ->
-      let bound = ref 0.0 in
-      for a = 0 to Array.length to_v - 1 do
-        bound := Float.max !bound (to_v.(a) -. to_t.(a));
-        bound := Float.max !bound (from_t.(a) -. from_v.(a))
-      done;
-      Float.max !bound 0.0
-  | _ -> 0.0
-
-(* Leaf bounding rectangles of the header's KD-tree; the root box is
-   unbounded, so sides may be infinite. *)
-let region_rects header =
-  let rects = Array.make header.H.region_count (neg_infinity, neg_infinity, infinity, infinity) in
-  let rec walk tree ((x0, y0, x1, y1) as box) =
-    match tree with
-    | Psp_partition.Kdtree.Leaf { region } -> rects.(region) <- box
-    | Psp_partition.Kdtree.Split { axis; coord; less; geq } -> (
-        match axis with
-        | Psp_partition.Kdtree.X ->
-            walk less (x0, y0, coord, y1);
-            walk geq (coord, y0, x1, y1)
-        | Psp_partition.Kdtree.Y ->
-            walk less (x0, y0, x1, coord);
-            walk geq (x0, coord, x1, y1))
-  in
-  walk header.H.tree (neg_infinity, neg_infinity, infinity, infinity);
-  rects
-
-let rect_distance (x0, y0, x1, y1) ~x ~y =
-  let dx = Float.max 0.0 (Float.max (x0 -. x) (x -. x1)) in
-  let dy = Float.max 0.0 (Float.max (y0 -. y) (y -. y1)) in
-  sqrt ((dx *. dx) +. (dy *. dy))
-
-(* Best-first search that fetches a region the first time it pops a node
-   living there.  [heuristic = true] uses ALT (LM); otherwise plain
-   Dijkstra, optionally pruned by arc-flags towards [rt] (AF).
-
-   A frontier node in a not-yet-fetched region has no ALT vector, but
-   its region's rectangle (public, from the header) gives an admissible
-   stand-in: heuristic_scale times the rectangle's distance to the
-   destination.  Without this, distant regions look free and get
-   fetched eagerly. *)
-let query_incremental ctx header ~pad ~rs:(rs [@secret]) ~rt:(rt [@secret])
-    ~sx:(sx [@secret]) ~sy:(sy [@secret]) ~tx:(tx [@secret]) ~ty:(ty [@secret])
-    ~use_alt ~use_flags =
-  let budget_pages =
-    match header.H.plan with
-    | QP.Lm { total_data_pages } -> total_data_pages
-    | QP.Af { pages_per_region; max_regions } -> pages_per_region * max_regions
-    | _ -> failwith "Client: LM/AF database with wrong plan"
-  in
-  let store = store_create () in
-  let fetched = Hashtbl.create 16 in
-  let pages_fetched = ref 0 in
-  let fetch (region [@secret]) =
-    (if not (Hashtbl.mem fetched region) then begin
-       Hashtbl.replace fetched region ();
-       fetch_region ctx header store ~file:"data" region;
-       pages_fetched := !pages_fetched + header.H.pages_per_region
-     end)
-    [@leak_ok
-      "region-level dedup: LM/AF deliberately trade access-pattern privacy for \
-       cost (DESIGN.md); with padding only the total page count — the public \
-       budget — is fixed, never the fetch order"]
-  in
-  (* round 2: the source and destination regions *)
-  Session.next_round ctx.session;
-  Obs.with_span "fetch_regions" (fun () ->
-      fetch rs;
-      (if rt <> rs then fetch rt
-       else begin
-         for _ = 1 to header.H.pages_per_region do
-           dummy_fetch ctx ~file:"data"
-         done;
-         pages_fetched := !pages_fetched + header.H.pages_per_region
-       end)
-      [@leak_ok
-        "balanced branch: both arms fetch exactly pages_per_region data pages in \
-         round 2"]);
-  let s = snap store rs ~x:sx ~y:sy and t = snap store rt ~x:tx ~y:ty in
-  let t_record = Hashtbl.find store.records t in
-  let rects = if use_alt then Some (region_rects header) else None in
-  let dist = Hashtbl.create 1024 and parent = Hashtbl.create 1024 in
-  let closed = Hashtbl.create 1024 in
-  let region_of_frontier = Hashtbl.create 64 in
-  let h (v [@secret]) =
-    (if not use_alt then 0.0
-     else
-       match Hashtbl.find_opt store.records v with
-       | Some r -> alt_heuristic r t_record
-       | None -> (
-           (* unfetched: bound by its region's rectangle *)
-           match (rects, Hashtbl.find_opt region_of_frontier v) with
-           | Some rects, Some region ->
-               header.H.heuristic_scale
-               *. rect_distance rects.(region) ~x:t_record.E.x ~y:t_record.E.y
-           | _ -> 0.0))
-    [@leak_ok
-      "heuristic evaluation is client-local arithmetic; it only steers which \
-       region the search pulls next, the incremental schemes' accepted \
-       access-pattern cost"]
-  in
-  let heap = Psp_util.Min_heap.create () in
-  Hashtbl.replace dist s 0.0;
-  Psp_util.Min_heap.push heap ~priority:(h s) s;
-  let found = ref false in
-  (* the search span's fetch count is query-dependent — exactly the
-     access-pattern cost LM/AF accept; the padding loop below still tops
-     the session total up to the public budget *)
-  (Obs.with_span "search" (fun () ->
-       while (not !found) && not (Psp_util.Min_heap.is_empty heap) do
-       match Psp_util.Min_heap.pop heap with
-       | None -> ()
-       | Some (key, u) ->
-           if not (Hashtbl.mem closed u) then begin
-             match Hashtbl.find_opt store.records u with
-             | None ->
-                 (* node lives in a region we have not fetched yet *)
-                 let region =
-                   match Hashtbl.find_opt region_of_frontier u with
-                   | Some r -> r
-                   | None -> failwith "Client: frontier node with unknown region"
-                 in
-                 Session.next_round ctx.session;
-                 fetch region;
-                 Psp_util.Min_heap.push heap ~priority:(Hashtbl.find dist u +. h u) u
-             | Some record when key +. 1e-12 < Hashtbl.find dist u +. h u ->
-                 (* the node was queued before its region (and heuristic)
-                    was known: its key understates g + h, and closing it now
-                    could be premature — re-queue at the proper key *)
-                 ignore record;
-                 Psp_util.Min_heap.push heap ~priority:(Hashtbl.find dist u +. h u) u
-             | Some record ->
-                 Hashtbl.replace closed u ();
-                 if u = t then found := true
-                 else begin
-                   let du = Hashtbl.find dist u in
-                   List.iter
-                     (fun (e : E.adj) ->
-                       let usable =
-                         (not use_flags)
-                         ||
-                         match e.E.flags with
-                         | Some flags -> Psp_util.Bitset.mem flags rt
-                         | None -> failwith "Client: AF database lacks arc-flags"
-                       in
-                       if usable then begin
-                         let nd = du +. e.E.weight in
-                         let better =
-                           match Hashtbl.find_opt dist e.E.target with
-                           | Some old -> nd < old
-                           | None -> true
-                         in
-                         if better then begin
-                           Hashtbl.replace dist e.E.target nd;
-                           Hashtbl.replace parent e.E.target u;
-                           (* the mixed (rect / ALT) heuristic is admissible
-                              but not consistent, so a strict improvement
-                              must reopen an already-closed node; with
-                              reopening, stopping at t's first pop stays
-                              exact *)
-                           Hashtbl.remove closed e.E.target;
-                           if e.E.target_region >= 0 then
-                             Hashtbl.replace region_of_frontier e.E.target e.E.target_region;
-                           Psp_util.Min_heap.push heap ~priority:(nd +. h e.E.target) e.E.target
-                         end
-                       end)
-                     record.E.adj
-                 end
-           end
-       done))
-  [@leak_ok
-    "the best-first search order is secret-dependent by design in LM/AF; every \
-     server-visible fetch it issues is counted against — and padded up to — the \
-     public page budget before the query returns"];
-  (if pad then
-     while !pages_fetched < budget_pages do
-       Session.next_round ctx.session;
-       for _ = 1 to header.H.pages_per_region do
-         dummy_fetch ctx ~file:"data"
-       done;
-       pages_fetched := !pages_fetched + header.H.pages_per_region
-     done)
-  [@leak_ok
-    "padding loop: tops the session up to the public page budget, one region's \
-     worth of dummy fetches per round"];
-  let path =
-    (if not !found then None
-     else begin
-       let rec build v acc =
-         match Hashtbl.find_opt parent v with
-         | None -> v :: acc
-         | Some p -> build p (v :: acc)
-       in
-       Some (build t [], Hashtbl.find dist t)
-     end)
-    [@leak_ok "path reconstruction is client-local; no fetch is issued after it"]
-  in
-  (* report the page budget consumed (in region units) rather than the
-     distinct-region count: the rs = rt dummy slot counts against the
-     plan, and calibration must budget for it *)
-  (path, !pages_fetched / header.H.pages_per_region)
-  [@@oblivious]
+let unknown_result stats client_seconds ~scheme =
+  Obs.incr m_unknown;
+  { path = None;
+    stats;
+    client_seconds;
+    regions_fetched = 0;
+    status = Unknown_scheme { scheme } }
 
 (* ------------------------------------------------------------------ *)
 
@@ -632,37 +93,31 @@ let query ?(pad = true) ?(retry = default_retry) server ~sx:(sx [@secret])
            fetch schedule"]
       in
       let session = Session.start server in
-      let ctx = { session; policy = retry } in
+      let on_retry ~backoff = Session.note_retry session ~backoff in
       (* exhausting the retry budget degrades the result instead of raising:
          the session still finishes, so the partial trace and the recovery
          cost remain observable *)
       let outcome =
         (match
-          let header, psize, rs, rt =
-            (* plan selection: the header download and region location fix
-               the public query plan before any oblivious round begins *)
-            Obs.with_span "plan" (fun () ->
-                let header_pages =
-                  with_retry ctx (fun () -> Session.download session ~file:"header")
-                in
-                let header = H.of_pages header_pages in
-                let psize = Bytes.length header_pages.(0) in
-                (header, psize, H.locate header ~x:sx ~y:sy, H.locate header ~x:tx ~y:ty))
-          in
-          match header.H.scheme with
-          | "CI" -> query_ci ctx header ~pad ~psize ~rs ~rt ~sx ~sy ~tx ~ty
-          | "PI" | "PI*" -> query_pi ctx header ~pad ~psize ~rs ~rt ~sx ~sy ~tx ~ty
-          | "HY" -> query_hy ctx header ~pad ~psize ~rs ~rt ~sx ~sy ~tx ~ty
-          | "LM" ->
-              query_incremental ctx header ~pad ~rs ~rt ~sx ~sy ~tx ~ty ~use_alt:true
-                ~use_flags:false
-          | "AF" ->
-              query_incremental ctx header ~pad ~rs ~rt ~sx ~sy ~tx ~ty ~use_alt:false
-                ~use_flags:true
-          | scheme -> failwith (Printf.sprintf "Client: unknown scheme %S" scheme)
-        with
-        | answer -> Ok answer
-        | exception Gave_up { point; attempts } -> Error (point, attempts))
+           let header, psize =
+             (* plan selection: the header download and region location fix
+                the public query plan before any oblivious round begins *)
+             Obs.with_span "plan" (fun () ->
+                 let header_pages =
+                   Engine.with_retry ~policy:retry ~on_retry (fun () ->
+                       Session.download session ~file:"header")
+                 in
+                 (H.of_pages header_pages, Bytes.length header_pages.(0)))
+           in
+           match Registry.find header.H.scheme with
+           | None -> `Unknown header.H.scheme
+           | Some scheme ->
+               let ctx = { Engine.header; psize; pad } in
+               let q = locate header { sx; sy; tx; ty } in
+               `Answer (Engine.run scheme session ~policy:retry ctx q)
+         with
+        | v -> Ok v
+        | exception Engine.Gave_up { point; attempts } -> Error (point, attempts))
         [@leak_ok
           "the exception arm is steered by the fault schedule and retry budget alone \
            (with_retry re-issues identical requests); degrading instead of raising \
@@ -677,31 +132,116 @@ let query ?(pad = true) ?(retry = default_retry) server ~sx:(sx [@secret])
       in
       Obs.observe m_query_seconds client_seconds;
       (match outcome with
-      | Ok (path, regions_fetched) ->
-          let status =
-            match stats.Session.retries with
-            | 0 ->
-                Obs.incr m_served;
-                Served
-            | retries ->
-                Obs.incr m_degraded;
-                Degraded { retries }
-          in
-          { path; stats; client_seconds; regions_fetched; status }
+      | Ok (`Answer (path, regions_fetched)) ->
+          { path; stats; client_seconds; regions_fetched; status = status_of_stats stats }
+      | Ok (`Unknown scheme) -> unknown_result stats client_seconds ~scheme
       | Error (point, attempts) ->
-          Obs.incr m_unavailable;
-          { path = None;
-            stats;
-            client_seconds;
-            regions_fetched = 0;
-            status = Unavailable { point; attempts } })
+          unavailable_result stats client_seconds ~point ~attempts)
       [@leak_ok
         "result assembly happens after the session closed; the server observes \
          nothing from this match"])
   [@@oblivious]
 
+(* ------------------------------------------------------------------ *)
+(* Batched serving: N same-plan queries walk the plan in lockstep, each
+   fetch slot becoming one merged oblivious-store pass (Batcher). *)
+
+let query_batch ?(pad = true) ?(retry = default_retry) server
+    (queries : endpoints array) =
+  (let width = Array.length queries in
+   if width = 0 then [||]
+   else begin
+     Obs.incr m_batches;
+     Obs.observe m_batch_width (float_of_int width);
+     Obs.add m_queries width;
+     Obs.with_span "query" (fun () ->
+         let started =
+           (Sys.time ())
+           [@leak_ok
+             "wall-clock sample for the public stats records; it never influences \
+              the fetch schedule"]
+         in
+         let batcher = Batcher.start server ~width in
+         (* every member downloads the header over its own session, so each
+            per-member trace carries the same plain download a sequential
+            query's would *)
+         let outcome =
+           (match
+              let header, psize =
+                Obs.with_span "plan" (fun () ->
+                    let pages = ref [||] in
+                    Array.iter
+                      (fun session ->
+                        pages :=
+                          Engine.with_retry ~policy:retry
+                            ~on_retry:(fun ~backoff ->
+                              Session.note_retry session ~backoff)
+                            (fun () -> Session.download session ~file:"header"))
+                      (Batcher.sessions batcher);
+                    (H.of_pages !pages, Bytes.length !pages.(0)))
+              in
+              match Registry.find header.H.scheme with
+              | None -> `Unknown header.H.scheme
+              | Some scheme ->
+                  let ctx = { Engine.header; psize; pad } in
+                  let qs = Array.map (locate header) queries in
+                  `Answers (Engine.run_batch scheme batcher ~policy:retry ctx qs)
+            with
+           | v -> Ok v
+           | exception Engine.Gave_up { point; attempts } ->
+               Error (point, attempts))
+           [@leak_ok
+             "the exception arm is steered by the fault schedule and retry budget \
+              alone; a batch-granular failure degrades every member identically, \
+              keeping their partial traces mutually equal"]
+         in
+         let stats = Batcher.finish batcher in
+         let client_seconds =
+           ((Sys.time () -. started) /. float_of_int width)
+           [@leak_ok
+             "wall-clock sample for the public stats records; the sessions are \
+              already finished"]
+         in
+         Obs.observe m_query_seconds client_seconds;
+         (match outcome with
+         | Ok (`Answers answers) ->
+             Array.mapi
+               (fun i (path, regions_fetched) ->
+                 { path;
+                   stats = stats.(i);
+                   client_seconds;
+                   regions_fetched;
+                   status = status_of_stats stats.(i) })
+               answers
+         | Ok (`Unknown scheme) ->
+             Array.map (fun s -> unknown_result s client_seconds ~scheme) stats
+         | Error (point, attempts) ->
+             Array.map
+               (fun s -> unavailable_result s client_seconds ~point ~attempts)
+               stats)
+         [@leak_ok
+           "result assembly happens after every session closed; the server \
+            observes nothing from this match"])
+   end)
+  [@leak_ok
+    "the batch width is public (the server trivially observes how many sessions \
+     it serves); the empty-batch shortcut issues no request at all"]
+  [@@oblivious]
+
+(* ------------------------------------------------------------------ *)
+
 let query_nodes ?pad ?retry server g (s [@secret]) (t [@secret]) =
   let sx, sy = Psp_graph.Graph.coords g s in
   let tx, ty = Psp_graph.Graph.coords g t in
   query ?pad ?retry server ~sx ~sy ~tx ~ty
+  [@@oblivious]
+
+let query_nodes_batch ?pad ?retry server g (pairs [@secret]) =
+  query_batch ?pad ?retry server
+    (Array.map
+       (fun (s, t) ->
+         let sx, sy = Psp_graph.Graph.coords g s in
+         let tx, ty = Psp_graph.Graph.coords g t in
+         { sx; sy; tx; ty })
+       pairs)
   [@@oblivious]

@@ -2,17 +2,18 @@
 
     A client knows only its own source/destination coordinates and what
     the public header tells it; everything else arrives over the PIR
-    interface.  [query] drives the complete multi-round protocol of
-    whichever scheme the header announces (CI §5.4, PI/PI* §6, HY §6,
-    LM/AF §4), including the dummy padding that makes its trace conform
-    to the published plan.
+    interface.  This module is a facade: it downloads the header,
+    locates the endpoint regions, and hands the {!Registry}-selected
+    scheme to the {!Engine}, which walks the public query plan (CI §5.4,
+    PI/PI* §6, HY §6, LM/AF §4) including the dummy padding that makes
+    every trace conform to the published plan.
 
     Returns the path (as a node-id sequence with its cost), the server
     session statistics (PIR time, communication time, per-file page
     counts, the adversary-visible trace) and the client-side CPU time —
     the three response-time components of Table 3. *)
 
-type retry_policy = {
+type retry_policy = Engine.retry_policy = {
   max_attempts : int;  (** total tries per retrieval, first one included *)
   base_backoff : float;
       (** simulated seconds before the first retry; doubles per attempt *)
@@ -30,6 +31,11 @@ type status =
       (** the retry budget ran out at failpoint [point]; no answer.
           This replaces an exception so callers always get the partial
           trace and the recovery cost that was incurred. *)
+  | Unknown_scheme of { scheme : string }
+      (** the header announced a scheme tag the {!Registry} does not
+          know; no oblivious round was begun.  This replaces a [Failure]
+          so callers can distinguish a version skew from a malformed
+          database. *)
 
 type result = {
   path : (int list * float) option;
@@ -43,6 +49,9 @@ type result = {
           calibration must budget for) *)
   status : status;
 }
+
+type endpoints = { sx : float; sy : float; tx : float; ty : float }
+(** One query's raw coordinates, for {!query_batch}. *)
 
 val query :
   ?pad:bool ->
@@ -61,11 +70,39 @@ val query :
     outcomes and attempt numbers, never on query content, so traces stay
     indistinguishable across queries under any fixed fault schedule
     (DESIGN.md, "Failure handling").  An exhausted budget yields
-    [status = Unavailable _], not an exception.
+    [status = Unavailable _]; an unrecognised scheme tag yields
+    [status = Unknown_scheme _].
     @raise Failure on a malformed database or a plan the query cannot
     fit into. *)
+
+val query_batch :
+  ?pad:bool ->
+  ?retry:retry_policy ->
+  Psp_pir.Server.t ->
+  endpoints array ->
+  result array
+(** Execute N queries concurrently over one {!Psp_pir.Batcher}: all
+    members walk the same public plan in lockstep and each fetch slot
+    becomes one merged oblivious-store pass, amortizing the PIR cost
+    (Table 2) across the batch.  Member [i]'s result — path, stats,
+    per-member trace — matches what a sequential [query] would have
+    produced; [client_seconds] reports the per-query share of the
+    batch's wall-clock.  The batch width is public.  A batch-granular
+    fault that exhausts the retry budget degrades {e every} member to
+    [Unavailable] identically.  An empty array returns an empty array
+    without contacting the server. *)
 
 val query_nodes :
   ?pad:bool -> ?retry:retry_policy -> Psp_pir.Server.t -> Psp_graph.Graph.t -> int -> int -> result
 (** Convenience for harnesses: look up the nodes' coordinates in the
     (server-side) graph and query by coordinates. *)
+
+val query_nodes_batch :
+  ?pad:bool ->
+  ?retry:retry_policy ->
+  Psp_pir.Server.t ->
+  Psp_graph.Graph.t ->
+  (int * int) array ->
+  result array
+(** {!query_batch} over node-id pairs resolved through the server-side
+    graph. *)

@@ -1,0 +1,181 @@
+module Server = Psp_pir.Server
+module Session = Psp_pir.Server.Session
+module Batcher = Psp_pir.Batcher
+module H = Psp_index.Header
+module QP = Psp_index.Query_plan
+module Obs = Psp_obs.Obs
+
+type retry_policy = { max_attempts : int; base_backoff : float }
+
+let default_retry = { max_attempts = 4; base_backoff = 0.1 }
+
+type ctx = { header : H.t; psize : int; pad : bool }
+
+type query = { rs : int; rt : int; sx : float; sy : float; tx : float; ty : float }
+
+type answer = (int list * float) option * int
+
+module type SCHEME = sig
+  type state
+
+  val init : ctx -> query -> state
+  val next_page : state -> file:string -> int option
+  val deliver : state -> file:string -> bytes -> unit
+  val barrier : state -> label:string -> unit
+  val exhausted : state -> bool
+  val answer : state -> answer
+end
+
+type scheme = (module SCHEME)
+
+(* ------------------------------------------------------------------ *)
+(* Retry (moved here from the client so the engine owns it once)        *)
+
+exception Gave_up of { point : string; attempts : int }
+
+let recoverable = function
+  | Psp_fault.Fault.Injected { point; _ } -> Some point
+  | Server.Page_corrupt { file; _ } -> Some (Printf.sprintf "pir.fetch.corrupt(%s)" file)
+  | _ -> None
+
+(* Bounded retry with deterministic exponential backoff.  Obliviousness
+   hinges on the schedule here: whether, when and how long we retry is a
+   function of the fault outcome and the attempt number alone — never of
+   the query's coordinates, pages or intermediate results.  A retried
+   fetch re-issues the identical page request(s), so under a fixed fault
+   schedule every query's trace gains the same extra events in the same
+   places (DESIGN.md, "Failure handling"). *)
+let with_retry ~policy ~on_retry op =
+  let rec go attempt =
+    match op () with
+    | v -> v
+    | exception e -> (
+        match recoverable e with
+        | None -> raise e
+        | Some point ->
+            if attempt >= policy.max_attempts then
+              raise (Gave_up { point; attempts = attempt })
+            else begin
+              on_retry ~backoff:(policy.base_backoff *. float_of_int (1 lsl (attempt - 1)));
+              go (attempt + 1)
+            end)
+  in
+  go 1
+  [@@oblivious]
+
+(* ------------------------------------------------------------------ *)
+(* Transports: how a walk reaches the server — one session, or one
+   batcher multiplexing N lockstep sessions. *)
+
+type transport = {
+  next_round : unit -> unit;
+  fetch : file:string -> int array -> bytes array;
+  on_retry : backoff:float -> unit;
+}
+
+let session_transport session =
+  { next_round = (fun () -> Session.next_round session);
+    fetch = (fun ~file pages -> [| Session.fetch session ~file ~page:pages.(0) |]);
+    on_retry = (fun ~backoff -> Session.note_retry session ~backoff) }
+
+let batcher_transport batcher =
+  { next_round = (fun () -> Batcher.next_round batcher);
+    fetch = (fun ~file pages -> Batcher.fetch batcher ~file ~pages);
+    on_retry = (fun ~backoff -> Batcher.note_retry batcher ~backoff) }
+
+(* ------------------------------------------------------------------ *)
+(* The walker: one engine drives every scheme over the public step list,
+   owning padding, retry, telemetry spans and — by construction — trace
+   conformance (Privacy.expected_trace folds over the same list). *)
+
+let walk (type s) (module S : SCHEME with type state = s) transport ~policy ctx
+    (states : s array) =
+  let all_exhausted () =
+    Array.for_all S.exhausted states
+    [@leak_ok
+      "consulted only to stop rounds that would be pure padding when padding is \
+       disabled (calibration) or the plan has overflowed — both documented \
+       access-pattern costs of the unpadded/incremental modes"]
+  in
+  (* One fetch slot: ask every member which page it wants; a member
+     without a real need gets a dummy retrieval of page 0.  The slot is
+     issued iff padding demands it or some member has a real request, and
+     the whole merged fetch retries as a unit so members stay in
+     lockstep.  Returns whether any member had a real request. *)
+  let slot ~pad_slot ~file =
+    let (wants [@secret]) = Array.map (fun st -> S.next_page st ~file) states in
+    let any_real = Array.exists Option.is_some wants in
+    (if pad_slot || any_real then begin
+       let (pages [@secret]) = Array.map (Option.value ~default:0) wants in
+       let blobs =
+         with_retry ~policy ~on_retry:transport.on_retry (fun () ->
+             transport.fetch ~file pages)
+       in
+       Array.iteri
+         (fun i blob ->
+           match wants.(i) with
+           | Some _ -> S.deliver states.(i) ~file blob
+           | None -> ())
+         blobs
+     end)
+    [@leak_ok
+      "with padding on, the slot is issued unconditionally — the branch is \
+       constant-true and the fetch count is the public plan's; page indices are \
+       hidden by the PIR layer, and delivery is client-local"];
+    any_real
+  in
+  List.iter
+    (fun step ->
+      match step with
+      | QP.Next_round ->
+          (if ctx.pad || not (all_exhausted ()) then transport.next_round ())
+          [@leak_ok
+            "with padding on, every plan round runs — the branch is constant-true; \
+             unpadded (calibration) runs already forgo the plan's shape"]
+      | QP.Fetch_window { file; count } ->
+          Obs.with_span ("window:" ^ file) (fun () ->
+              for _ = 1 to count do
+                ignore (slot ~pad_slot:ctx.pad ~file)
+              done)
+      | QP.Decode_barrier { label } ->
+          Obs.with_span label (fun () ->
+              Array.iter (fun st -> S.barrier st ~label) states))
+    (QP.steps ctx.header.H.plan ~pages_per_region:ctx.header.H.pages_per_region);
+  (* Overflow: a query that out-grows a mis-calibrated plan keeps
+     fetching (HY long records, LM/AF searches) instead of failing — the
+     trace deviation is the access-pattern cost those schemes accept,
+     and Calibrate exists to make this loop unreachable.  No spans here:
+     a span call count that depends on the query would break the
+     constant-shape telemetry policy. *)
+  (match QP.overflow ctx.header.H.plan with
+  | None -> ()
+  | Some { QP.file; window; per_round } ->
+      let continue_ = ref (not (all_exhausted ())) in
+      while !continue_ do
+        if per_round then transport.next_round ();
+        let any = ref false in
+        for _ = 1 to window do
+          if slot ~pad_slot:false ~file then any := true
+        done;
+        continue_ := !any && not (all_exhausted ())
+      done)
+  [@leak_ok
+    "overflow fetches beyond the public plan are LM/AF/HY's documented \
+     access-pattern cost; the loop stops as soon as no member needs real data"]
+  [@@oblivious]
+
+let run_transport (module S : SCHEME) transport ~policy ctx queries =
+  let states = Array.map (S.init ctx) queries in
+  walk (module S) transport ~policy ctx states;
+  Obs.with_span "solve" (fun () -> Array.map S.answer states)
+  [@@oblivious]
+
+let run scheme session ~policy ctx q =
+  (run_transport scheme (session_transport session) ~policy ctx [| q |]).(0)
+  [@@oblivious]
+
+let run_batch scheme batcher ~policy ctx queries =
+  if Array.length queries <> Psp_pir.Batcher.width batcher then
+    invalid_arg "Engine.run_batch: one query per batcher session required";
+  run_transport scheme (batcher_transport batcher) ~policy ctx queries
+  [@@oblivious]

@@ -1,0 +1,103 @@
+(** The scheme-agnostic execution engine.
+
+    Theorem 1 rests on every query executing one publicly-known plan, so
+    the plan — not the scheme — owns the retrieval loop here: the engine
+    walks {!Psp_index.Query_plan.steps} and fills every fetch slot with
+    the page a {!SCHEME} asks for, or a dummy retrieval when the scheme
+    needs nothing (padding).  Retry with deterministic backoff,
+    telemetry spans at plan-fixed positions, and trace conformance (the
+    walker issues exactly the step list that
+    {!Privacy.expected_trace} folds over) all live here, once.
+
+    Schemes are passive: [next_page] picks which page index fills the
+    slot the engine was issuing anyway, [deliver] consumes the payload,
+    [barrier] runs plan-fixed client-local decode points, and [answer]
+    solves over the accumulated {!Store}.  Nothing a scheme does can
+    change how many fetches the server observes while padding is on. *)
+
+type retry_policy = {
+  max_attempts : int;  (** total tries per retrieval, first one included *)
+  base_backoff : float;
+      (** simulated seconds before the first retry; doubles per attempt *)
+}
+
+val default_retry : retry_policy
+(** 4 attempts, 0.1 s base backoff. *)
+
+type ctx = {
+  header : Psp_index.Header.t;
+  psize : int;  (** page size in bytes, from the downloaded header *)
+  pad : bool;  (** false only in calibration runs *)
+}
+
+type query = { rs : int; rt : int; sx : float; sy : float; tx : float; ty : float }
+(** Located source/target regions plus the raw coordinates — all secret. *)
+
+type answer = (int list * float) option * int
+(** The path (if any) and the consumed region budget (see
+    {!Client.result.regions_fetched}). *)
+
+module type SCHEME = sig
+  type state
+
+  val init : ctx -> query -> state
+
+  val next_page : state -> file:string -> int option
+  (** The page index to fill the current fetch slot against [file], or
+      [None] when the scheme has no real need (the engine pads with a
+      dummy retrieval of page 0). *)
+
+  val deliver : state -> file:string -> bytes -> unit
+  (** The payload of the last real slot this state requested. *)
+
+  val barrier : state -> label:string -> unit
+  (** A plan-fixed client-local decode point (no fetches). *)
+
+  val exhausted : state -> bool
+  (** No further real fetches needed — consulted to stop unpadded
+      (calibration) walks and the overflow loop. *)
+
+  val answer : state -> answer
+end
+
+type scheme = (module SCHEME)
+
+exception Gave_up of { point : string; attempts : int }
+(** The retry budget ran out at the named failpoint. *)
+
+val recoverable : exn -> string option
+(** The failpoint name for faults the retry loop may absorb — transient
+    injections and checksum failures (redacted to the file name). *)
+
+val with_retry :
+  policy:retry_policy -> on_retry:(backoff:float -> unit) -> (unit -> 'a) -> 'a
+(** Bounded retry with deterministic exponential backoff
+    ([base_backoff · 2{^attempt-1}]).  The schedule depends only on
+    fault outcomes and attempt numbers — never on query content — so
+    traces stay indistinguishable under any fixed fault schedule.
+    @raise Gave_up when the budget is exhausted. *)
+
+val run :
+  scheme ->
+  Psp_pir.Server.Session.t ->
+  policy:retry_policy ->
+  ctx ->
+  query ->
+  answer
+(** Walk the plan once for one query.
+    @raise Gave_up on retry-budget exhaustion; Failure on a malformed
+    database. *)
+
+val run_batch :
+  scheme ->
+  Psp_pir.Batcher.t ->
+  policy:retry_policy ->
+  ctx ->
+  query array ->
+  answer array
+(** Walk the plan once for N same-plan queries in lockstep: each fetch
+    slot becomes one merged {!Psp_pir.Batcher.fetch} pass, and a retry
+    re-issues every member's identical request so members stay mutually
+    trace-identical.
+    @raise Invalid_argument unless there is one query per batcher
+    session. *)

@@ -17,41 +17,23 @@ let indistinguishable traces =
       in
       check 1 rest
 
+(* The expectation is a pure fold over the plan's step list — the same
+   list Engine walks — so the published plan has one operational
+   definition and "what the engine does" versus "what the proof of
+   Theorem 1 assumes" cannot drift apart. *)
 let expected_trace header ~header_pages =
   let t = T.create () in
   T.record t (T.Plain_download { round = 1; file = "header"; pages = header_pages });
-  let fetches round file count =
-    for _ = 1 to count do
-      T.record t (T.Pir_fetch { round; file })
-    done
-  in
-  (match header.H.plan with
-  | QP.Ci { fi_span; m } ->
-      fetches 2 "lookup" 1;
-      fetches 3 "index" fi_span;
-      fetches 4 "data" (m + 2)
-  | QP.Pi { fi_span } ->
-      fetches 2 "lookup" 1;
-      fetches 3 "index" fi_span;
-      fetches 3 "data" (2 * header.H.pages_per_region)
-  | QP.Pi_star { fi_span; cluster } ->
-      fetches 2 "lookup" 1;
-      fetches 3 "index" fi_span;
-      fetches 3 "data" (2 * cluster)
-  | QP.Hy { r; round4 } ->
-      fetches 2 "lookup" 1;
-      fetches 3 "combined" r;
-      fetches 4 "combined" round4
-  | QP.Lm { total_data_pages } ->
-      fetches 2 "data" 2;
-      for round = 3 to total_data_pages do
-        fetches round "data" 1
-      done
-  | QP.Af { pages_per_region; max_regions } ->
-      fetches 2 "data" (2 * pages_per_region);
-      for k = 3 to max_regions do
-        fetches k "data" pages_per_region
-      done);
+  let round = ref 1 in
+  List.iter
+    (function
+      | QP.Next_round -> incr round
+      | QP.Fetch_window { file; count } ->
+          for _ = 1 to count do
+            T.record t (T.Pir_fetch { round = !round; file })
+          done
+      | QP.Decode_barrier _ -> ())
+    (QP.steps header.H.plan ~pages_per_region:header.H.pages_per_region);
   t
 
 let conforms header ~header_pages trace =

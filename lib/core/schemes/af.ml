@@ -1,0 +1,6 @@
+(* AF (§4.3): incremental fetching pruned by arc-flags towards the
+   target region. *)
+include Incremental.Make (struct
+  let use_alt = false
+  let use_flags = true
+end)

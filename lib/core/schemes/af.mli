@@ -1,0 +1,4 @@
+(** AF (§4.3): incremental fetching pruned by arc-flags towards the
+    target region.  [Incremental.Make] with [use_flags]. *)
+
+include Engine.SCHEME

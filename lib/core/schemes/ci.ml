@@ -1,0 +1,138 @@
+module H = Psp_index.Header
+module QP = Psp_index.Query_plan
+module FB = Psp_index.Fi_builder
+module Sc = Scheme_common
+
+(* CI (§5.4): lookup entry → fi_span index window → the record's region
+   set plus both endpoint regions, padded to the public budget m + 2. *)
+
+type state = {
+  ctx : Engine.ctx;
+  q : Engine.query;
+  store : Store.t;
+  fi_span : int;
+  budget : int;  (* m + 2 *)
+  mutable lookup_sent : bool;
+  mutable lookup_blob : bytes option;
+  mutable entry_page : int;
+  mutable entry_offset : int;
+  mutable win_start : int;
+  mutable win_sent : int;
+  mutable win_pages : bytes list;  (* reversed *)
+  rq : Sc.region_queue;
+  mutable real_regions : int;
+}
+
+let init ctx (q [@secret]) =
+  let fi_span, m =
+    match ctx.Engine.header.H.plan with
+    | QP.Ci { fi_span; m } -> (fi_span, m)
+    | _ -> failwith "Client: CI database with non-CI plan"
+  in
+  let store = Store.create () in
+  { ctx;
+    q;
+    store;
+    fi_span;
+    budget = m + 2;
+    lookup_sent = false;
+    lookup_blob = None;
+    entry_page = 0;
+    entry_offset = 0;
+    win_start = 0;
+    win_sent = 0;
+    win_pages = [];
+    rq =
+      Sc.region_queue ctx.Engine.header store
+        ~pages_per_region:ctx.Engine.header.H.pages_per_region;
+    real_regions = 0 }
+  [@@oblivious]
+
+let next_page (st [@secret]) ~file =
+  (match file with
+  | "lookup" ->
+      if st.lookup_sent then None
+      else begin
+        st.lookup_sent <- true;
+        let page, _ =
+          Sc.lookup_slot st.ctx.Engine.header ~psize:st.ctx.Engine.psize
+            ~rs:st.q.Engine.rs ~rt:st.q.Engine.rt
+        in
+        Some page
+      end
+  | "index" ->
+      if st.win_sent >= st.fi_span then None
+      else begin
+        let p = st.win_start + st.win_sent in
+        st.win_sent <- st.win_sent + 1;
+        Some p
+      end
+  | _ -> Sc.rq_next st.rq)
+  [@leak_ok
+    "phase bookkeeping picks which page index fills a plan-fixed fetch slot; the \
+     engine issues the same slot sequence regardless of these branches"]
+  [@@oblivious]
+
+let deliver (st [@secret]) ~file blob =
+  (match file with
+  | "lookup" -> st.lookup_blob <- Some blob
+  | "index" -> st.win_pages <- blob :: st.win_pages
+  | _ -> Sc.rq_deliver st.rq blob)
+  [@leak_ok "delivery is client-local; the fetch already happened"]
+  [@@oblivious]
+
+let barrier (st [@secret]) ~label =
+  (match label with
+  | "lookup" ->
+      let blob =
+        match st.lookup_blob with
+        | Some b -> b
+        | None -> failwith "Client: lookup page missing at barrier"
+      in
+      let _, pos =
+        Sc.lookup_slot st.ctx.Engine.header ~psize:st.ctx.Engine.psize
+          ~rs:st.q.Engine.rs ~rt:st.q.Engine.rt
+      in
+      let page, offset, _span = Sc.decode_entry blob ~pos in
+      st.entry_page <- page;
+      st.entry_offset <- offset;
+      st.win_start <-
+        Sc.window_start ~file_pages:st.ctx.Engine.header.H.index_pages ~span:st.fi_span
+          ~page
+  | "decode" ->
+      let window = Array.of_list (List.rev st.win_pages) in
+      let regions =
+        match
+          Sc.decode_fi st.ctx.Engine.header ~pages:window
+            ~base_page:(st.entry_page - st.win_start) ~offset:st.entry_offset
+        with
+        | FB.Regions r -> r
+        | FB.Edges _ -> failwith "Client: CI look-up led to a subgraph record"
+      in
+      let to_fetch =
+        List.sort_uniq compare (st.q.Engine.rs :: st.q.Engine.rt :: Array.to_list regions)
+      in
+      if List.length to_fetch > st.budget then
+        failwith "Client: CI fetch set exceeds the query plan budget";
+      st.real_regions <- List.length to_fetch;
+      List.iter (Sc.rq_push st.rq) to_fetch
+  | _ -> ())
+  [@leak_ok
+    "client-local decode of already-fetched pages; malformed records and budget \
+     violations fail closed with constant messages before any further slot is \
+     filled"]
+  [@@oblivious]
+
+let exhausted (st [@secret]) =
+  (st.lookup_sent && st.win_sent >= st.fi_span && st.real_regions > 0
+  && Sc.rq_idle st.rq)
+  [@leak_ok
+    "consulted by the engine's exhaustion check, whose gating is justified at the \
+     engine's sites"]
+  [@@oblivious]
+
+let answer (st [@secret]) =
+  let s = Store.snap st.store st.q.Engine.rs ~x:st.q.Engine.sx ~y:st.q.Engine.sy
+  and t = Store.snap st.store st.q.Engine.rt ~x:st.q.Engine.tx ~y:st.q.Engine.ty in
+  (Store.dijkstra st.store ~source:s ~target:t, st.real_regions)
+  [@@oblivious]

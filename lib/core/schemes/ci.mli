@@ -1,0 +1,5 @@
+(** CI (§5.4): compressed index.  The lookup entry names an FI record
+    whose region set — plus both endpoint regions — is fetched in round
+    4, padded to the public budget [m + 2]. *)
+
+include Engine.SCHEME

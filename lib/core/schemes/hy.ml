@@ -1,0 +1,237 @@
+module H = Psp_index.Header
+module QP = Psp_index.Query_plan
+module FB = Psp_index.Fi_builder
+module Sc = Scheme_common
+
+(* HY (§6): one combined index+data file.  Round 3 reads an r-page
+   window at the looked-up record; round 4 reads the record's region
+   pages (one page per region in the combined layout) — or, for a long
+   subgraph record, first the record's tail beyond r.  The tail and
+   every region page count against the public round4 budget; a record
+   that outgrows it spills into the engine's overflow slots. *)
+
+type state = {
+  ctx : Engine.ctx;
+  q : Engine.query;
+  store : Store.t;
+  r_pages : int;
+  round4 : int;
+  mutable lookup_sent : bool;
+  mutable lookup_blob : bytes option;
+  mutable entry_page : int;
+  mutable entry_offset : int;
+  mutable head_start : int;
+  mutable head_sent : int;
+  mutable head_pages : bytes list;  (* reversed *)
+  mutable head_got : int;
+  mutable tail_needed : int;
+  mutable tail_sent : int;
+  mutable tail_pages : bytes list;  (* reversed *)
+  mutable tail_got : int;
+  mutable to_send : (int * int) list;  (* region, combined-file page *)
+  mutable awaiting : int list;  (* regions with a slot in flight, FIFO *)
+  mutable triples : Psp_index.Encoding.edge_triple array;
+  mutable decoded : bool;
+  mutable real_count : int;
+}
+
+let init ctx (q [@secret]) =
+  let r_pages, round4 =
+    match ctx.Engine.header.H.plan with
+    | QP.Hy { r; round4 } -> (r, round4)
+    | _ -> failwith "Client: HY database with non-HY plan"
+  in
+  { ctx;
+    q;
+    store = Store.create ();
+    r_pages;
+    round4;
+    lookup_sent = false;
+    lookup_blob = None;
+    entry_page = 0;
+    entry_offset = 0;
+    head_start = 0;
+    head_sent = 0;
+    head_pages = [];
+    head_got = 0;
+    tail_needed = 0;
+    tail_sent = 0;
+    tail_pages = [];
+    tail_got = 0;
+    to_send = [];
+    awaiting = [];
+    triples = [||];
+    decoded = false;
+    real_count = 0 }
+  [@@oblivious]
+
+let push_region (st [@secret]) (region [@secret]) =
+  st.to_send <-
+    st.to_send
+    @ [ (region, st.ctx.Engine.header.H.region_first_page.(region)) ]
+  [@@oblivious]
+
+(* The record's region set (or its endpoint pair for subgraph records)
+   becomes the round-4 send queue. *)
+let finish_with_regions (st [@secret]) (regions [@secret]) =
+  (let to_fetch =
+     List.sort_uniq compare
+       (st.q.Engine.rs :: st.q.Engine.rt :: Array.to_list regions)
+   in
+   if List.length to_fetch > st.round4 then
+     failwith "Client: HY fetch set exceeds the query plan budget";
+   st.real_count <- List.length to_fetch;
+   List.iter (push_region st) to_fetch)
+  [@leak_ok
+    "budget check fails closed with a constant message; a well-formed database \
+     never trips it (round4 bounds every region set plus endpoints)"]
+  [@@oblivious]
+
+let finish_with_triples (st [@secret]) (triples [@secret]) =
+  (st.triples <- triples;
+   st.real_count <- 2;
+   push_region st st.q.Engine.rs;
+   if st.q.Engine.rt <> st.q.Engine.rs then push_region st st.q.Engine.rt)
+  [@leak_ok
+    "balanced branch: when source and target share a region the second slot \
+     degrades to a dummy retrieval, so exactly two round-4 slots are consumed \
+     either way"]
+  [@@oblivious]
+
+let next_page (st [@secret]) ~file =
+  (match file with
+  | "lookup" ->
+      if st.lookup_sent then None
+      else begin
+        st.lookup_sent <- true;
+        let page, _ =
+          Sc.lookup_slot st.ctx.Engine.header ~psize:st.ctx.Engine.psize
+            ~rs:st.q.Engine.rs ~rt:st.q.Engine.rt
+        in
+        Some page
+      end
+  | _ ->
+      if st.head_sent < st.r_pages then begin
+        let p = st.head_start + st.head_sent in
+        st.head_sent <- st.head_sent + 1;
+        Some p
+      end
+      else if st.tail_sent < st.tail_needed then begin
+        let p = st.entry_page + st.r_pages + st.tail_sent in
+        st.tail_sent <- st.tail_sent + 1;
+        Some p
+      end
+      else
+        match st.to_send with
+        | [] -> None
+        | (region, page) :: rest ->
+            st.to_send <- rest;
+            st.awaiting <- st.awaiting @ [ region ];
+            Some page)
+  [@leak_ok
+    "phase bookkeeping picks which page index fills a plan-fixed fetch slot; the \
+     long-record tail and every region page count against the padded round4 budget"]
+  [@@oblivious]
+
+let deliver (st [@secret]) ~file blob =
+  (match file with
+  | "lookup" -> st.lookup_blob <- Some blob
+  | _ ->
+      if st.head_got < st.r_pages then begin
+        st.head_pages <- blob :: st.head_pages;
+        st.head_got <- st.head_got + 1
+      end
+      else if st.tail_got < st.tail_needed then begin
+        st.tail_pages <- blob :: st.tail_pages;
+        st.tail_got <- st.tail_got + 1;
+        if st.tail_got = st.tail_needed then begin
+          (* only subgraph records may span past r (r bounds region sets);
+             the decode runs here — not under a barrier span — because a
+             span at this data-dependent site would break the
+             constant-shape telemetry policy *)
+          let pages =
+            Array.of_list (List.rev st.head_pages @ List.rev st.tail_pages)
+          in
+          match
+            Sc.decode_fi st.ctx.Engine.header ~pages ~base_page:0
+              ~offset:st.entry_offset
+          with
+          | FB.Edges triples ->
+              st.decoded <- true;
+              finish_with_triples st triples
+          | FB.Regions _ -> failwith "Client: HY record past r is not a subgraph"
+        end
+      end
+      else
+        match st.awaiting with
+        | [] -> failwith "Client: unexpected region page delivery"
+        | region :: rest ->
+            st.awaiting <- rest;
+            List.iter
+              (Store.add_record st.store region)
+              (Sc.decode_region_window st.ctx.Engine.header [ blob ]))
+  [@leak_ok
+    "client-local decode of already-fetched pages; malformed records fail closed \
+     with constant messages"]
+  [@@oblivious]
+
+let barrier (st [@secret]) ~label =
+  (match label with
+  | "lookup" ->
+      let blob =
+        match st.lookup_blob with
+        | Some b -> b
+        | None -> failwith "Client: lookup page missing at barrier"
+      in
+      let _, pos =
+        Sc.lookup_slot st.ctx.Engine.header ~psize:st.ctx.Engine.psize
+          ~rs:st.q.Engine.rs ~rt:st.q.Engine.rt
+      in
+      let page, offset, span = Sc.decode_entry blob ~pos in
+      st.entry_page <- page;
+      st.entry_offset <- offset;
+      if span <= st.r_pages then
+        (* the whole record (and its reference chain) fits in round 3 *)
+        st.head_start <-
+          Sc.window_start ~file_pages:st.ctx.Engine.header.H.data_offset
+            ~span:st.r_pages ~page
+      else begin
+        st.head_start <- page;
+        st.tail_needed <- span - st.r_pages
+      end
+  | "decode" ->
+      if st.tail_needed = 0 then begin
+        let window = Array.of_list (List.rev st.head_pages) in
+        (match
+           Sc.decode_fi st.ctx.Engine.header ~pages:window
+             ~base_page:(st.entry_page - st.head_start) ~offset:st.entry_offset
+         with
+        | FB.Regions regions -> finish_with_regions st regions
+        | FB.Edges triples -> finish_with_triples st triples);
+        st.decoded <- true
+      end
+      (* long record: the tail is still outstanding, so the decode runs in
+         [deliver] when its last page lands — the barrier span itself is
+         still emitted by the engine at this plan-fixed position *)
+  | _ -> ())
+  [@leak_ok
+    "client-local decode of already-fetched pages; both record shapes fetch \
+     exactly r combined pages in round 3, and the short/long split only moves \
+     where the decode runs, never a fetch"]
+  [@@oblivious]
+
+let exhausted (st [@secret]) =
+  (st.lookup_sent && st.head_sent >= st.r_pages && st.decoded
+  && st.tail_sent >= st.tail_needed
+  && st.to_send = [] && st.awaiting = [])
+  [@leak_ok
+    "consulted by the engine's exhaustion check, whose gating is justified at the \
+     engine's sites"]
+  [@@oblivious]
+
+let answer (st [@secret]) =
+  Array.iter (Store.add_triple st.store) st.triples;
+  let s = Store.snap st.store st.q.Engine.rs ~x:st.q.Engine.sx ~y:st.q.Engine.sy
+  and t = Store.snap st.store st.q.Engine.rt ~x:st.q.Engine.tx ~y:st.q.Engine.ty in
+  (Store.dijkstra st.store ~source:s ~target:t, st.real_count)
+  [@@oblivious]

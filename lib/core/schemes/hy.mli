@@ -1,0 +1,6 @@
+(** HY (§6): hybrid scheme over one combined index+data file.  Round 3
+    reads an r-page window at the looked-up record; round 4 reads the
+    record's region pages (or a long subgraph record's tail first), all
+    counted against the public [round4] budget. *)
+
+include Engine.SCHEME

@@ -1,0 +1,27 @@
+(** LM and AF (§4): incremental region fetching.
+
+    A best-first search suspended inside [next_page]: each plan round
+    grants one region's worth of data-page slots, and the search pulls
+    the region of the next frontier node it pops — the deliberate
+    access-pattern trade these schemes make (DESIGN.md).  Padding still
+    tops the session up to the public page budget. *)
+
+val alt_heuristic :
+  Psp_index.Encoding.node_record -> Psp_index.Encoding.node_record -> float
+(** ALT (landmark) lower bound between two nodes; 0 when either side
+    lacks landmark vectors. *)
+
+val region_rects :
+  Psp_index.Header.t -> (float * float * float * float) array
+(** Leaf bounding rectangles of the header's KD-tree, indexed by
+    region; the root box is unbounded, so sides may be infinite. *)
+
+val rect_distance : float * float * float * float -> x:float -> y:float -> float
+(** Euclidean distance from a point to a rectangle (0 inside). *)
+
+module Make (_ : sig
+  val use_alt : bool
+  val use_flags : bool
+end) : Engine.SCHEME
+(** [use_alt] steers the search with ALT bounds (LM); [use_flags]
+    prunes edges by arc-flags towards the target region (AF). *)

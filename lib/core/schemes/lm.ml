@@ -1,0 +1,5 @@
+(* LM (§4.2): incremental fetching with ALT (landmark) lower bounds. *)
+include Incremental.Make (struct
+  let use_alt = true
+  let use_flags = false
+end)

@@ -1,0 +1,4 @@
+(** LM (§4.2): incremental fetching with ALT (landmark) lower bounds.
+    [Incremental.Make] with [use_alt]. *)
+
+include Engine.SCHEME

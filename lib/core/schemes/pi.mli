@@ -1,0 +1,6 @@
+(** PI (§6): precomputed-index.  The FI record carries the shortest
+    path's subgraph as edge triples; only the two endpoint regions'
+    data pages are fetched (a shared region degrades the second window
+    to dummy retrievals). *)
+
+include Engine.SCHEME

@@ -1,0 +1,4 @@
+(* PI* (§6.1) shares PI's retrieval machine verbatim: only the database
+   layout (clustered regions, so pages_per_region covers a cluster) and
+   the plan's data-window width differ, and both arrive via the header. *)
+include Pi

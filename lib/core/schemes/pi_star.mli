@@ -1,0 +1,4 @@
+(** PI* (§6.1): PI over clustered regions.  Shares {!Pi}'s retrieval
+    machine verbatim; the layout differences arrive via the header. *)
+
+include Engine.SCHEME

@@ -1,0 +1,14 @@
+(* The scheme registry: the one place a header's scheme tag turns into
+   code.  Replaces the old string dispatch inside the client, so an
+   unknown tag becomes a typed status instead of a Failure. *)
+
+let find : string -> Engine.scheme option = function
+  | "CI" -> Some (module Ci)
+  | "PI" -> Some (module Pi)
+  | "PI*" -> Some (module Pi_star)
+  | "HY" -> Some (module Hy)
+  | "LM" -> Some (module Lm)
+  | "AF" -> Some (module Af)
+  | _ -> None
+
+let names = [ "CI"; "PI"; "PI*"; "HY"; "LM"; "AF" ]

@@ -1,0 +1,9 @@
+(** The scheme registry: the one place a header's scheme tag turns into
+    code. *)
+
+val find : string -> Engine.scheme option
+(** The pluggable module for a header's scheme tag, or [None] for an
+    unknown tag (surfaced as {!Client.status.Unknown_scheme}). *)
+
+val names : string list
+(** Every registered tag, in the paper's presentation order. *)

@@ -1,0 +1,101 @@
+module E = Psp_index.Encoding
+
+(* The client-side accumulation of downloaded network data.  Everything
+   here is client-local: no function issues a fetch, so nothing in this
+   module can touch the adversary's view. *)
+
+type t = {
+  records : (int, E.node_record) Hashtbl.t;
+  adj : (int, (int * float) Psp_util.Dyn_array.t) Hashtbl.t;
+  by_region : (int, E.node_record list) Hashtbl.t;
+}
+
+let create () =
+  { records = Hashtbl.create 256; adj = Hashtbl.create 256; by_region = Hashtbl.create 8 }
+
+let adj_of store v =
+  match Hashtbl.find_opt store.adj v with
+  | Some a -> a
+  | None ->
+      let a = Psp_util.Dyn_array.create () in
+      Hashtbl.replace store.adj v a;
+      a
+
+let record store v = Hashtbl.find_opt store.records v
+let has_record store v = Hashtbl.mem store.records v
+
+let add_record store region (r : E.node_record) =
+  if not (Hashtbl.mem store.records r.E.id) then begin
+    Hashtbl.replace store.records r.E.id r;
+    Hashtbl.replace store.by_region region
+      (r :: Option.value ~default:[] (Hashtbl.find_opt store.by_region region));
+    let a = adj_of store r.E.id in
+    List.iter (fun e -> Psp_util.Dyn_array.push a (e.E.target, e.E.weight)) r.E.adj
+  end
+
+let add_triple store (t : E.edge_triple) =
+  Psp_util.Dyn_array.push (adj_of store t.E.e_src) (t.E.e_dst, t.E.e_weight)
+
+let snap store region ~x ~y =
+  match Hashtbl.find_opt store.by_region region with
+  | None | Some [] -> failwith "Client: located region holds no nodes"
+  | Some records ->
+      let best = ref (List.hd records) and best_d = ref infinity in
+      List.iter
+        (fun (r : E.node_record) ->
+          let dx = r.E.x -. x and dy = r.E.y -. y in
+          let d = (dx *. dx) +. (dy *. dy) in
+          if d < !best_d then begin
+            best := r;
+            best_d := d
+          end)
+        records;
+      !best.E.id
+
+(* Plain Dijkstra over the downloaded adjacency. *)
+let dijkstra store ~source ~target =
+  if source = target then Some ([ source ], 0.0)
+  else begin
+    let dist = Hashtbl.create 256 and parent = Hashtbl.create 256 in
+    let closed = Hashtbl.create 256 in
+    let heap = Psp_util.Min_heap.create () in
+    Hashtbl.replace dist source 0.0;
+    Psp_util.Min_heap.push heap ~priority:0.0 source;
+    let found = ref false in
+    while (not !found) && not (Psp_util.Min_heap.is_empty heap) do
+      match Psp_util.Min_heap.pop heap with
+      | None -> ()
+      | Some (d, u) ->
+          if not (Hashtbl.mem closed u) then begin
+            Hashtbl.replace closed u ();
+            if u = target then found := true
+            else
+              match Hashtbl.find_opt store.adj u with
+              | None -> ()
+              | Some edges ->
+                  Psp_util.Dyn_array.iter
+                    (fun (v, w) ->
+                      let nd = d +. w in
+                      let better =
+                        match Hashtbl.find_opt dist v with
+                        | Some old -> nd < old
+                        | None -> true
+                      in
+                      if better then begin
+                        Hashtbl.replace dist v nd;
+                        Hashtbl.replace parent v u;
+                        Psp_util.Min_heap.push heap ~priority:nd v
+                      end)
+                    edges
+          end
+    done;
+    if not !found then None
+    else begin
+      let rec build v acc =
+        match Hashtbl.find_opt parent v with
+        | None -> v :: acc
+        | Some p -> build p (v :: acc)
+      in
+      Some (build target [], Hashtbl.find dist target)
+    end
+  end

@@ -1,0 +1,28 @@
+(** Client-side store of downloaded network data.
+
+    Schemes decode fetched region blobs into this structure and solve the
+    final shortest-path instance over it.  Everything is client-local:
+    no function here issues a fetch, so the module is outside the
+    adversary's view by construction. *)
+
+type t
+
+val create : unit -> t
+
+val add_record : t -> int -> Psp_index.Encoding.node_record -> unit
+(** [add_record store region r] files node [r] under [region]; duplicate
+    deliveries of the same node are ignored. *)
+
+val add_triple : t -> Psp_index.Encoding.edge_triple -> unit
+(** Append one subgraph edge to the adjacency (PI/HY edge records). *)
+
+val record : t -> int -> Psp_index.Encoding.node_record option
+val has_record : t -> int -> bool
+
+val snap : t -> int -> x:float -> y:float -> int
+(** Nearest stored node of the given region to the coordinates.
+    @raise Failure if the region holds no nodes (malformed database). *)
+
+val dijkstra : t -> source:int -> target:int -> (int list * float) option
+(** Exact shortest path over the downloaded adjacency; [None] when the
+    target is unreachable from the source within the store. *)

@@ -9,8 +9,84 @@ type t =
   | Lm of { total_data_pages : int }
   | Af of { pages_per_region : int; max_regions : int }
 
+type step =
+  | Next_round
+  | Fetch_window of { file : string; count : int }
+  | Decode_barrier of { label : string }
+
+type overflow = { file : string; window : int; per_round : bool }
+
 (* The plan is public by construction: everything below may depend only
    on the published scheme parameters, never on a query. *)
+
+(* The step list is the plan's operational form: an execution engine that
+   walks it — filling every fetch slot with a real or dummy page — produces
+   a conforming trace by construction, and Privacy.expected_trace folds over
+   the same list, so there is exactly one source of truth for the shape. *)
+let steps t ~pages_per_region =
+  let window file count = Fetch_window { file; count } in
+  let barrier label = Decode_barrier { label } in
+  let repeat n body = List.concat (List.init (max 0 n) (fun _ -> body)) in
+  match t with
+  | Ci { fi_span; m } ->
+      [ Next_round;
+        window "lookup" 1;
+        barrier "lookup";
+        Next_round;
+        window "index" fi_span;
+        barrier "decode";
+        Next_round;
+        window "data" (m + 2) ]
+  | Pi { fi_span } ->
+      (* round 3 carries both the index window and the two region reads *)
+      [ Next_round;
+        window "lookup" 1;
+        barrier "lookup";
+        Next_round;
+        window "index" fi_span;
+        barrier "decode";
+        window "data" (2 * pages_per_region) ]
+  | Pi_star { fi_span; cluster } ->
+      [ Next_round;
+        window "lookup" 1;
+        barrier "lookup";
+        Next_round;
+        window "index" fi_span;
+        barrier "decode";
+        window "data" (2 * cluster) ]
+  | Hy { r; round4 } ->
+      [ Next_round;
+        window "lookup" 1;
+        barrier "lookup";
+        Next_round;
+        window "combined" r;
+        barrier "decode";
+        Next_round;
+        window "combined" round4 ]
+  | Lm { total_data_pages } ->
+      (Next_round :: window "data" 2 :: barrier "setup"
+      :: repeat (total_data_pages - 2) [ Next_round; window "data" 1 ])
+  | Af { pages_per_region; max_regions } ->
+      (Next_round
+      :: window "data" (2 * pages_per_region)
+      :: barrier "setup"
+      :: repeat (max_regions - 2) [ Next_round; window "data" pages_per_region ])
+  [@@oblivious]
+
+(* LM/AF (and HY's long subgraph records) may legitimately out-grow a
+   mis-calibrated plan; the walker then keeps fetching past the step list
+   instead of failing the query — the trace deviation is exactly the
+   access-pattern cost those schemes accept, and Calibrate exists to make
+   it unreachable.  CI and PI bound their needs by construction and fail
+   closed instead. *)
+let overflow = function
+  | Ci _ | Pi _ | Pi_star _ -> None
+  | Hy _ -> Some { file = "combined"; window = 1; per_round = false }
+  | Lm _ -> Some { file = "data"; window = 1; per_round = true }
+  | Af { pages_per_region; _ } ->
+      Some { file = "data"; window = pages_per_region; per_round = true }
+  [@@oblivious]
+
 let pir_fetches = function
   | Ci { fi_span; m } -> [ ("lookup", 1); ("index", fi_span); ("data", m + 2) ]
   | Pi { fi_span } -> [ ("lookup", 1); ("index", fi_span); ("data", 2) ]
@@ -23,15 +99,13 @@ let pir_fetches = function
 
 let total_pir_fetches t = List.fold_left (fun acc (_, n) -> acc + n) 0 (pir_fetches t)
 
-let rounds = function
-  | Ci _ -> 4
-  | Pi _ -> 3
-  | Hy _ -> 4
-  | Pi_star _ -> 3
-  | Lm { total_data_pages } ->
-      (* round 1 header, round 2 fetches two pages, then one per round *)
-      1 + 1 + max 0 (total_data_pages - 2)
-  | Af { max_regions; _ } -> 1 + 1 + max 0 (max_regions - 2)
+(* round 1 is the header download; each Next_round step adds one.  The
+   per-round window widths never change the round count, so any
+   pages_per_region works here. *)
+let rounds t =
+  1
+  + List.length
+      (List.filter (function Next_round -> true | _ -> false) (steps t ~pages_per_region:1))
   [@@oblivious]
 
 let encode t =

@@ -26,6 +26,34 @@ type t =
   | Lm of { total_data_pages : int }
   | Af of { pages_per_region : int; max_regions : int }
 
+type step =
+  | Next_round  (** advance the protocol round (one RTT) *)
+  | Fetch_window of { file : string; count : int }
+      (** [count] consecutive private fetch slots against [file]; a
+          conforming client fills every slot with a real or dummy page *)
+  | Decode_barrier of { label : string }
+      (** a client-local decode/solve point between fetches — free of
+          server-visible effects, present so the execution engine can
+          place its telemetry spans at plan-fixed positions *)
+
+type overflow = { file : string; window : int; per_round : bool }
+(** How a scheme keeps fetching when a query out-grows a mis-calibrated
+    plan: windows of [window] pages against [file], advancing the round
+    before each window iff [per_round]. *)
+
+val steps : t -> pages_per_region:int -> step list
+(** The plan's operational form — the exact per-round fetch-slot sequence
+    a conforming execution must produce (the header download of round 1
+    is implicit).  {!Psp_core.Privacy.expected_trace} and the execution
+    engine both consume this list, making it the single source of truth
+    for Theorem 1's public query plan. *)
+
+val overflow : t -> overflow option
+(** [None] for the schemes that bound their needs by construction — CI
+    and both PI variants fail closed instead; [Some _] for HY/LM/AF, whose
+    queries may exceed a mis-calibrated plan at the documented
+    access-pattern cost. *)
+
 val pir_fetches : t -> (string * int) list
 (** Expected total private page fetches per file name (files named
     "lookup", "index", "data", "combined") — the budget a conforming

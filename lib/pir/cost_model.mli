@@ -38,6 +38,16 @@ val pir_fetch_seconds : t -> file_pages:int -> float
 (** Amortized latency of one private page retrieval from a file of
     [file_pages] pages. *)
 
+val pir_batch_fetch_seconds : t -> file_pages:int -> batch:int -> float
+(** Total latency of [batch] same-round retrievals from one file served
+    in a single pass over the oblivious store.  The calibrated log²N
+    term pays for the pass (level scans plus amortized reshuffle) once;
+    each request beyond the first adds one probe per hierarchy level
+    (log N page operations, capped at the full-pass cost since a batch
+    can always fall back to independent passes) — the amortization that
+    makes batched serving worthwhile under Table 2's constants.
+    [batch = 1] equals {!pir_fetch_seconds} exactly. *)
+
 val plain_fetch_seconds : t -> float
 (** One unsecured page read (seek + disk transfer) — the cost unit of
     the non-private OBF baseline. *)

@@ -60,6 +60,7 @@ module Session = struct
      every site inside the [@@oblivious] functions below. *)
   let m_sessions = Obs.counter "pir.sessions"
   let m_fetches = Obs.counter "pir.fetch.total"
+  let m_batches = Obs.counter "pir.fetch.batches"
   let m_rounds = Obs.counter "pir.rounds"
   let m_retries = Obs.counter "pir.retries"
   let m_downloads = Obs.counter "pir.download.pages"
@@ -91,22 +92,30 @@ module Session = struct
     trace : Trace.t;
   }
 
-  let start server =
+  (* [share] is the number of batched sessions multiplexed over one
+     round trip: a merged batch round is a single message exchange, so
+     its latency is split evenly — the communication-side counterpart of
+     the fetch_batch pass split.  share = 1 (the default) is the
+     unbatched cost, unchanged. *)
+  let rtt_share server ~share =
+    server.cost.Cost_model.rtt /. float_of_int (max 1 share)
+
+  let start ?(share = 1) server =
     Obs.incr m_sessions;
     { server;
       round = 1;
       pir_seconds = 0.0;
-      comm_seconds = server.cost.Cost_model.rtt;
+      comm_seconds = rtt_share server ~share;
       server_cpu_seconds = 0.0;
       retries = 0;
       recovery_seconds = 0.0;
       fetch_counts = Hashtbl.create 8;
       trace = Trace.create () }
 
-  let next_round t =
+  let next_round ?(share = 1) t =
     Obs.incr m_rounds;
     t.round <- t.round + 1;
-    t.comm_seconds <- t.comm_seconds +. t.server.cost.Cost_model.rtt
+    t.comm_seconds <- t.comm_seconds +. rtt_share t.server ~share
     [@@oblivious]
 
   let round t = t.round
@@ -165,6 +174,85 @@ module Session = struct
           "integrity failure aborts the query; the exception stays inside the client trust \
            boundary and Client.recoverable redacts it to the file name before reporting"];
         bytes)
+    [@@oblivious]
+
+  (* One merged pass for same-round requests of concurrent sessions.
+     Every member's attempt is accounted and recorded in its own trace
+     *before* the shared failpoint is consulted, so a batch-granular
+     fault (and its retry) adds the same extra events to every member —
+     batched sessions stay mutually trace-identical under any fault
+     schedule.  The amortized pass cost is split evenly: each member is
+     charged pir_batch_fetch_seconds / batch. *)
+  let fetch_batch ~file:name (requests : (t * int) array) =
+    match Array.length requests with
+    | 0 -> [||]
+    | k ->
+        Obs.with_span "pir_fetch_batch" (fun () ->
+            Obs.incr m_batches;
+            let server = (fst requests.(0)).server in
+            Array.iter
+              (fun (s, _) ->
+                if s.server != server then
+                  invalid_arg "Session.fetch_batch: sessions span different servers")
+              requests;
+            let f = file server name in
+            let pages = Psp_storage.Page_file.page_count f in
+            let share =
+              Cost_model.pir_batch_fetch_seconds server.cost ~file_pages:pages ~batch:k
+              /. float_of_int k
+            in
+            Array.iter
+              (fun (s, (page [@secret])) ->
+                Obs.incr m_fetches;
+                Obs.incr (m_fetch_file name);
+                Obs.add_pages 1;
+                (* as in fetch: the abort message may only name the file and
+                   its public page range, never the secret index *)
+                (if page < 0 || page >= pages then
+                   invalid_arg
+                     (Printf.sprintf "Session.fetch_batch(%s): page out of range [0,%d)"
+                        name pages))
+                [@leak_ok "bounds check fails closed; the message is redacted to public data"];
+                s.pir_seconds <- s.pir_seconds +. share;
+                s.comm_seconds <-
+                  s.comm_seconds
+                  +. Cost_model.transfer_seconds server.cost
+                       ~bytes:(Psp_storage.Page_file.page_size f);
+                Hashtbl.replace s.fetch_counts name
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt s.fetch_counts name));
+                Trace.record s.trace (Trace.Pir_fetch { round = s.round; file = name }))
+              requests;
+            Psp_fault.Fault.inject "pir.fetch.transient";
+            Array.map
+              (fun (_, (page [@secret])) ->
+                let bytes =
+                  match server.mode with
+                  | `Simulated -> Psp_storage.Page_file.read f page
+                  | `Oblivious | `Pyramid -> (
+                      match Hashtbl.find server.stores name with
+                      | Sqrt store -> Oblivious_store.read store page
+                      | Pyramid store -> Pyramid_store.read store page)
+                in
+                let bytes =
+                  (if Psp_fault.Fault.fires "pir.fetch.corrupt" then begin
+                     let b = Bytes.copy bytes in
+                     if Bytes.length b > 0 then
+                       Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x01));
+                     b
+                   end
+                   else bytes)
+                  [@leak_ok
+                    "fault-injection test hook: flips one bit of the already-fetched page, \
+                     whose length is the file's public page size"]
+                in
+                (if not (Psp_storage.Page_file.verify_page f page bytes) then
+                   raise (Page_corrupt { file = name; page }))
+                [@leak_ok
+                  "integrity failure aborts the whole batch; the exception stays inside the \
+                   client trust boundary and the engine's retry re-issues every member's \
+                   identical request"];
+                bytes)
+              requests)
     [@@oblivious]
 
   let download t ~file:name =

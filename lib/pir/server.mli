@@ -49,11 +49,15 @@ module Session : sig
   type server := t
   type t
 
-  val start : server -> t
-  (** Opens the SSL connection; the query starts in round 1. *)
+  val start : ?share:int -> server -> t
+  (** Opens the SSL connection; the query starts in round 1.  [share]
+      (default 1) is the number of batched sessions this round trip is
+      multiplexed over: a merged batch round is one message exchange, so
+      each member is charged [rtt / share]. *)
 
-  val next_round : t -> unit
-  (** Advance to the next round of the protocol (adds one RTT). *)
+  val next_round : ?share:int -> t -> unit
+  (** Advance to the next round of the protocol (adds one RTT, split
+      over [share] batched sessions as in {!start}). *)
 
   val round : t -> int
 
@@ -70,6 +74,26 @@ module Session : sig
 
       @raise Not_found on unknown file; Invalid_argument on a bad page
       number; {!Page_corrupt} on a checksum failure. *)
+
+  val fetch_batch : file:string -> (t * int) array -> bytes array
+(** One merged oblivious-store pass serving same-round requests of
+      concurrent sessions (the {!Psp_pir.Batcher} building block).  Each
+      member's attempt is accounted and recorded in its own trace before
+      the shared [pir.fetch.transient] failpoint is consulted, so a
+      fault — and the retry that re-issues every member's identical
+      request — adds the same events to every member: batched sessions
+      stay mutually trace-identical under any fault schedule.
+
+      The pass cost {!Cost_model.pir_batch_fetch_seconds} is split
+      evenly across members; with one request the cost, trace and fault
+      behaviour equal {!fetch} exactly.  In [`Oblivious]/[`Pyramid]
+      modes each member's page still goes through a real store access —
+      the amortization lives in the simulated cost model, as the rest of
+      Table 2 does.
+
+      @raise Invalid_argument if the sessions belong to different
+      servers or a page is out of range; {!Page_corrupt} aborts the
+      whole batch. *)
 
   val download : t -> file:string -> bytes array
   (** Plaintext download of an entire (public) file.  Failpoint:

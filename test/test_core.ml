@@ -349,8 +349,8 @@ let test_error_paths () =
   in
   let server = Server.create ~cost ~key files in
   (match Client.query_nodes server g 1 2 with
-  | exception Failure _ -> ()
-  | _ -> Alcotest.fail "expected Failure on unknown scheme");
+  | { Client.status = Client.Unknown_scheme { scheme = "??" }; path = None; _ } -> ()
+  | _ -> Alcotest.fail "expected Unknown_scheme status on unknown scheme");
   (* malformed bundle directory *)
   (match Psp_index.Bundle.load ~dir:"/nonexistent-psp-dir" with
   | exception Invalid_argument _ -> ()
