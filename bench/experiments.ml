@@ -489,3 +489,122 @@ let batch env =
     ~columns:
       [ "method"; "response (s/query)"; "speedup"; "throughput (q/h)"; "correct" ]
     rows
+
+(* ------------------------------------------------------------------ *)
+
+(* Replicated serving under chaos: availability and tail latency as the
+   replica count and the per-exchange fault rate grow.  Each query runs
+   through {!Client.query_nodes_replicated}: a tampered page or a dead
+   replica abandons the whole plan and replays it elsewhere, so the
+   sweep measures what the failover machinery buys operationally.
+   Unlike the [resilience] experiment, the schedule is NOT rewound per
+   query: availability is a property of accumulated faults over a
+   workload (the per-query trace-equality proofs live in the test
+   suite, which does rewind).  BENCH_replication.json captures every
+   series. *)
+let replication env =
+  header_line "Replication: availability and p99 vs replicas x fault rate";
+  let preset = P.Oldenburg in
+  let g = graph env preset in
+  let db = DB.build_ci ~page_size:env.page_size g in
+  check_feasible env db;
+  let queries = workload env preset in
+  let replica_counts = [ 1; 2; 3 ] and rates = [ 0.0; 0.005; 0.02 ] in
+  let serve replicas rate =
+    let rset =
+      Psp_pir.Replica_set.create ~cost:env.cost ~key ~replicas (DB.files db)
+    in
+    if rate > 0.0 then begin
+      (* chaos mix, seeded so runs reproduce: outages arrive as bursts
+         (a flapping host stays down for several exchanges — exactly
+         the shape a lone replica cannot ride out but a wider set can),
+         tampering and latency spikes as per-exchange coin flips *)
+      Psp_fault.Fault.arm "pir.replica.down"
+        (Psp_fault.Fault.Flapping
+           { up = max 1 (int_of_float (1.0 /. rate)); down = 6 });
+      Psp_fault.Fault.arm ~seed:11 "pir.fetch.tamper" (Psp_fault.Fault.Probability rate);
+      Psp_fault.Fault.arm ~seed:13 "pir.replica.latency"
+        (Psp_fault.Fault.Probability (rate /. 2.0))
+    end;
+    let times = ref [] and correct = ref 0 in
+    let served = ref 0 and retries = ref 0 in
+    let recovery = ref 0.0 and unavailable = ref 0 in
+    Array.iter
+      (fun (s, t) ->
+        match Client.query_nodes_replicated rset g s t with
+        | rep ->
+            let r = rep.Client.results.(0) in
+            let rt = (Response_time.of_replicated rep).(0) in
+            times := rt :: !times;
+            retries :=
+              !retries + r.Client.stats.Psp_pir.Server.Session.retries
+              + rep.Client.failovers;
+            recovery :=
+              !recovery
+              +. r.Client.stats.Psp_pir.Server.Session.recovery_seconds
+              +. rep.Client.failover_seconds;
+            (match r.Client.status with
+            | Client.Served | Client.Degraded _ -> incr served
+            | _ -> incr unavailable);
+            let truth = Psp_graph.Dijkstra.distance g s t in
+            (match r.Client.path with
+            | Some (_, got)
+              when Float.abs (got -. truth) <= 1e-3 *. Float.max 1.0 truth ->
+                incr correct
+            | _ -> ())
+        | exception Psp_pir.Replica_set.No_replica_available ->
+            (* every breaker open: the query never ran.  Count the
+               outage and let a timeout's worth of simulated time pass
+               so cooldowns elapse and the set can heal. *)
+            incr unavailable;
+            Psp_pir.Replica_set.advance rset
+              (Psp_pir.Cost_model.timeout_seconds env.cost))
+      queries;
+    Psp_fault.Fault.reset ();
+    let data_fetches, index_fetches = plan_fetches db in
+    let samples = Array.of_list (List.rev_map Response_time.total !times) in
+    bench_runs :=
+      { r_label =
+          Printf.sprintf "%s-r%d-f%.3f:%s" db.DB.scheme replicas rate
+            (Psp_netgen.Presets.short_name preset);
+        r_samples = samples;
+        r_fetches_per_query = data_fetches + index_fetches;
+        r_retries = !retries;
+        r_recovery_seconds = !recovery;
+        r_unavailable = !unavailable;
+        r_correct = !correct;
+        r_total = Array.length queries }
+      :: !bench_runs;
+    (samples, !served, !correct, !retries)
+  in
+  let rows =
+    List.concat_map
+      (fun replicas ->
+        List.map
+          (fun rate ->
+            let samples, served, correct, retries = serve replicas rate in
+            let n = Array.length queries in
+            let sorted = Array.copy samples in
+            Array.sort compare sorted;
+            let p99 =
+              if Array.length sorted = 0 then nan
+              else
+                sorted.(max 0
+                          (min (Array.length sorted - 1)
+                             (int_of_float
+                                (ceil (0.99 *. float_of_int (Array.length sorted)))
+                             - 1)))
+            in
+            [ string_of_int replicas;
+              Printf.sprintf "%.3f" rate;
+              Printf.sprintf "%.1f%%" (100.0 *. float_of_int served /. float_of_int n);
+              seconds p99;
+              string_of_int retries;
+              Printf.sprintf "%d/%d" correct n ])
+          rates)
+      replica_counts
+  in
+  table
+    ~columns:
+      [ "replicas"; "fault rate"; "availability"; "p99 (s)"; "recoveries"; "correct" ]
+    rows

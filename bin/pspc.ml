@@ -54,10 +54,18 @@ let page_size_arg =
 let fault_arg =
   let doc =
     "Arm a failpoint (repeatable).  SPEC is point=schedule with schedule one of \
-     never, always, first:N, hits:N,N,..., p:F — e.g. \
-     --fault pir.fetch.transient=hits:2,5.  See DESIGN.md for the failpoint list."
+     never, always, first:N, hits:N,N,..., p:F, flap:U,D — e.g. \
+     --fault pir.fetch.transient=hits:2,5 or --fault pir.replica.down=flap:120,2.  \
+     See DESIGN.md for the failpoint list."
   in
   Arg.(value & opt_all string [] & info [ "fault" ] ~doc ~docv:"SPEC")
+
+let replicas_arg =
+  let doc =
+    "Serve through N replicas with authenticated pages and oblivious whole-plan \
+     failover (N >= 1; 1 keeps the standalone path)."
+  in
+  Arg.(value & opt int 1 & info [ "replicas" ] ~doc)
 
 let fault_seed_arg =
   let doc = "Seed for probabilistic (p:F) fault schedules." in
@@ -90,6 +98,26 @@ let report_status (r : Psp_core.Client.result) =
         point
   | Psp_core.Client.Unknown_scheme { scheme } ->
       Printf.printf "  UNKNOWN SCHEME: header announces %S; update this client\n" scheme
+
+(* Degraded-or-better exits 0 (the answer is correct even when recovery
+   cost was paid); Unavailable/Unknown exit 3 so fault-matrix CI jobs
+   can assert availability. *)
+let status_exit (r : Psp_core.Client.result) =
+  match r.Psp_core.Client.status with
+  | Psp_core.Client.Served | Psp_core.Client.Degraded _ -> 0
+  | Psp_core.Client.Unavailable _ | Psp_core.Client.Unknown_scheme _ -> 3
+
+let report_failovers (rep : Psp_core.Client.replicated) =
+  if rep.Psp_core.Client.failovers > 0 then begin
+    Printf.printf "  failovers: %d (served by replica %d, +%.2fs modeled switch cost)\n"
+      rep.Psp_core.Client.failovers rep.Psp_core.Client.replica
+      rep.Psp_core.Client.failover_seconds;
+    List.iter
+      (fun (a : Psp_core.Client.abandoned) ->
+        Printf.printf "    abandoned replica %d: %s\n" a.Psp_core.Client.on_replica
+          a.Psp_core.Client.reason)
+      rep.Psp_core.Client.abandoned
+  end
 
 let load_network preset preset_scale gr co seed =
   match (preset, gr, co) with
@@ -205,21 +233,38 @@ let query_cmd =
   let oblivious =
     Arg.(value & flag & info [ "oblivious" ] ~doc:"Serve through the real ORAM.")
   in
-  let run preset preset_scale gr co seed scheme page_size s t oblivious faults fault_seed
-      metrics =
+  let run preset preset_scale gr co seed scheme page_size s t oblivious replicas faults
+      fault_seed metrics =
+    if replicas < 1 then failwith "--replicas must be >= 1";
     let g = load_network preset preset_scale gr co seed in
     let db = build_database g scheme page_size seed in
     let mode = if oblivious then `Oblivious else `Simulated in
-    let server =
-      Psp_pir.Server.create ~mode ~cost:Psp_pir.Cost_model.ibm4764
-        ~key:(Psp_crypto.Sha256.digest_string "pspc") (DB.files db)
+    let cost = Psp_pir.Cost_model.ibm4764 in
+    let key = Psp_crypto.Sha256.digest_string "pspc" in
+    let serve =
+      if replicas = 1 then begin
+        let server = Psp_pir.Server.create ~mode ~cost ~key (DB.files db) in
+        fun s t ->
+          let r = Psp_core.Client.query_nodes server g s t in
+          (r, Psp_core.Response_time.of_result r, None)
+      end
+      else begin
+        let rset =
+          Psp_pir.Replica_set.create ~mode ~cost ~key ~replicas (DB.files db)
+        in
+        fun s t ->
+          let rep = Psp_core.Client.query_nodes_replicated rset g s t in
+          ( rep.Psp_core.Client.results.(0),
+            (Psp_core.Response_time.of_replicated rep).(0),
+            Some rep )
+      end
     in
     arm_faults faults fault_seed;
     Obs.reset ();
     let rng = Psp_util.Rng.create seed in
     let s = Option.value ~default:(Psp_util.Rng.int rng (G.node_count g)) s in
     let t = Option.value ~default:(Psp_util.Rng.int rng (G.node_count g)) t in
-    let r = Psp_core.Client.query_nodes server g s t in
+    let r, rt, rep = serve s t in
     Psp_fault.Fault.reset ();
     (match r.Psp_core.Client.path with
     | None -> Printf.printf "no path from %d to %d\n" s t
@@ -231,16 +276,17 @@ let query_cmd =
           (if Float.abs (cost -. truth) <= 1e-3 *. Float.max 1.0 truth then "match"
            else "MISMATCH"));
     report_status r;
-    let rt = Psp_core.Response_time.of_result r in
+    Option.iter report_failovers rep;
     Format.printf "  simulated response: %a@." Psp_core.Response_time.pp rt;
-    report_metrics metrics
+    report_metrics metrics;
+    exit (status_exit r)
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Run one private shortest-path query end to end")
     Term.(
       const run $ preset_arg $ preset_scale $ gr_arg $ co_arg $ seed_arg $ scheme_arg
-      $ page_size_arg $ s_arg $ t_arg $ oblivious $ fault_arg $ fault_seed_arg
-      $ metrics_arg)
+      $ page_size_arg $ s_arg $ t_arg $ oblivious $ replicas_arg $ fault_arg
+      $ fault_seed_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* batch *)

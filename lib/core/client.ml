@@ -34,6 +34,12 @@ type status =
   | Unavailable of { point : string; attempts : int }
   | Unknown_scheme of { scheme : string }
 
+exception Replica_failed of {
+  replica : int;
+  reason : string;
+  stats : Psp_pir.Server.Session.stats array;
+}
+
 type result = {
   path : (int list * float) option;
   stats : Psp_pir.Server.Session.stats;
@@ -117,9 +123,11 @@ let query ?(pad = true) ?(retry = default_retry) server ~sx:(sx [@secret])
                `Answer (Engine.run scheme session ~policy:retry ctx q)
          with
         | v -> Ok v
-        | exception Engine.Gave_up { point; attempts } -> Error (point, attempts))
+        | exception Engine.Gave_up { point; attempts } -> Error (`Gave_up (point, attempts))
+        | exception e when Engine.failover_class e <> None ->
+            Error (`Failover (Option.get (Engine.failover_class e))))
         [@leak_ok
-          "the exception arm is steered by the fault schedule and retry budget alone \
+          "the exception arms are steered by the fault schedule and retry budget alone \
            (with_retry re-issues identical requests); degrading instead of raising \
            keeps the partial trace and recovery cost observable"]
       in
@@ -135,8 +143,15 @@ let query ?(pad = true) ?(retry = default_retry) server ~sx:(sx [@secret])
       | Ok (`Answer (path, regions_fetched)) ->
           { path; stats; client_seconds; regions_fetched; status = status_of_stats stats }
       | Ok (`Unknown scheme) -> unknown_result stats client_seconds ~scheme
-      | Error (point, attempts) ->
-          unavailable_result stats client_seconds ~point ~attempts)
+      | Error (`Gave_up (point, attempts)) ->
+          unavailable_result stats client_seconds ~point ~attempts
+      | Error (`Failover reason) ->
+          (* the session was finished first: the abandoned attempt's
+             partial trace and accounted cost travel with the exception
+             so the failover loop can charge them *)
+          raise
+            (Replica_failed
+               { replica = Psp_pir.Server.replica server; reason; stats = [| stats |] }))
       [@leak_ok
         "result assembly happens after the session closed; the server observes \
          nothing from this match"])
@@ -189,9 +204,11 @@ let query_batch ?(pad = true) ?(retry = default_retry) server
             with
            | v -> Ok v
            | exception Engine.Gave_up { point; attempts } ->
-               Error (point, attempts))
+               Error (`Gave_up (point, attempts))
+           | exception e when Engine.failover_class e <> None ->
+               Error (`Failover (Option.get (Engine.failover_class e))))
            [@leak_ok
-             "the exception arm is steered by the fault schedule and retry budget \
+             "the exception arms are steered by the fault schedule and retry budget \
               alone; a batch-granular failure degrades every member identically, \
               keeping their partial traces mutually equal"]
          in
@@ -215,10 +232,14 @@ let query_batch ?(pad = true) ?(retry = default_retry) server
                answers
          | Ok (`Unknown scheme) ->
              Array.map (fun s -> unknown_result s client_seconds ~scheme) stats
-         | Error (point, attempts) ->
+         | Error (`Gave_up (point, attempts)) ->
              Array.map
                (fun s -> unavailable_result s client_seconds ~point ~attempts)
-               stats)
+               stats
+         | Error (`Failover reason) ->
+             raise
+               (Replica_failed
+                  { replica = Psp_pir.Server.replica server; reason; stats }))
          [@leak_ok
            "result assembly happens after every session closed; the server \
             observes nothing from this match"])
@@ -226,6 +247,123 @@ let query_batch ?(pad = true) ?(retry = default_retry) server
   [@leak_ok
     "the batch width is public (the server trivially observes how many sessions \
      it serves); the empty-batch shortcut issues no request at all"]
+  [@@oblivious]
+
+(* ------------------------------------------------------------------ *)
+(* Replicated serving: whole-plan replay failover over a Replica_set.
+   A failed replica is never resumed mid-plan — the entire public plan
+   (header download included) is replayed against the next healthy one,
+   so each replica observes either a complete plan trace or a
+   fault-schedule-determined prefix, both query-independent.  Every
+   branch below is steered by statuses and exceptions that are pure
+   functions of the fault schedule, never by query content. *)
+
+module RS = Psp_pir.Replica_set
+
+type abandoned = {
+  on_replica : int;
+  reason : string;
+  attempt_stats : Psp_pir.Server.Session.stats array;
+}
+
+type replicated = {
+  results : result array;
+  replica : int;
+  failovers : int;
+  failover_seconds : float;
+  abandoned : abandoned list;
+}
+
+(* a query that survived via failover is Degraded even when its final
+   attempt ran clean: the recovery cost is real and must be reported *)
+let degrade ~failovers r =
+  if failovers = 0 then r
+  else
+    match r.status with
+    | Served ->
+        Obs.incr m_degraded;
+        { r with status = Degraded { retries = failovers } }
+    | Degraded { retries } -> { r with status = Degraded { retries = retries + failovers } }
+    | Unavailable _ | Unknown_scheme _ -> r
+
+let stats_seconds (s : Session.stats) =
+  s.Session.pir_seconds +. s.Session.comm_seconds +. s.Session.server_cpu_seconds
+
+let replicated_run rset ~max_failovers run =
+  let cost = Psp_pir.Server.cost (RS.server rset 0) in
+  let is_unavailable r = match r.status with Unavailable _ -> true | _ -> false in
+  let rec go ~failovers ~fo_seconds ~abandoned ~last =
+    let finished ~replica results =
+      { results;
+        replica;
+        failovers;
+        failover_seconds = fo_seconds;
+        abandoned = List.rev abandoned }
+    in
+    let give_up () =
+      match last with
+      | Some (replica, results) -> finished ~replica results
+      | None -> (
+          match abandoned with
+          | [] -> raise RS.No_replica_available
+          | { on_replica; reason; attempt_stats } :: _ ->
+              (* every attempt died mid-plan: report the newest abandoned
+                 attempt's partial stats as the Unavailable results.
+                 [failovers] counted one failure per attempt, so it is
+                 exactly the number of plan attempts made *)
+              finished ~replica:on_replica
+                (Array.map
+                   (fun s ->
+                     unavailable_result s 0.0 ~point:reason ~attempts:failovers)
+                   attempt_stats))
+    in
+    if failovers > max_failovers then give_up ()
+    else
+      match RS.select rset with
+      | None -> give_up ()
+      | Some i -> (
+          match run (RS.server rset i) with
+          | results ->
+              Array.iter (fun r -> RS.advance rset (stats_seconds r.stats)) results;
+              if Array.length results > 0 && Array.for_all is_unavailable results then begin
+                (* retry exhaustion is a failed exchange too: shun the
+                   replica and replay the whole plan elsewhere *)
+                RS.record_failure rset i;
+                let fo =
+                  Psp_pir.Cost_model.failover_seconds cost ~attempt:(failovers + 1)
+                in
+                RS.advance rset fo;
+                go ~failovers:(failovers + 1) ~fo_seconds:(fo_seconds +. fo) ~abandoned
+                  ~last:(Some (i, results))
+              end
+              else begin
+                RS.record_success rset i;
+                finished ~replica:i (Array.map (degrade ~failovers) results)
+              end
+          | exception Replica_failed { replica; reason; stats } ->
+              Array.iter (fun s -> RS.advance rset (stats_seconds s)) stats;
+              RS.record_failure rset replica;
+              let fo = Psp_pir.Cost_model.failover_seconds cost ~attempt:(failovers + 1) in
+              RS.advance rset fo;
+              go ~failovers:(failovers + 1) ~fo_seconds:(fo_seconds +. fo)
+                ~abandoned:
+                  ({ on_replica = replica; reason; attempt_stats = stats } :: abandoned)
+                ~last)
+  in
+  go ~failovers:0 ~fo_seconds:0.0 ~abandoned:[] ~last:None
+
+let failover_budget ?max_failovers rset =
+  match max_failovers with Some n -> n | None -> 3 * RS.width rset
+
+let query_replicated ?pad ?retry ?max_failovers rset ~sx:(sx [@secret])
+    ~sy:(sy [@secret]) ~tx:(tx [@secret]) ~ty:(ty [@secret]) =
+  replicated_run rset ~max_failovers:(failover_budget ?max_failovers rset)
+    (fun server -> [| query ?pad ?retry server ~sx ~sy ~tx ~ty |])
+  [@@oblivious]
+
+let query_batch_replicated ?pad ?retry ?max_failovers rset (queries : endpoints array) =
+  replicated_run rset ~max_failovers:(failover_budget ?max_failovers rset)
+    (fun server -> query_batch ?pad ?retry server queries)
   [@@oblivious]
 
 (* ------------------------------------------------------------------ *)
@@ -238,6 +376,22 @@ let query_nodes ?pad ?retry server g (s [@secret]) (t [@secret]) =
 
 let query_nodes_batch ?pad ?retry server g (pairs [@secret]) =
   query_batch ?pad ?retry server
+    (Array.map
+       (fun (s, t) ->
+         let sx, sy = Psp_graph.Graph.coords g s in
+         let tx, ty = Psp_graph.Graph.coords g t in
+         { sx; sy; tx; ty })
+       pairs)
+  [@@oblivious]
+
+let query_nodes_replicated ?pad ?retry ?max_failovers rset g (s [@secret]) (t [@secret]) =
+  let sx, sy = Psp_graph.Graph.coords g s in
+  let tx, ty = Psp_graph.Graph.coords g t in
+  query_replicated ?pad ?retry ?max_failovers rset ~sx ~sy ~tx ~ty
+  [@@oblivious]
+
+let query_nodes_batch_replicated ?pad ?retry ?max_failovers rset g (pairs [@secret]) =
+  query_batch_replicated ?pad ?retry ?max_failovers rset
     (Array.map
        (fun (s, t) ->
          let sx, sy = Psp_graph.Graph.coords g s in

@@ -53,6 +53,19 @@ type result = {
 type endpoints = { sx : float; sy : float; tx : float; ty : float }
 (** One query's raw coordinates, for {!query_batch}. *)
 
+exception Replica_failed of {
+  replica : int;
+  reason : string;
+  stats : Psp_pir.Server.Session.stats array;
+}
+(** A replica-level failure ({!Engine.failover_class}: tampering,
+    outage, timeout) aborted the plan walk.  The abandoned sessions are
+    finished first, so the partial traces and accounted costs travel
+    with the exception; the replicated entry points catch it and replay
+    the whole plan against the next replica.  Escapes {!query} and
+    {!query_batch} only when replica failpoints are armed against a
+    standalone server — there is nowhere to fail over to. *)
+
 val query :
   ?pad:bool ->
   ?retry:retry_policy ->
@@ -91,6 +104,87 @@ val query_batch :
     fault that exhausts the retry budget degrades {e every} member to
     [Unavailable] identically.  An empty array returns an empty array
     without contacting the server. *)
+
+(** {1 Replicated serving}
+
+    Whole-plan replay failover over a {!Psp_pir.Replica_set}: when a
+    replica fails mid-plan (tampering, outage, timeout — see
+    {!Engine.failover_class}) or exhausts the retry budget, the entire
+    public plan is replayed against the next healthy replica, never
+    resumed.  Each replica therefore observes either a complete plan
+    trace or a fault-schedule-determined prefix of one — both
+    query-independent, so Theorem 1 holds per replica under every fault
+    schedule (docs/RESILIENCE.md). *)
+
+type abandoned = {
+  on_replica : int;
+  reason : string;  (** the {!Engine.failover_class} string *)
+  attempt_stats : Psp_pir.Server.Session.stats array;
+      (** the abandoned attempt's finished sessions: partial traces and
+          the cost already incurred (one per batch member) *)
+}
+
+type replicated = {
+  results : result array;
+      (** one per query (singleton for {!query_replicated}); a query
+          that survived via failover is at best [Degraded], its retry
+          count raised by the number of failovers *)
+  replica : int;  (** the replica that served the final attempt *)
+  failovers : int;
+  failover_seconds : float;
+      (** modeled switch cost: {!Psp_pir.Cost_model.failover_seconds}
+          summed over failovers (the abandoned attempts' own costs are
+          in [abandoned]) *)
+  abandoned : abandoned list;  (** oldest first *)
+}
+
+val query_replicated :
+  ?pad:bool ->
+  ?retry:retry_policy ->
+  ?max_failovers:int ->
+  Psp_pir.Replica_set.t ->
+  sx:float -> sy:float -> tx:float -> ty:float ->
+  replicated
+(** {!query} against the replica the set's breakers select, failing
+    over (whole-plan replay) on {!Replica_failed} or retry exhaustion
+    until a replica serves, breakers admit no replica, or
+    [max_failovers] (default [3 × width]) is exceeded — then the last
+    attempt's [Unavailable] results are returned.  Simulated time
+    (attempt costs plus failover backoff) drives the breakers' clock.
+    @raise Psp_pir.Replica_set.No_replica_available only when every
+    breaker is already open before the first attempt. *)
+
+val query_batch_replicated :
+  ?pad:bool ->
+  ?retry:retry_policy ->
+  ?max_failovers:int ->
+  Psp_pir.Replica_set.t ->
+  endpoints array ->
+  replicated
+(** {!query_batch} with the same failover loop: any replica-level fault
+    is batch-granular, so the whole batch replays together and members
+    stay mutually trace-identical on every replica. *)
+
+val query_nodes_replicated :
+  ?pad:bool ->
+  ?retry:retry_policy ->
+  ?max_failovers:int ->
+  Psp_pir.Replica_set.t ->
+  Psp_graph.Graph.t ->
+  int -> int ->
+  replicated
+(** {!query_replicated} over node ids resolved through the server-side
+    graph. *)
+
+val query_nodes_batch_replicated :
+  ?pad:bool ->
+  ?retry:retry_policy ->
+  ?max_failovers:int ->
+  Psp_pir.Replica_set.t ->
+  Psp_graph.Graph.t ->
+  (int * int) array ->
+  replicated
+(** {!query_batch_replicated} over node-id pairs. *)
 
 val query_nodes :
   ?pad:bool -> ?retry:retry_policy -> Psp_pir.Server.t -> Psp_graph.Graph.t -> int -> int -> result

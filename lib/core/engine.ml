@@ -38,6 +38,20 @@ let recoverable = function
   | Server.Page_corrupt { file; _ } -> Some (Printf.sprintf "pir.fetch.corrupt(%s)" file)
   | _ -> None
 
+(* Replica-level failures are deliberately NOT [recoverable]: retrying a
+   tampering host in place would hand the adversary another shot, and a
+   dead or stalled replica will not answer the re-issued request either.
+   The client's failover loop replays the whole public plan against the
+   next replica instead (docs/RESILIENCE.md).  As with [recoverable],
+   the classification redacts to public data: file names and replica
+   indices, never page numbers. *)
+let failover_class = function
+  | Server.Tampered { file; _ } -> Some (Printf.sprintf "pir.fetch.tamper(%s)" file)
+  | Server.Replica_down { replica } -> Some (Printf.sprintf "pir.replica.down(%d)" replica)
+  | Server.Replica_timeout { replica; _ } ->
+      Some (Printf.sprintf "pir.replica.timeout(%d)" replica)
+  | _ -> None
+
 (* Bounded retry with deterministic exponential backoff.  Obliviousness
    hinges on the schedule here: whether, when and how long we retry is a
    function of the fault outcome and the attempt number alone — never of
@@ -56,7 +70,10 @@ let with_retry ~policy ~on_retry op =
             if attempt >= policy.max_attempts then
               raise (Gave_up { point; attempts = attempt })
             else begin
-              on_retry ~backoff:(policy.base_backoff *. float_of_int (1 lsl (attempt - 1)));
+              on_retry
+                ~backoff:
+                  (Psp_pir.Cost_model.retry_backoff_seconds ~base:policy.base_backoff
+                     ~attempt);
               go (attempt + 1)
             end)
   in

@@ -69,6 +69,14 @@ val recoverable : exn -> string option
 (** The failpoint name for faults the retry loop may absorb — transient
     injections and checksum failures (redacted to the file name). *)
 
+val failover_class : exn -> string option
+(** The reason string for failures that must fail the {e replica} over
+    instead of being retried in place: {!Psp_pir.Server.Tampered}
+    (redacted to the file name), {!Psp_pir.Server.Replica_down} and
+    {!Psp_pir.Server.Replica_timeout}.  Disjoint from {!recoverable};
+    the client's failover loop replays the entire public plan against
+    the next healthy replica. *)
+
 val with_retry :
   policy:retry_policy -> on_retry:(backoff:float -> unit) -> (unit -> 'a) -> 'a
 (** Bounded retry with deterministic exponential backoff

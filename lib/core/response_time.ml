@@ -16,6 +16,12 @@ let of_result (r : Client.result) =
 let zero =
   { pir_seconds = 0.0; comm_seconds = 0.0; server_cpu_seconds = 0.0; client_seconds = 0.0 }
 
+let of_stats (s : Psp_pir.Server.Session.stats) =
+  { pir_seconds = s.Psp_pir.Server.Session.pir_seconds;
+    comm_seconds = s.Psp_pir.Server.Session.comm_seconds;
+    server_cpu_seconds = s.Psp_pir.Server.Session.server_cpu_seconds;
+    client_seconds = 0.0 }
+
 let add a b =
   { pir_seconds = a.pir_seconds +. b.pir_seconds;
     comm_seconds = a.comm_seconds +. b.comm_seconds;
@@ -27,6 +33,24 @@ let scale k t =
     comm_seconds = k *. t.comm_seconds;
     server_cpu_seconds = k *. t.server_cpu_seconds;
     client_seconds = k *. t.client_seconds }
+
+(* A failover-surviving query's honest response time: the serving
+   attempt, plus every abandoned attempt's already-accounted cost, plus
+   the modeled switch/backoff seconds (charged as communication time —
+   the client spends them waiting on the link). *)
+let of_replicated (r : Client.replicated) =
+  let per_member i =
+    List.fold_left
+      (fun acc (a : Client.abandoned) ->
+        if i < Array.length a.Client.attempt_stats then
+          add acc (of_stats a.Client.attempt_stats.(i))
+        else acc)
+      zero r.Client.abandoned
+  in
+  let switch = { zero with comm_seconds = r.Client.failover_seconds } in
+  Array.mapi
+    (fun i res -> add (add (of_result res) (per_member i)) switch)
+    r.Client.results
 
 let mean = function
   | [] -> zero

@@ -4,6 +4,7 @@ type schedule =
   | First of int
   | Hits of int list
   | Probability of float
+  | Flapping of { up : int; down : int }
 
 exception Injected of { point : string; hit : int }
 
@@ -60,6 +61,11 @@ let fires name =
         | First n -> p.hits <= n
         | Hits l -> List.mem p.hits l
         | Probability q -> Psp_util.Rng.float p.rng 1.0 < q
+        | Flapping { up; down } ->
+            (* a replica that cycles healthy/unhealthy: [up] passing hits,
+               then [down] failing ones, repeating — still a pure function
+               of the hit ordinal *)
+            (p.hits - 1) mod (up + down) >= up
       in
       if fail then begin
         p.fired <- p.fired + 1;
@@ -109,6 +115,14 @@ let parse_schedule spec =
           match float_of_string_opt arg with
           | Some p when p >= 0.0 && p <= 1.0 -> Ok (Probability p)
           | _ -> Error (Printf.sprintf "expected a probability in [0,1], got %S" arg))
+      | "flap" -> (
+          match String.split_on_char ',' arg with
+          | [ up; down ] -> (
+              match (int_of up, int_of down) with
+              | Ok u, Ok d when u >= 1 && d >= 1 -> Ok (Flapping { up = u; down = d })
+              | Ok _, Ok _ -> Error "flap phases must be >= 1"
+              | (Error e, _ | _, Error e) -> Error e)
+          | _ -> Error (Printf.sprintf "expected flap:UP,DOWN, got %S" arg))
       | k -> Error (Printf.sprintf "unknown schedule %S" k))
 
 let arm_spec ?seed spec =

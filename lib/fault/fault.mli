@@ -24,6 +24,10 @@ type schedule =
   | First of int  (** fail the first [n] hits, then recover *)
   | Hits of int list  (** fail on exactly these 1-based hit ordinals *)
   | Probability of float  (** each hit fails with probability [p] *)
+  | Flapping of { up : int; down : int }
+      (** cycle: [up] passing hits, then [down] failing hits, repeating —
+          a replica that keeps going down and coming back (chaos
+          harness).  Still a pure function of the hit ordinal. *)
 
 exception Injected of { point : string; hit : int }
 (** The typed fault raised by {!inject}-style instrumentation sites.
@@ -61,6 +65,6 @@ val fired : string -> int
 
 val arm_spec : ?seed:int -> string -> (unit, string) result
 (** Arm a point from a CLI/bench spec string:
-    ["point=never|always|first:N|hits:N,N,...|p:F"], e.g.
+    ["point=never|always|first:N|hits:N,N,...|p:F|flap:U,D"], e.g.
     ["pir.fetch.transient=hits:2,5,9"] or ["pir.fetch.corrupt=p:0.05"].
     Returns a parse diagnostic on malformed input. *)

@@ -1,0 +1,67 @@
+(* Per-replica circuit breaker on the simulated clock.
+
+   Everything here is driven by public signals: failure/success events
+   are plan-derivable fault outcomes, the clock is the deterministic
+   cost-model time, and the jitter stream is seeded from the public
+   replica index.  Nothing about query content can influence which
+   replica serves a query — psplint's rules apply to the callers; this
+   module holds no secrets at all. *)
+
+type state = Closed | Open | Half_open
+
+type t = {
+  threshold : int;
+  cooldown : float;
+  rng : Psp_util.Rng.t; (* deterministic jitter, seeded per replica *)
+  mutable state : state;
+  mutable failures : int; (* consecutive *)
+  mutable trips : int; (* consecutive Open transitions: backoff exponent *)
+  mutable open_until : float;
+}
+
+let create ?(threshold = 3) ?(cooldown = 1.0) ~seed () =
+  if threshold < 1 then invalid_arg "Breaker.create: threshold must be >= 1";
+  if cooldown <= 0.0 then invalid_arg "Breaker.create: cooldown must be positive";
+  { threshold;
+    cooldown;
+    rng = Psp_util.Rng.create seed;
+    state = Closed;
+    failures = 0;
+    trips = 0;
+    open_until = 0.0 }
+
+let state t = t.state
+
+let available t ~now =
+  match t.state with
+  | Closed | Half_open -> true
+  | Open ->
+      if now >= t.open_until then begin
+        (* cooldown elapsed: let one probe through *)
+        t.state <- Half_open;
+        true
+      end
+      else false
+
+let record_success t =
+  t.failures <- 0;
+  t.trips <- 0;
+  t.state <- Closed
+
+let record_failure t ~now =
+  t.failures <- t.failures + 1;
+  (* a Half_open probe that fails re-opens immediately; a Closed breaker
+     trips after [threshold] consecutive failures *)
+  if t.state = Half_open || t.failures >= t.threshold then begin
+    t.state <- Open;
+    t.trips <- t.trips + 1;
+    (* exponential cooldown with deterministic jitter in [0.75, 1.25):
+       de-synchronizes probes across replicas without wall-clock
+       randomness — the stream is a pure function of the seed and the
+       trip ordinal *)
+    let exp = float_of_int (1 lsl min (t.trips - 1) 6) in
+    let jitter = 0.75 +. Psp_util.Rng.float t.rng 0.5 in
+    t.open_until <- now +. (t.cooldown *. exp *. jitter)
+  end
+
+let cooldown_until t = t.open_until

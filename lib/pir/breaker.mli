@@ -1,0 +1,46 @@
+(** Per-replica circuit breaker driven only by public signals.
+
+    State machine: [Closed] (serving) → [Open] after [threshold]
+    consecutive failures (replica shunned) → [Half_open] once the
+    cooldown elapses (one probe allowed) → [Closed] on a success, or
+    straight back to [Open] on a failed probe, with exponentially
+    growing cooldown.
+
+    Obliviousness: the breaker never sees query content.  Failures are
+    fault-schedule outcomes, the clock is the deterministic simulated
+    time the cost model already maintains, and the cooldown jitter is
+    drawn from a stream seeded by the public replica index — so replica
+    selection is a pure function of public history, and any single
+    replica's view of {e which} queries it serves is query-independent
+    (docs/RESILIENCE.md). *)
+
+type state = Closed | Open | Half_open
+
+type t
+
+val create : ?threshold:int -> ?cooldown:float -> seed:int -> unit -> t
+(** [threshold] (default 3) consecutive failures trip the breaker;
+    [cooldown] (default 1.0 simulated seconds) is the base shun
+    duration, doubling per consecutive trip (capped at 64×) with
+    deterministic jitter in [0.75, 1.25) drawn from a stream seeded by
+    [seed] (conventionally the replica index).
+    @raise Invalid_argument if [threshold < 1] or [cooldown <= 0]. *)
+
+val state : t -> state
+
+val available : t -> now:float -> bool
+(** May this replica serve an exchange at simulated time [now]?  An
+    [Open] breaker whose cooldown has elapsed transitions to
+    [Half_open] and admits one probe. *)
+
+val record_success : t -> unit
+(** A completed exchange: resets the failure streak and closes. *)
+
+val record_failure : t -> now:float -> unit
+(** A failed exchange (down, timeout, tamper, retry exhaustion).  May
+    trip the breaker; a failed [Half_open] probe re-opens it with a
+    longer cooldown. *)
+
+val cooldown_until : t -> float
+(** Simulated time at which an [Open] breaker next admits a probe
+    (0 before any trip). *)

@@ -50,6 +50,23 @@ let pir_batch_fetch_seconds t ~file_pages ~batch =
   let extra = float_of_int (max 0 (batch - 1)) in
   (pass +. (extra *. marginal)) *. page_op_seconds t
 
+(* Recovery-path latencies.  All are deterministic functions of public
+   quantities (attempt ordinals and Table 2 link constants), so charging
+   them cannot leak: the oblivious-retry argument of DESIGN.md extends
+   unchanged. *)
+
+let retry_backoff_seconds ~base ~attempt =
+  if attempt < 1 then invalid_arg "Cost_model.retry_backoff_seconds: attempt >= 1";
+  base *. float_of_int (1 lsl (attempt - 1))
+
+let latency_spike_seconds t = 10.0 *. t.rtt
+let timeout_seconds t = 25.0 *. t.rtt
+
+let failover_seconds t ~attempt =
+  (* tear down the dead session, re-handshake with the next replica, and
+     back off exponentially in the number of replicas already abandoned *)
+  t.rtt +. retry_backoff_seconds ~base:t.rtt ~attempt
+
 let plain_fetch_seconds t =
   t.disk_seek +. (float_of_int t.page_size /. t.disk_rate)
 

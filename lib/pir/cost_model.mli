@@ -48,6 +48,26 @@ val pir_batch_fetch_seconds : t -> file_pages:int -> batch:int -> float
     makes batched serving worthwhile under Table 2's constants.
     [batch = 1] equals {!pir_fetch_seconds} exactly. *)
 
+val retry_backoff_seconds : base:float -> attempt:int -> float
+(** [base · 2{^attempt-1}] — the deterministic exponential backoff
+    charged before retry number [attempt] (1-based).  Owned here so
+    [Psp_core.Engine]'s retry loop and the response-time accounting of
+    [Degraded] answers agree on the modeled extra seconds.
+    @raise Invalid_argument if [attempt < 1]. *)
+
+val latency_spike_seconds : t -> float
+(** Extra delay one [pir.replica.latency] fault adds to a fetch:
+    10 RTTs — a stalling-but-alive replica. *)
+
+val timeout_seconds : t -> float
+(** Cumulative spike delay at which a client declares the replica timed
+    out and fails over: 25 RTTs. *)
+
+val failover_seconds : t -> attempt:int -> float
+(** Modeled cost of abandoning a replica and re-handshaking with the
+    next one, with exponential backoff in the number of replicas
+    already abandoned ([attempt], 1-based). *)
+
 val plain_fetch_seconds : t -> float
 (** One unsecured page read (seek + disk transfer) — the cost unit of
     the non-private OBF baseline. *)

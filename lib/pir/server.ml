@@ -6,16 +6,21 @@ type store = Sqrt of Oblivious_store.t | Pyramid of Pyramid_store.t
 
 exception File_too_large of { file : string; bytes : int; limit : int }
 exception Page_corrupt of { file : string; page : int }
+exception Tampered of { file : string; page : int }
+exception Replica_down of { replica : int }
+exception Replica_timeout of { replica : int; seconds : float }
 
 type t = {
   mode : mode;
   cost : Cost_model.t;
+  key : bytes; (* publisher master key: page authentication at fetch time *)
+  replica : int;
   files : (string, Psp_storage.Page_file.t) Hashtbl.t;
   stores : (string, store) Hashtbl.t; (* oblivious modes only *)
   order : string list;
 }
 
-let create ?(mode = `Simulated) ~cost ~key files =
+let create ?(mode = `Simulated) ?(replica = 0) ~cost ~key files =
   let table = Hashtbl.create 8 and stores = Hashtbl.create 8 in
   let limit = Cost_model.max_file_bytes cost in
   List.iter
@@ -25,6 +30,10 @@ let create ?(mode = `Simulated) ~cost ~key files =
         invalid_arg (Printf.sprintf "Server.create: duplicate file %S" name);
       let bytes = Psp_storage.Page_file.size_bytes f in
       if bytes > limit then raise (File_too_large { file = name; bytes; limit });
+      (* pack-time sealing: a no-op when already sealed under this key,
+         so replicas sharing one published Page_file seal it once (and a
+         scratch server with a different key reseals for itself) *)
+      Psp_storage.Page_file.seal f ~key;
       Hashtbl.replace table name f;
       if Psp_storage.Page_file.page_count f > 0 then begin
         match mode with
@@ -33,10 +42,18 @@ let create ?(mode = `Simulated) ~cost ~key files =
         | `Pyramid -> Hashtbl.replace stores name (Pyramid (Pyramid_store.create ~key f))
       end)
     files;
-  { mode; cost; files = table; stores; order = List.map Psp_storage.Page_file.name files }
+  { mode;
+    cost;
+    key;
+    replica;
+    files = table;
+    stores;
+    order = List.map Psp_storage.Page_file.name files }
 
 let mode t = t.mode
 let cost t = t.cost
+let replica t = t.replica
+let key t = t.key
 
 let file t name =
   match Hashtbl.find_opt t.files name with
@@ -88,6 +105,7 @@ module Session = struct
     mutable server_cpu_seconds : float;
     mutable retries : int;
     mutable recovery_seconds : float;
+    mutable spike_seconds : float; (* cumulative latency-spike delay *)
     fetch_counts : (string, int) Hashtbl.t;
     trace : Trace.t;
   }
@@ -109,8 +127,37 @@ module Session = struct
       server_cpu_seconds = 0.0;
       retries = 0;
       recovery_seconds = 0.0;
+      spike_seconds = 0.0;
       fetch_counts = Hashtbl.create 8;
       trace = Trace.create () }
+
+  (* Replica-level chaos, consulted after the attempt is traced (the
+     adversary saw the request even when the replica is dead).  All
+     branches here are on fault-schedule outcomes — public functions of
+     hit ordinals — never on query content. *)
+  let m_replica_down = Obs.counter "pir.replica.down"
+  let m_replica_spikes = Obs.counter "pir.replica.spikes"
+
+  let replica_faults t =
+    (if Psp_fault.Fault.fires "pir.replica.down" then begin
+       Obs.incr m_replica_down;
+       raise (Replica_down { replica = t.server.replica })
+     end)
+    [@leak_ok
+      "replica outage aborts the attempt; the exception carries only the public \
+       replica index and the failover replays the identical public plan elsewhere"];
+    if Psp_fault.Fault.fires "pir.replica.latency" then begin
+      Obs.incr m_replica_spikes;
+      let s = Cost_model.latency_spike_seconds t.server.cost in
+      t.comm_seconds <- t.comm_seconds +. s;
+      t.spike_seconds <- t.spike_seconds +. s;
+      (if t.spike_seconds > Cost_model.timeout_seconds t.server.cost then
+         raise (Replica_timeout { replica = t.server.replica; seconds = t.spike_seconds }))
+      [@leak_ok
+        "the timeout threshold and the accumulated spike delay are deterministic \
+         cost-model quantities, independent of query content"]
+    end
+    [@@oblivious]
 
   let next_round ?(share = 1) t =
     Obs.incr m_rounds;
@@ -147,6 +194,7 @@ module Session = struct
            the request whether or not the retrieval succeeded *)
         Trace.record t.trace (Trace.Pir_fetch { round = t.round; file = name });
         Psp_fault.Fault.inject "pir.fetch.transient";
+        replica_faults t;
         let bytes =
           match t.server.mode with
           | `Simulated -> Psp_storage.Page_file.read f page
@@ -173,6 +221,27 @@ module Session = struct
         [@leak_ok
           "integrity failure aborts the query; the exception stays inside the client trust \
            boundary and Client.recoverable redacts it to the file name before reporting"];
+        let bytes =
+          (if Psp_fault.Fault.fires "pir.fetch.tamper" then begin
+             (* a Byzantine host recomputes the CRC after altering the page, so
+                the flip lands after the checksum gate — only the keyed tag
+                check below can catch it *)
+             let b = Bytes.copy bytes in
+             if Bytes.length b > 0 then
+               Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x80));
+             b
+           end
+           else bytes)
+          [@leak_ok
+            "fault-injection test hook: flips one bit of the already-fetched page, whose \
+             length is the file's public page size"]
+        in
+        (if not (Psp_storage.Page_file.authenticate f ~key:t.server.key page bytes) then
+           raise (Tampered { file = name; page }))
+        [@leak_ok
+          "authenticity failure aborts the replica, not the query; the exception stays \
+           inside the client trust boundary and the failover replays the identical public \
+           plan against the next replica"];
         bytes)
     [@@oblivious]
 
@@ -223,6 +292,31 @@ module Session = struct
                 Trace.record s.trace (Trace.Pir_fetch { round = s.round; file = name }))
               requests;
             Psp_fault.Fault.inject "pir.fetch.transient";
+            (* batch-granular replica chaos: one consultation per merged
+               pass, its effect applied to every member, so batched
+               sessions stay mutually trace-identical under any schedule *)
+            (if Psp_fault.Fault.fires "pir.replica.down" then begin
+               Obs.incr m_replica_down;
+               raise (Replica_down { replica = server.replica })
+             end)
+            [@leak_ok
+              "replica outage aborts the whole batch; the exception carries only the \
+               public replica index and the failover replays the identical public plan"];
+            if Psp_fault.Fault.fires "pir.replica.latency" then begin
+              Obs.incr m_replica_spikes;
+              let spike = Cost_model.latency_spike_seconds server.cost in
+              Array.iter
+                (fun (s, _) ->
+                  s.comm_seconds <- s.comm_seconds +. spike;
+                  s.spike_seconds <- s.spike_seconds +. spike)
+                requests;
+              let seconds = (fst requests.(0)).spike_seconds in
+              (if seconds > Cost_model.timeout_seconds server.cost then
+                 raise (Replica_timeout { replica = server.replica; seconds }))
+              [@leak_ok
+                "the timeout threshold and the accumulated spike delay are deterministic \
+                 cost-model quantities, independent of query content"]
+            end;
             Array.map
               (fun (_, (page [@secret])) ->
                 let bytes =
@@ -251,6 +345,25 @@ module Session = struct
                   "integrity failure aborts the whole batch; the exception stays inside the \
                    client trust boundary and the engine's retry re-issues every member's \
                    identical request"];
+                let bytes =
+                  (if Psp_fault.Fault.fires "pir.fetch.tamper" then begin
+                     (* as in fetch: the flip lands after the checksum gate,
+                        simulating a host that recomputes the CRC *)
+                     let b = Bytes.copy bytes in
+                     if Bytes.length b > 0 then
+                       Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x80));
+                     b
+                   end
+                   else bytes)
+                  [@leak_ok
+                    "fault-injection test hook: flips one bit of the already-fetched page, \
+                     whose length is the file's public page size"]
+                in
+                (if not (Psp_storage.Page_file.authenticate f ~key:server.key page bytes)
+                 then raise (Tampered { file = name; page }))
+                [@leak_ok
+                  "authenticity failure aborts the whole batch and fails the replica over; \
+                   the exception stays inside the client trust boundary"];
                 bytes)
               requests)
     [@@oblivious]

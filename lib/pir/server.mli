@@ -31,13 +31,43 @@ exception Page_corrupt of { file : string; page : int }
     storage or in flight, detected before the payload reaches protocol
     code.  Clients treat it like a transient fault and re-fetch. *)
 
+exception Tampered of { file : string; page : int }
+(** Raised by {!Session.fetch} when a retrieved page passes the CRC but
+    fails its pack-time HMAC tag ({!Psp_storage.Page_file.authenticate})
+    — a Byzantine host altered content and recomputed the checksum.
+    Unlike {!Page_corrupt} this is {e not} retried in place: the replica
+    is failed over (a tampering host would tamper again). *)
+
+exception Replica_down of { replica : int }
+(** The replica refused the exchange (failpoint [pir.replica.down]).
+    Fails the replica over. *)
+
+exception Replica_timeout of { replica : int; seconds : float }
+(** Cumulative latency-spike delay (failpoint [pir.replica.latency])
+    crossed {!Cost_model.timeout_seconds}.  Fails the replica over. *)
+
 val create :
-  ?mode:mode -> cost:Cost_model.t -> key:bytes -> Psp_storage.Page_file.t list -> t
-(** @raise File_too_large per the cost model's [max_file_bytes].
+  ?mode:mode ->
+  ?replica:int ->
+  cost:Cost_model.t ->
+  key:bytes ->
+  Psp_storage.Page_file.t list ->
+  t
+(** [replica] (default 0) is the server's public index in its replica
+    set.  Files not yet {!Psp_storage.Page_file.sealed} are sealed with
+    [key] at registration — the pack-time authentication step.
+    @raise File_too_large per the cost model's [max_file_bytes].
     @raise Invalid_argument on duplicate file names. *)
 
 val mode : t -> mode
 val cost : t -> Cost_model.t
+
+val replica : t -> int
+(** Public replica index (0 when standalone). *)
+
+val key : t -> bytes
+(** The publisher master key the client verifies tags under. *)
+
 val file : t -> string -> Psp_storage.Page_file.t
 (** @raise Not_found for an unregistered name. *)
 
@@ -63,17 +93,26 @@ module Session : sig
 
   val fetch : t -> file:string -> page:int -> bytes
   (** Private page retrieval via the SCP.  The returned page is verified
-      against its recorded CRC-32 before being released.
+      against its recorded CRC-32 and then against its pack-time HMAC
+      tag before being released.
 
       The trace event and cost accounting for the attempt happen
       {e before} any fault can fire: a failed retrieval is still part of
       the adversary's view.  Failpoints: [pir.fetch.transient] (raises
-      {!Psp_fault.Fault.Injected}) and [pir.fetch.corrupt] (flips a bit
-      in the retrieved page, which the checksum gate converts into
-      {!Page_corrupt}).
+      {!Psp_fault.Fault.Injected}), [pir.fetch.corrupt] (flips a bit in
+      the retrieved page, which the checksum gate converts into
+      {!Page_corrupt}), [pir.fetch.tamper] (flips a bit {e after} the
+      checksum gate — a Byzantine host recomputing the CRC — which the
+      tag gate converts into {!Tampered}), [pir.replica.down] (raises
+      {!Replica_down}) and [pir.replica.latency] (adds
+      {!Cost_model.latency_spike_seconds} to the session; past
+      {!Cost_model.timeout_seconds} cumulative it raises
+      {!Replica_timeout}).
 
       @raise Not_found on unknown file; Invalid_argument on a bad page
-      number; {!Page_corrupt} on a checksum failure. *)
+      number; {!Page_corrupt} on a checksum failure; {!Tampered} on a
+      tag failure; {!Replica_down}/{!Replica_timeout} on replica
+      faults. *)
 
   val fetch_batch : file:string -> (t * int) array -> bytes array
 (** One merged oblivious-store pass serving same-round requests of
@@ -91,9 +130,16 @@ module Session : sig
       the amortization lives in the simulated cost model, as the rest of
       Table 2 does.
 
+      Replica faults are batch-granular: [pir.replica.down] and
+      [pir.replica.latency] are consulted once per merged pass and their
+      effect (abort, or spike delay) applies to every member, so batched
+      sessions stay mutually trace-identical.  [pir.fetch.tamper]
+      mirrors [pir.fetch.corrupt]: consulted per member, but any
+      {!Tampered} aborts the whole batch.
+
       @raise Invalid_argument if the sessions belong to different
-      servers or a page is out of range; {!Page_corrupt} aborts the
-      whole batch. *)
+      servers or a page is out of range; {!Page_corrupt}, {!Tampered},
+      {!Replica_down} and {!Replica_timeout} abort the whole batch. *)
 
   val download : t -> file:string -> bytes array
   (** Plaintext download of an entire (public) file.  Failpoint:

@@ -13,6 +13,12 @@ type t = {
   pages : bytes Psp_util.Dyn_array.t; (* padded to page_size *)
   lengths : int Psp_util.Dyn_array.t; (* payload bytes per page *)
   crcs : int Psp_util.Dyn_array.t; (* CRC-32 of each padded page *)
+  mutable tags : bytes Psp_util.Dyn_array.t option;
+      (* per-page HMAC-SHA-256 tags, present once {!seal}ed *)
+  mutable seal_key : bytes option;
+      (* the derived auth key the tags were computed under, so resealing
+         with the same master key is a no-op while a different key (e.g.
+         a scratch calibration server) recomputes *)
 }
 
 type error = Corrupt of { path : string; reason : string }
@@ -27,7 +33,9 @@ let create ~name ~page_size =
     page_size;
     pages = Psp_util.Dyn_array.create ();
     lengths = Psp_util.Dyn_array.create ();
-    crcs = Psp_util.Dyn_array.create () }
+    crcs = Psp_util.Dyn_array.create ();
+    tags = None;
+    seal_key = None }
 
 let name t = t.name
 let page_size t = t.page_size
@@ -48,6 +56,9 @@ let append t payload =
   Psp_util.Dyn_array.push t.pages page;
   Psp_util.Dyn_array.push t.lengths len;
   Psp_util.Dyn_array.push t.crcs (Psp_util.Crc32.digest page);
+  (* any mutation invalidates the authentication tags *)
+  t.tags <- None;
+  t.seal_key <- None;
   page_count t - 1
 
 let append_blank t = append t Bytes.empty
@@ -85,6 +96,64 @@ let verify_page t (no [@secret]) page =
   Bytes.length page = t.page_size && Psp_util.Crc32.digest page = page_crc t no
   [@@oblivious]
 
+(* -- authenticated pages ------------------------------------------------
+
+   A CRC catches bit rot but not a Byzantine host: whoever can flip page
+   bits can recompute the CRC.  Tags are HMAC-SHA-256 under a subkey the
+   host never sees, bound to the file name and page number, computed at
+   pack time by the publisher and verified by the client on every fetch
+   (DESIGN.md §3c).  The host stores and serves them but cannot forge
+   them. *)
+
+let tag_size = 32
+
+let auth_key ~key name =
+  Psp_crypto.Hmac.derive ~key ~label:("page-auth:" ^ name)
+
+let tag_message (no [@secret]) page =
+  (* fixed-width page number: the message length must not vary with the
+     (secret) index *)
+  let w = Psp_util.Byte_io.Writer.create ~capacity:(4 + Bytes.length page) () in
+  Psp_util.Byte_io.Writer.u32 w no;
+  Psp_util.Byte_io.Writer.bytes w page;
+  Psp_util.Byte_io.Writer.contents w
+  [@@oblivious]
+
+let seal t ~key =
+  let k = auth_key ~key t.name in
+  let already = match t.seal_key with Some k0 -> Bytes.equal k0 k | None -> false in
+  if not already then begin
+    let tags = Psp_util.Dyn_array.create () in
+    for no = 0 to page_count t - 1 do
+      Psp_util.Dyn_array.push tags
+        (Psp_crypto.Hmac.mac ~key:k
+           (tag_message no (Psp_util.Dyn_array.get t.pages no)))
+    done;
+    t.tags <- Some tags;
+    t.seal_key <- Some k
+  end
+
+let sealed t = t.tags <> None
+
+let page_tag t (no [@secret]) =
+  check t no;
+  match t.tags with
+  | None ->
+      invalid_arg (Printf.sprintf "Page_file.page_tag(%s): file not sealed" t.name)
+  | Some tags -> Psp_util.Dyn_array.get tags no
+  [@@oblivious]
+
+let authenticate t ~key (no [@secret]) page =
+  (* no branch on secrets: the seal check is public state, and the final
+     verdict is a secret-derived bool the caller must justify, exactly as
+     with {!verify_page} *)
+  Bytes.length page = t.page_size
+  && sealed t
+  && Psp_crypto.Hmac.verify
+       ~key:(auth_key ~key t.name)
+       (tag_message no page) ~tag:(page_tag t no)
+  [@@oblivious]
+
 let utilization t =
   if page_count t = 0 then 0.0
   else begin
@@ -97,13 +166,16 @@ let iter_pages t f =
     f no (read t no)
   done
 
-let magic = "PSPPAGES2"
+let magic = "PSPPAGES3"
+let magic_v2 = "PSPPAGES2"
 
-(* Serialized layout: magic, name, page size, page count, then per page
-   (payload length, padded-page CRC, payload bytes), and a trailing
-   CRC-32 of everything before it.  The trailing checksum is what makes
-   torn writes detectable: any truncation or bit flip anywhere in the
-   body fails it before parsing even starts. *)
+(* Serialized layout: magic, name, page size, page count, tagged flag,
+   then per page (payload length, padded-page CRC, [32-byte tag when
+   tagged], payload bytes), and a trailing CRC-32 of everything before
+   it.  The trailing checksum is what makes torn writes detectable: any
+   truncation or bit flip anywhere in the body fails it before parsing
+   even starts.  Files written by the previous (untagged) revision carry
+   the v2 magic and still load, as unsealed. *)
 
 let save t ~path =
   Obs.incr m_file_saves;
@@ -113,10 +185,12 @@ let save t ~path =
   Psp_util.Byte_io.Writer.string w t.name;
   Psp_util.Byte_io.Writer.varint w t.page_size;
   Psp_util.Byte_io.Writer.varint w (page_count t);
+  Psp_util.Byte_io.Writer.u8 w (if sealed t then 1 else 0);
   for no = 0 to page_count t - 1 do
     let len = payload_length t no in
     Psp_util.Byte_io.Writer.varint w len;
     Psp_util.Byte_io.Writer.u32 w (page_crc t no);
+    if sealed t then Psp_util.Byte_io.Writer.bytes w (page_tag t no);
     Psp_util.Byte_io.Writer.bytes w (Bytes.sub (Psp_util.Dyn_array.get t.pages no) 0 len)
   done;
   let body = Psp_util.Byte_io.Writer.contents w in
@@ -148,22 +222,34 @@ let parse ~path blob =
   if Psp_util.Byte_io.Reader.u32 footer <> Psp_util.Crc32.sub blob ~pos:0 ~len:body_len
   then corrupt path "file checksum mismatch (torn or corrupted write)";
   let r = Psp_util.Byte_io.Reader.of_bytes blob in
-  if Psp_util.Byte_io.Reader.string r <> magic then corrupt path "bad magic";
+  let file_magic = Psp_util.Byte_io.Reader.string r in
+  if file_magic <> magic && file_magic <> magic_v2 then corrupt path "bad magic";
   let name = Psp_util.Byte_io.Reader.string r in
   let page_size = Psp_util.Byte_io.Reader.varint r in
   if page_size <= 0 then corrupt path "non-positive page size";
   let count = Psp_util.Byte_io.Reader.varint r in
+  let tagged =
+    if file_magic = magic_v2 then false
+    else
+      match Psp_util.Byte_io.Reader.u8 r with
+      | 0 -> false
+      | 1 -> true
+      | b -> corrupt path (Printf.sprintf "bad tagged flag %d" b)
+  in
   let t = create ~name ~page_size in
+  let tags = Psp_util.Dyn_array.create () in
   for no = 0 to count - 1 do
     let len = Psp_util.Byte_io.Reader.varint r in
     if len < 0 || len > page_size then
       corrupt path (Printf.sprintf "page %d: payload length %d out of range" no len);
     let stored_crc = Psp_util.Byte_io.Reader.u32 r in
+    if tagged then Psp_util.Dyn_array.push tags (Psp_util.Byte_io.Reader.bytes r tag_size);
     ignore (append t (Psp_util.Byte_io.Reader.bytes r len));
     if page_crc t no <> stored_crc then
       corrupt path (Printf.sprintf "page %d: checksum mismatch" no)
   done;
   if Psp_util.Byte_io.Reader.pos r <> body_len then corrupt path "trailing bytes";
+  if tagged then t.tags <- Some tags;
   t
 
 let load ~path =

@@ -13,7 +13,15 @@
     the on-disk format stores it per page plus a whole-file checksum, so
     {!load} detects torn writes and bit rot as a typed {!error} instead
     of crashing.  {!save} is atomic (temp file + rename): a fault
-    mid-save never clobbers an existing good file. *)
+    mid-save never clobbers an existing good file.
+
+    Authenticity: a CRC defeats bit rot, not a Byzantine host — whoever
+    flips page bits can recompute the checksum.  {!seal} computes a
+    per-page HMAC-SHA-256 tag under a subkey derived from the
+    publisher's master key (which the host never sees), bound to the
+    file name and page number; {!authenticate} is the client-side gate
+    that makes tampering a detectable, typed condition distinct from
+    bit rot.  Tags travel with the file ({!save}/{!load}). *)
 
 type t
 
@@ -57,6 +65,31 @@ val verify_page : t -> int -> bytes -> bool
 (** [verify_page t no page] checks a (purported) copy of page [no]
     against its recorded checksum — the server's integrity gate on
     every PIR fetch.
+    @raise Invalid_argument on an out-of-range page number. *)
+
+val tag_size : int
+(** Bytes per authentication tag (32: HMAC-SHA-256). *)
+
+val seal : t -> key:bytes -> unit
+(** [seal t ~key] computes a per-page authentication tag
+    [HMAC(derive(key, "page-auth:" ^ name), u32 page_no || page)]
+    over every (padded) page — the publisher's pack-time step.
+    A no-op when already sealed under the same key; a different key
+    recomputes every tag.  Any later {!append} invalidates the seal
+    (and a {!load}ed file reseals on first use, reproducing its stored
+    tags when the key is the pack key). *)
+
+val sealed : t -> bool
+
+val page_tag : t -> int -> bytes
+(** Tag recorded by {!seal}.
+    @raise Invalid_argument if out of range or not sealed. *)
+
+val authenticate : t -> key:bytes -> int -> bytes -> bool
+(** [authenticate t ~key no page] checks a (purported) copy of page
+    [no] against its pack-time tag — the client's authenticity gate on
+    every PIR fetch.  [false] for an unsealed file, a wrong-sized page,
+    or any forged/altered content; constant-time tag comparison.
     @raise Invalid_argument on an out-of-range page number. *)
 
 val utilization : t -> float

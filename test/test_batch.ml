@@ -252,6 +252,44 @@ let test_batch_degraded_indistinguishable () =
       | Ok () -> ()
       | Error e -> Alcotest.fail ("members diverged under faults: " ^ e))
 
+(* 32-seed sweep: each seed derives a recoverable fault schedule and a
+   fresh 3-member batch — the members must stay mutually
+   indistinguishable, and two different batches under the same replayed
+   schedule must expose identical per-member traces. *)
+let test_batch_seed_sweep () =
+  let db = List.assoc "CI" (Lazy.force databases) in
+  for seed = 0 to 31 do
+    let rng = Psp_util.Rng.create (0xba7c4 + seed) in
+    let pick n = 1 + Psp_util.Rng.int rng n in
+    let arms =
+      List.filteri
+        (fun i _ -> i = seed mod 2 || Psp_util.Rng.int rng 2 = 0)
+        [ ("pir.fetch.transient", F.Hits [ pick 6; 6 + pick 6 ]);
+          ("pir.fetch.corrupt", F.Hits [ pick 10 ]) ]
+    in
+    List.iter (fun (p, s) -> F.arm p s) arms;
+    Fun.protect ~finally:F.reset (fun () ->
+        let run pairs =
+          F.rewind ();
+          let batched = Client.query_nodes_batch (server_of db) g pairs in
+          let traces =
+            Array.to_list
+              (Array.map
+                 (fun (r : Client.result) -> r.Client.stats.Session.trace)
+                 batched)
+          in
+          (match Privacy.indistinguishable traces with
+          | Ok () -> ()
+          | Error e ->
+              Alcotest.fail (Printf.sprintf "seed %d: members diverged: %s" seed e));
+          List.map Psp_pir.Trace.fingerprint traces
+        in
+        let a = run (Array.sub queries 0 3) and b = run (Array.sub queries 3 3) in
+        Alcotest.(check (list string))
+          (Printf.sprintf "seed %d: distinct batches, equal traces" seed)
+          a b)
+  done
+
 (* ------------------------------------------------------------------ *)
 (* An unknown scheme tag surfaces as a typed status — batch included. *)
 
@@ -299,7 +337,8 @@ let () =
         [ Alcotest.test_case "hostile schedule: all Unavailable" `Quick
             test_batch_unavailable;
           Alcotest.test_case "degraded but indistinguishable" `Quick
-            test_batch_degraded_indistinguishable ] );
+            test_batch_degraded_indistinguishable;
+          Alcotest.test_case "32-seed schedule sweep" `Slow test_batch_seed_sweep ] );
       ( "dispatch",
         [ Alcotest.test_case "unknown scheme status" `Quick test_batch_unknown_scheme;
           Alcotest.test_case "degenerate widths" `Quick test_batch_edges ] ) ]

@@ -250,6 +250,40 @@ let test_indistinguishable_under_failure () =
         results)
     (Lazy.force databases)
 
+(* deterministic 32-seed sweep of the same invariant: each seed derives
+   a fault schedule (transient / corrupt / tamper ordinals) and a fresh
+   query pair, cycling through the schemes — every pair must leave
+   byte-identical traces when the schedule replays per query *)
+let test_seed_sweep () =
+  let dbs = Lazy.force databases in
+  for seed = 0 to 31 do
+    let rng = Psp_util.Rng.create (0xfa017 + seed) in
+    let pick n = 1 + Psp_util.Rng.int rng n in
+    let arms =
+      List.filteri
+        (fun i _ -> i = seed mod 3 || Psp_util.Rng.int rng 2 = 0)
+        [ ("pir.fetch.transient", F.Hits [ pick 8; 8 + pick 8 ]);
+          ("pir.fetch.corrupt", F.Hits [ pick 12 ]);
+          ("pir.fetch.tamper", F.Hits [ pick 12 ]) ]
+    in
+    let name, db = List.nth dbs (seed mod List.length dbs) in
+    let qs = Psp_netgen.Synthetic.random_queries g ~count:2 ~seed in
+    let run (s, t) =
+      with_faults arms (fun () ->
+          F.rewind ();
+          (* tampering aborts the plan ([Replica_failed]: single-server
+             recovery cannot trust the host again) — the abandoned
+             trace prefix must still be query-independent *)
+          match Client.query_nodes (server_of db) g s t with
+          | r -> fingerprint r
+          | exception Client.Replica_failed { reason; stats; _ } ->
+              reason ^ "|" ^ Psp_pir.Trace.fingerprint stats.(0).Session.trace)
+    in
+    Alcotest.(check string)
+      (Printf.sprintf "seed %d (%s): distinct queries, equal traces" seed name)
+      (run qs.(0)) (run qs.(1))
+  done
+
 (* the same invariant as a property: random query pairs and random fault
    ordinals, every scheme — traces stay equal whenever the schedule is
    replayed per query *)
@@ -300,4 +334,5 @@ let () =
         [ Alcotest.test_case "no faults, no drift" `Quick test_no_faults_no_drift;
           Alcotest.test_case "equal traces under shared schedule" `Slow
             test_indistinguishable_under_failure;
+          Alcotest.test_case "32-seed schedule sweep" `Slow test_seed_sweep;
           indistinguishability_property ] ) ]
