@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Validate the psplint SARIF artifact against the SARIF 2.1.0 shape.
+
+Usage: python3 .github/sarif-schema.py _build/default/psplint.sarif
+
+Structural check only — enough to guarantee the code-scanning upload
+will parse: version/schema pinning, the run/tool/driver skeleton, the
+rule catalog, and for every result a resolvable ruleId/ruleIndex, a
+physical location, a partial fingerprint, and well-formed codeFlows.
+Kept plain-stdlib so CI needs no extra dependencies.
+"""
+
+import json
+import sys
+
+EXPECTED_RULES = {
+    "secret-branch",
+    "secret-length",
+    "effectful-call",
+    "secret-exception",
+    "secret-telemetry",
+    "secret-alloc",
+    "secret-loop",
+    "secret-compare",
+    "missing-justification",
+    "unanalyzed-module",
+    "baseline-drift",
+}
+
+
+def fail(errors):
+    for e in errors:
+        print(f"sarif-schema: {e}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_location(where, loc, errors):
+    phys = loc.get("physicalLocation") if isinstance(loc, dict) else None
+    if not isinstance(phys, dict):
+        errors.append(f"{where}: missing physicalLocation")
+        return
+    art = phys.get("artifactLocation")
+    if not isinstance(art, dict) or not isinstance(art.get("uri"), str):
+        errors.append(f"{where}.artifactLocation.uri: missing")
+    region = phys.get("region")
+    if not isinstance(region, dict) or not isinstance(region.get("startLine"), int):
+        errors.append(f"{where}.region.startLine: missing")
+    elif region["startLine"] < 1:
+        errors.append(f"{where}.region.startLine: {region['startLine']} < 1")
+
+
+def check_result(i, result, rule_ids, errors):
+    where = f"results[{i}]"
+    if not isinstance(result, dict):
+        errors.append(f"{where}: not an object")
+        return
+    rule_id = result.get("ruleId")
+    if rule_id not in rule_ids:
+        errors.append(f"{where}.ruleId: {rule_id!r} not in the rule catalog")
+    idx = result.get("ruleIndex")
+    if not isinstance(idx, int) or not 0 <= idx < len(rule_ids):
+        errors.append(f"{where}.ruleIndex: {idx!r} out of range")
+    elif rule_ids[idx] != rule_id:
+        errors.append(f"{where}.ruleIndex: points at {rule_ids[idx]!r}, not {rule_id!r}")
+    msg = result.get("message")
+    if not isinstance(msg, dict) or not isinstance(msg.get("text"), str):
+        errors.append(f"{where}.message.text: missing")
+    locs = result.get("locations")
+    if not isinstance(locs, list) or not locs:
+        errors.append(f"{where}.locations: missing")
+    else:
+        check_location(f"{where}.locations[0]", locs[0], errors)
+    fps = result.get("partialFingerprints")
+    if not isinstance(fps, dict) or not any(k.startswith("psplint/") for k in fps):
+        errors.append(f"{where}.partialFingerprints: missing psplint/* key")
+    for j, flow in enumerate(result.get("codeFlows", [])):
+        tfs = flow.get("threadFlows") if isinstance(flow, dict) else None
+        if not isinstance(tfs, list) or not tfs:
+            errors.append(f"{where}.codeFlows[{j}].threadFlows: missing")
+            continue
+        steps = tfs[0].get("locations")
+        if not isinstance(steps, list) or len(steps) < 2:
+            errors.append(
+                f"{where}.codeFlows[{j}]: a chain needs at least two steps"
+            )
+            continue
+        for k, step in enumerate(steps):
+            inner = step.get("location") if isinstance(step, dict) else None
+            check_location(f"{where}.codeFlows[{j}].steps[{k}]", inner or {}, errors)
+
+
+def main(path):
+    errors = []
+    with open(path) as f:
+        log = json.load(f)
+    if log.get("version") != "2.1.0":
+        errors.append(f"version: expected '2.1.0', got {log.get('version')!r}")
+    if "sarif-2.1.0" not in str(log.get("$schema", "")):
+        errors.append(f"$schema: {log.get('$schema')!r} does not pin sarif-2.1.0")
+    runs = log.get("runs")
+    if not isinstance(runs, list) or len(runs) != 1:
+        fail(errors + [f"runs: expected exactly one run, got {runs!r}"])
+    driver = runs[0].get("tool", {}).get("driver", {})
+    if driver.get("name") != "psplint":
+        errors.append(f"tool.driver.name: expected 'psplint', got {driver.get('name')!r}")
+    rules = driver.get("rules", [])
+    rule_ids = [r.get("id") for r in rules if isinstance(r, dict)]
+    missing = EXPECTED_RULES - set(rule_ids)
+    if missing:
+        errors.append(f"rule catalog is missing {sorted(missing)}")
+    for r in rules:
+        if not isinstance(r.get("shortDescription", {}).get("text"), str):
+            errors.append(f"rule {r.get('id')!r}: missing shortDescription.text")
+    results = runs[0].get("results")
+    if not isinstance(results, list):
+        errors.append(f"results: expected a list, got {type(results).__name__}")
+        results = []
+    for i, result in enumerate(results):
+        check_result(i, result, rule_ids, errors)
+    if errors:
+        fail(errors)
+    print(f"sarif-schema: OK ({len(results)} result(s), {len(rule_ids)} rule(s))")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    main(sys.argv[1])

@@ -1,0 +1,28 @@
+# Development / CI container for psp.
+#
+# Bakes in the full toolchain plus the pinned ocamlformat so every gate
+# that GitHub CI runs — build, tests, whole-program lint, formatting —
+# also runs locally in the container (ROADMAP: "ocamlformat
+# in-container").  The ocamlformat pin must match the `format` job in
+# .github/workflows/ci.yml and lib/core/schemes/.ocamlformat.
+
+FROM ocaml/opam:debian-12-ocaml-5.2
+
+RUN sudo apt-get update \
+    && sudo apt-get install -y --no-install-recommends python3 \
+    && sudo rm -rf /var/lib/apt/lists/*
+
+# Library deps first (stable layer), then the pinned formatter.
+RUN opam install --yes dune alcotest qcheck-core qcheck-alcotest \
+    bechamel ppx_deriving fmt logs cmdliner odoc \
+    && opam install --yes ocamlformat.0.26.2
+
+WORKDIR /home/opam/psp
+COPY --chown=opam:opam . .
+
+# Everything CI gates on, runnable as one smoke command:
+#   docker build -t psp . && docker run --rm psp
+CMD ["opam", "exec", "--", "sh", "-c", "\
+  dune build @all && dune runtest && dune build @lint && \
+  dune build psplint.sarif && python3 .github/sarif-schema.py _build/default/psplint.sarif && \
+  ocamlformat --check lib/core/schemes/*.ml lib/core/schemes/*.mli"]

@@ -516,9 +516,30 @@ let lint_cmd =
     Arg.(value & flag
          & info [ "audit" ] ~doc:"List every $(b,[@@oblivious]) function audited.")
   in
-  let run paths quiet audit =
+  let root =
+    Arg.(value & opt (some string) None
+         & info [ "root" ] ~docv:"DIR"
+             ~doc:"Whole-program mode: index every $(b,.cmt) under DIR-relative \
+                   PATHs into one call graph and report cross-module flows with \
+                   full call chains.")
+  in
+  let sarif =
+    Arg.(value & opt (some string) None
+         & info [ "sarif" ] ~docv:"FILE" ~doc:"Write a SARIF 2.1.0 report to FILE.")
+  in
+  let baseline =
+    Arg.(value & opt (some string) None
+         & info [ "baseline" ] ~docv:"FILE"
+             ~doc:"Suppress findings accepted in FILE; report baseline drift.")
+  in
+  let write_baseline =
+    Arg.(value & opt (some string) None
+         & info [ "write-baseline" ] ~docv:"FILE"
+             ~doc:"Regenerate FILE from the current findings and exit 0.")
+  in
+  let run paths quiet audit root sarif baseline write_baseline =
     let paths =
-      if paths <> [] then paths
+      if paths <> [] || root <> None then paths
       else
         List.filter_map
           (fun lib ->
@@ -526,12 +547,14 @@ let lint_cmd =
             if Sys.file_exists dir then Some dir else None)
           [ "core"; "pir"; "index" ]
     in
-    exit (Psp_lint.Lint.main ~paths ~quiet ~audit)
+    exit
+      (Psp_lint.Lint.main ?root ?sarif ?baseline ?write_baseline ~paths ~quiet ~audit
+         ())
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Statically check the oblivious core for secret-dependent behaviour")
-    Term.(const run $ paths $ quiet $ audit)
+    Term.(const run $ paths $ quiet $ audit $ root $ sarif $ baseline $ write_baseline)
 
 (* ------------------------------------------------------------------ *)
 (* render *)

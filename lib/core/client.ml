@@ -381,7 +381,10 @@ let query_nodes_batch ?pad ?retry server g (pairs [@secret]) =
          let sx, sy = Psp_graph.Graph.coords g s in
          let tx, ty = Psp_graph.Graph.coords g t in
          { sx; sy; tx; ty })
-       pairs)
+       pairs
+    [@leak_ok
+      "trip count is the batch length, which the server observes as the number of \
+       plan executions regardless; the endpoints inside stay secret"])
   [@@oblivious]
 
 let query_nodes_replicated ?pad ?retry ?max_failovers rset g (s [@secret]) (t [@secret]) =
@@ -397,5 +400,8 @@ let query_nodes_batch_replicated ?pad ?retry ?max_failovers rset g (pairs [@secr
          let sx, sy = Psp_graph.Graph.coords g s in
          let tx, ty = Psp_graph.Graph.coords g t in
          { sx; sy; tx; ty })
-       pairs)
+       pairs
+    [@leak_ok
+      "trip count is the batch length, which the server observes as the number of \
+       plan executions regardless; the endpoints inside stay secret"])
   [@@oblivious]

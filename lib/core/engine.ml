@@ -121,7 +121,12 @@ let walk (type s) (module S : SCHEME with type state = s) transport ~policy ctx
      lockstep.  Returns whether any member had a real request. *)
   let slot ~pad_slot ~file =
     let (wants [@secret]) = Array.map (fun st -> S.next_page st ~file) states in
-    let any_real = Array.exists Option.is_some wants in
+    let any_real =
+      (Array.exists Option.is_some wants
+      [@leak_ok
+        "trip count is the member count (the public batch size); which members \
+         carry a real request stays inside the option payloads"])
+    in
     (if pad_slot || any_real then begin
        let (pages [@secret]) = Array.map (Option.value ~default:0) wants in
        let blobs =

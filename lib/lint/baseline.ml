@@ -1,0 +1,318 @@
+(* Checked-in lint baseline: the escape valve that lets CI fail on *new*
+   findings only.
+
+   The file records position-independent fingerprints of accepted
+   findings plus the per-function count of justified [@leak_ok] sites.
+   Both are ratchets: a finding not in [accepted] fails the build, and a
+   justified-site count that moves in either direction without the
+   baseline being regenerated is reported as [baseline-drift] — silently
+   growing the set of "reviewed" leaks is exactly what the linter
+   exists to prevent. *)
+
+module SSet = Set.Make (String)
+module SMap = Map.Make (String)
+
+type t = { accepted : SSet.t; justified : int SMap.t }
+
+let empty = { accepted = SSet.empty; justified = SMap.empty }
+
+(* ------------------------------------------------------------------ *)
+(* Parsing.  lib/obs deliberately ships an emitter only, so the reader
+   lives here: a tiny recursive-descent parser over the subset the
+   baseline uses (objects, arrays, strings, integers, bools, null). *)
+
+exception Parse of string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Parse (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    skip_ws ();
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal lit =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then pos := !pos + l
+    else fail (Printf.sprintf "expected %s" lit)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 32 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some ('"' as c) | Some ('\\' as c) | Some ('/' as c) ->
+              Buffer.add_char buf c;
+              advance ();
+              go ()
+          | Some 'n' ->
+              Buffer.add_char buf '\n';
+              advance ();
+              go ()
+          | Some 't' ->
+              Buffer.add_char buf '\t';
+              advance ();
+              go ()
+          | Some 'r' ->
+              Buffer.add_char buf '\r';
+              advance ();
+              go ()
+          | Some 'b' ->
+              Buffer.add_char buf '\b';
+              advance ();
+              go ()
+          | Some 'f' ->
+              Buffer.add_char buf '\012';
+              advance ();
+              go ()
+          | Some 'u' ->
+              (* Baseline content is fingerprints and OCaml paths; a
+                 \u escape is decoded only for the ASCII range. *)
+              advance ();
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let hex = String.sub s !pos 4 in
+              pos := !pos + 4;
+              (match int_of_string_opt ("0x" ^ hex) with
+              | Some code when code < 128 -> Buffer.add_char buf (Char.chr code)
+              | Some _ -> Buffer.add_char buf '?'
+              | None -> fail "bad \\u escape");
+              go ()
+          | _ -> fail "bad escape")
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          `Obj []
+        end
+        else begin
+          let members = ref [] in
+          let rec member () =
+            skip_ws ();
+            let key = parse_string () in
+            expect ':';
+            let v = parse_value () in
+            members := (key, v) :: !members;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                member ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected ',' or '}'"
+          in
+          member ();
+          `Obj (List.rev !members)
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          `List []
+        end
+        else begin
+          let items = ref [] in
+          let rec item () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                item ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected ',' or ']'"
+          in
+          item ();
+          `List (List.rev !items)
+        end
+    | Some '"' -> `String (parse_string ())
+    | Some 't' ->
+        literal "true";
+        `Bool true
+    | Some 'f' ->
+        literal "false";
+        `Bool false
+    | Some 'n' ->
+        literal "null";
+        `Null
+    | Some ('-' | '0' .. '9') ->
+        let start = !pos in
+        if peek () = Some '-' then advance ();
+        let rec digits () =
+          match peek () with
+          | Some '0' .. '9' ->
+              advance ();
+              digits ()
+          | _ -> ()
+        in
+        digits ();
+        let lit = String.sub s start (!pos - start) in
+        (match int_of_string_opt lit with
+        | Some i -> `Int i
+        | None -> fail "bad number")
+    | _ -> fail "unexpected character"
+  in
+  match parse_value () with
+  | exception Parse msg -> Error msg
+  | v -> (
+      skip_ws ();
+      if !pos <> n then Error "trailing content after JSON value"
+      else
+        match v with
+        | `Obj members ->
+            let accepted =
+              match List.assoc_opt "accepted" members with
+              | Some (`List items) ->
+                  List.fold_left
+                    (fun acc -> function
+                      | `String fp -> SSet.add fp acc
+                      | _ -> acc)
+                    SSet.empty items
+              | _ -> SSet.empty
+            in
+            let justified =
+              match List.assoc_opt "justified" members with
+              | Some (`Obj entries) ->
+                  List.fold_left
+                    (fun acc (k, v) ->
+                      match v with `Int i -> SMap.add k i acc | _ -> acc)
+                    SMap.empty entries
+              | _ -> SMap.empty
+            in
+            Ok { accepted; justified }
+        | _ -> Error "baseline must be a JSON object")
+
+let load path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | contents -> (
+      match of_string contents with
+      | Ok t -> Ok t
+      | Error e -> Error (Printf.sprintf "%s: %s" path e))
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let justified_by_func (audits : Finding.audit list) =
+  List.fold_left
+    (fun acc (a : Finding.audit) ->
+      if a.justified = 0 then acc
+      else
+        SMap.update a.a_func
+          (function None -> Some a.justified | Some j -> Some (j + a.justified))
+          acc)
+    SMap.empty audits
+
+let render (findings : Finding.t list) (audits : Finding.audit list) =
+  let fingerprints =
+    List.map Finding.fingerprint findings |> List.sort_uniq String.compare
+  in
+  Psp_obs.Json.Obj
+    [ ("version", Psp_obs.Json.Int 1);
+      ( "accepted",
+        Psp_obs.Json.List (List.map (fun f -> Psp_obs.Json.String f) fingerprints) );
+      ( "justified",
+        Psp_obs.Json.Obj
+          (SMap.bindings (justified_by_func audits)
+          |> List.map (fun (k, v) -> (k, Psp_obs.Json.Int v))) ) ]
+
+let write path (findings : Finding.t list) (audits : Finding.audit list) =
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc
+        (Psp_obs.Json.to_string_pretty (render findings audits));
+      Out_channel.output_char oc '\n')
+
+(* ------------------------------------------------------------------ *)
+(* Application *)
+
+type applied = {
+  kept : Finding.t list; (* findings not covered by the baseline *)
+  suppressed : int; (* findings matched by [accepted] *)
+  drift : Finding.t list; (* stale entries / justified-count mismatches *)
+}
+
+let apply t ~baseline_file (findings : Finding.t list) (audits : Finding.audit list) =
+  let kept, matched =
+    List.partition (fun f -> not (SSet.mem (Finding.fingerprint f) t.accepted)) findings
+  in
+  let present =
+    List.fold_left (fun acc f -> SSet.add (Finding.fingerprint f) acc) SSet.empty findings
+  in
+  let at_baseline message =
+    { Finding.file = baseline_file;
+      line = 1;
+      col = 0;
+      rule = Finding.Baseline_drift;
+      func = "<baseline>";
+      message;
+      chain = [] }
+  in
+  let stale =
+    SSet.diff t.accepted present |> SSet.elements
+    |> List.map (fun fp ->
+           at_baseline
+             (Printf.sprintf
+                "stale accepted fingerprint no longer produced by the analysis: %s \
+                 (regenerate with --write-baseline)"
+                fp))
+  in
+  let actual = justified_by_func audits in
+  let audit_loc func =
+    List.find_opt (fun (a : Finding.audit) -> a.a_func = func) audits
+  in
+  let mismatches =
+    SMap.merge
+      (fun _ recorded actual ->
+        let r = Option.value ~default:0 recorded
+        and a = Option.value ~default:0 actual in
+        if r = a then None else Some (r, a))
+      t.justified actual
+    |> SMap.bindings
+    |> List.map (fun (func, (recorded, actual)) ->
+           let message =
+             Printf.sprintf
+               "%s has %d justified leak site(s) but the baseline records %d \
+                (review the [@leak_ok] changes, then --write-baseline)"
+               func actual recorded
+           in
+           match audit_loc func with
+           | Some a ->
+               { Finding.file = a.a_file;
+                 line = a.a_line;
+                 col = 0;
+                 rule = Finding.Baseline_drift;
+                 func;
+                 message;
+                 chain = [] }
+           | None -> { (at_baseline message) with func })
+  in
+  { kept; suppressed = List.length matched; drift = stale @ mismatches }

@@ -1,0 +1,22 @@
+(** Checked-in lint baseline: accepted finding fingerprints plus the
+    per-function justified-site ratchet ([lint-baseline.json]). *)
+
+type t
+
+val empty : t
+
+val of_string : string -> (t, string) result
+val load : string -> (t, string) result
+
+val write : string -> Finding.t list -> Finding.audit list -> unit
+(** Regenerate the baseline file from the current report
+    ([--write-baseline]). *)
+
+type applied = {
+  kept : Finding.t list;  (** findings not covered by the baseline *)
+  suppressed : int;  (** findings matched by the accepted list *)
+  drift : Finding.t list;  (** stale entries / justified-count mismatches *)
+}
+
+val apply :
+  t -> baseline_file:string -> Finding.t list -> Finding.audit list -> applied

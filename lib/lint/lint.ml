@@ -1,4 +1,21 @@
-(* Driver: load .cmt files, run the taint analysis, report. *)
+(* Driver: load .cmt files, run the taint analysis, report.
+
+   Two modes:
+
+   - per-module ([run]): each .cmt is analyzed on its own, with no
+     interprocedural environment.  Used by the fixture tests and for
+     quick single-file checks.
+
+   - whole-program ([run_program], the [--root] CLI mode): every .cmt
+     under the given directories is indexed into one [Callgraph]
+     universe, per-function summaries are iterated to a fixpoint
+     ([Summary.compute]), and each [@@oblivious] entrypoint is analyzed
+     with that environment — so a secret flowing through three modules
+     into an observable sink is one finding with the full call chain.
+     Reachability is then checked: a call from the oblivious surface
+     into a project-namespace module that was never loaded is an
+     [unanalyzed-module] finding, which is what lets the build rules
+     glob directories instead of hand-listing modules. *)
 
 type report = {
   findings : Finding.t list;
@@ -53,6 +70,114 @@ let run paths =
     empty paths
 
 (* ------------------------------------------------------------------ *)
+(* Whole-program mode *)
+
+module SSet = Set.Make (String)
+
+(* The enclosing module path of a (dotted) value name. *)
+let module_of name =
+  match String.rindex_opt name '.' with
+  | None -> None
+  | Some i -> Some (String.sub name 0 i)
+
+(* BFS over resolved call edges from the oblivious entrypoints; calls
+   into the project namespace that neither resolve nor land in a loaded
+   module are the discovery gaps. *)
+let reachability_findings graph =
+  let visited = ref SSet.empty in
+  let gaps = ref [] in
+  let flagged_modules = ref SSet.empty in
+  let queue = Queue.create () in
+  List.iter
+    (fun (fn : Callgraph.fn) ->
+      if fn.fn_oblivious then Queue.add fn queue)
+    (Callgraph.fns graph);
+  while not (Queue.is_empty queue) do
+    let fn = Queue.pop queue in
+    if not (SSet.mem fn.Callgraph.fn_name !visited) then begin
+      visited := SSet.add fn.Callgraph.fn_name !visited;
+      List.iter
+        (fun (callee, loc) ->
+          match Callgraph.resolve graph ~current:fn.Callgraph.fn_prefix callee with
+          | Some target ->
+              if not (SSet.mem target.Callgraph.fn_name !visited) then
+                Queue.add target queue
+          | None ->
+              if
+                Callgraph.project_name graph callee
+                && not (Callgraph.covered graph callee)
+              then begin
+                match module_of (Callgraph.canon callee) with
+                | Some m when not (SSet.mem m !flagged_modules) ->
+                    flagged_modules := SSet.add m !flagged_modules;
+                    gaps :=
+                      Finding.of_location ~rule:Finding.Unanalyzed_module
+                        ~func:fn.Callgraph.fn_name
+                        ~message:
+                          (Printf.sprintf
+                             "call to %s reaches module %s, which was never loaded \
+                              into the analysis surface (add its library's .cmt \
+                              directory to the lint inputs)"
+                             callee m)
+                        loc
+                      :: !gaps
+                | _ -> ()
+              end)
+        fn.Callgraph.fn_calls
+    end
+  done;
+  List.rev !gaps
+
+let load_program paths =
+  let graph = Callgraph.create () in
+  let errors = ref [] in
+  let modules = ref 0 in
+  List.iter
+    (fun path ->
+      match collect path with
+      | Error e -> errors := !errors @ [ e ]
+      | Ok cmts ->
+          List.iter
+            (fun cmt_path ->
+              match Cmt_format.read_cmt cmt_path with
+              | exception e ->
+                  errors :=
+                    !errors
+                    @ [ Printf.sprintf "%s: %s" cmt_path (Printexc.to_string e) ]
+              | cmt -> (
+                  match cmt.Cmt_format.cmt_annots with
+                  | Cmt_format.Implementation str ->
+                      incr modules;
+                      Callgraph.add_structure graph
+                        ~modname:cmt.Cmt_format.cmt_modname str
+                  | _ -> ()))
+            cmts)
+    paths;
+  (graph, !errors, !modules)
+
+let run_program ~root paths =
+  let paths =
+    List.map
+      (fun p -> if Filename.is_relative p then Filename.concat root p else p)
+      (if paths = [] then [ "." ] else paths)
+  in
+  let graph, errors, modules = load_program paths in
+  let summaries = Summary.compute graph in
+  let env = Summary.env summaries in
+  let findings, audits =
+    List.fold_left
+      (fun (fs, aus) (fn : Callgraph.fn) ->
+        if fn.fn_oblivious then begin
+          let f, a = Taint.analyze_fn ~env fn in
+          (fs @ f, aus @ [ a ])
+        end
+        else (fs, aus))
+      ([], []) (Callgraph.fns graph)
+  in
+  let findings = findings @ reachability_findings graph in
+  { findings; audits; errors; modules }
+
+(* ------------------------------------------------------------------ *)
 (* CLI entry shared by bin/psplint and `pspc lint` *)
 
 let print_report ~quiet ~audit r =
@@ -77,14 +202,39 @@ let print_report ~quiet ~audit r =
 let exit_code r =
   if r.errors <> [] then 2 else if r.findings <> [] then 1 else 0
 
-let main ~paths ~quiet ~audit =
-  if paths = [] then begin
+let main ?root ?sarif ?baseline ?write_baseline ~paths ~quiet ~audit () =
+  if paths = [] && root = None then begin
     Printf.eprintf
       "psplint: no inputs (pass .cmt files or directories, e.g. _build/default/lib)\n";
     2
   end
   else begin
-    let r = run paths in
+    let r =
+      match root with Some root -> run_program ~root paths | None -> run paths
+    in
+    (match write_baseline with
+    | Some file ->
+        Baseline.write file r.findings r.audits;
+        Printf.printf "psplint: baseline written to %s (%d finding(s), %d audited \
+                       function(s))\n"
+          file (List.length r.findings) (List.length r.audits)
+    | None -> ());
+    let r, suppressed =
+      match baseline with
+      | None -> (r, 0)
+      | Some file -> (
+          match Baseline.load file with
+          | Error e -> ({ r with errors = r.errors @ [ e ] }, 0)
+          | Ok b ->
+              let applied = Baseline.apply b ~baseline_file:file r.findings r.audits in
+              ( { r with findings = applied.Baseline.kept @ applied.Baseline.drift },
+                applied.Baseline.suppressed ))
+    in
+    (match sarif with
+    | Some file -> Sarif.write file r.findings
+    | None -> ());
     print_report ~quiet ~audit r;
-    exit_code r
+    if suppressed > 0 then
+      Printf.printf "psplint: %d baselined finding(s) suppressed\n" suppressed;
+    if write_baseline <> None then if r.errors <> [] then 2 else 0 else exit_code r
   end

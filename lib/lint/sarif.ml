@@ -1,0 +1,102 @@
+(* SARIF 2.1.0 emission.
+
+   One run, one driver ("psplint"), the full rule catalog, one result
+   per finding.  Interprocedural findings additionally carry a codeFlow
+   whose single threadFlow walks the call chain from the flagged call
+   site down to the sink — GitHub code scanning renders it as the
+   "path" view.  partialFingerprints carries the same line-independent
+   fingerprint the baseline uses, so alert identity survives edits. *)
+
+module J = Psp_obs.Json
+
+let version = "0.2.0"
+let schema = "https://json.schemastore.org/sarif-2.1.0.json"
+
+let rule_index =
+  let tbl = List.mapi (fun i r -> (r, i)) Finding.all_rules in
+  fun r -> List.assq r tbl
+
+let rule_obj r =
+  J.Obj
+    [ ("id", J.String (Finding.rule_slug r));
+      ("name", J.String (Finding.rule_slug r));
+      ("shortDescription", J.Obj [ ("text", J.String (Finding.rule_help r)) ]);
+      ( "defaultConfiguration",
+        J.Obj [ ("level", J.String "error") ] ) ]
+
+(* SARIF regions are 1-based; findings carry 0-based columns. *)
+let physical_location ~file ~line ~col =
+  J.Obj
+    [ ("artifactLocation", J.Obj [ ("uri", J.String file) ]);
+      ( "region",
+        J.Obj
+          [ ("startLine", J.Int (max 1 line)); ("startColumn", J.Int (col + 1)) ] ) ]
+
+let location ?message ~func ~file ~line ~col () =
+  let base =
+    [ ("physicalLocation", physical_location ~file ~line ~col);
+      ( "logicalLocations",
+        J.List [ J.Obj [ ("fullyQualifiedName", J.String func) ] ] ) ]
+  in
+  let base =
+    match message with
+    | None -> base
+    | Some text -> base @ [ ("message", J.Obj [ ("text", J.String text) ]) ]
+  in
+  J.Obj base
+
+let thread_flow_location (fr : Finding.frame) =
+  J.Obj
+    [ ( "location",
+        location ~message:fr.fr_note ~func:fr.fr_func ~file:fr.fr_file
+          ~line:fr.fr_line ~col:fr.fr_col () ) ]
+
+let code_flows (f : Finding.t) =
+  match f.chain with
+  | [] -> []
+  | chain ->
+      [ ( "codeFlows",
+          J.List
+            [ J.Obj
+                [ ( "threadFlows",
+                    J.List
+                      [ J.Obj
+                          [ ( "locations",
+                              J.List (List.map thread_flow_location chain) ) ] ] )
+                ] ] ) ]
+
+let result (f : Finding.t) =
+  J.Obj
+    ([ ("ruleId", J.String (Finding.rule_slug f.rule));
+       ("ruleIndex", J.Int (rule_index f.rule));
+       ("level", J.String "error");
+       ("message", J.Obj [ ("text", J.String f.message) ]);
+       ( "locations",
+         J.List [ location ~func:f.func ~file:f.file ~line:f.line ~col:f.col () ] );
+       ( "partialFingerprints",
+         J.Obj [ ("psplint/v1", J.String (Finding.fingerprint f)) ] ) ]
+    @ code_flows f)
+
+let render (findings : Finding.t list) =
+  J.Obj
+    [ ("$schema", J.String schema);
+      ("version", J.String "2.1.0");
+      ( "runs",
+        J.List
+          [ J.Obj
+              [ ( "tool",
+                  J.Obj
+                    [ ( "driver",
+                        J.Obj
+                          [ ("name", J.String "psplint");
+                            ("version", J.String version);
+                            ( "informationUri",
+                              J.String "https://example.invalid/psplint" );
+                            ("rules", J.List (List.map rule_obj Finding.all_rules))
+                          ] ) ] );
+                ("results", J.List (List.map result findings)) ] ] ) ]
+
+let write path findings =
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (J.to_string_pretty (render findings));
+      Out_channel.output_char oc '\n')

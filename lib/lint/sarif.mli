@@ -1,0 +1,6 @@
+(** SARIF 2.1.0 emission for psplint findings: full rule catalog,
+    per-result partial fingerprints, and codeFlows walking the
+    interprocedural chain of a finding. *)
+
+val render : Finding.t list -> Psp_obs.Json.t
+val write : string -> Finding.t list -> unit

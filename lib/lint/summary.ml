@@ -1,0 +1,50 @@
+(* Whole-program fixpoint over per-function taint summaries.
+
+   Every function in the universe is summarized with the current
+   environment; summaries that change re-dirty the table until the set
+   of flows stabilizes (chains and wording are allowed to keep deepening
+   without forcing another round).  Call cycles converge because the
+   flow lattice is finite: params × (return ∪ sinks-by-rule ∪ params). *)
+
+type t = {
+  graph : Callgraph.t;
+  tbl : (string, Taint.summary) Hashtbl.t;
+  rounds : int;
+}
+
+let env_of graph tbl =
+  { Taint.lookup =
+      (fun ~current name ->
+        match Callgraph.resolve graph ~current name with
+        | Some fn -> Hashtbl.find_opt tbl fn.Callgraph.fn_name
+        | None -> None) }
+
+let max_rounds = 12
+
+let compute graph =
+  let tbl = Hashtbl.create 256 in
+  let env = env_of graph tbl in
+  let fns = Callgraph.fns graph in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < max_rounds do
+    changed := false;
+    incr rounds;
+    List.iter
+      (fun fn ->
+        let s = Taint.summarize ~env fn in
+        let stable =
+          match Hashtbl.find_opt tbl fn.Callgraph.fn_name with
+          | Some old -> Taint.summary_shape old = Taint.summary_shape s
+          | None -> false
+        in
+        Hashtbl.replace tbl fn.Callgraph.fn_name s;
+        if not stable then changed := true)
+      fns
+  done;
+  { graph; tbl; rounds = !rounds }
+
+let env t = env_of t.graph t.tbl
+let rounds t = t.rounds
+let find t name = Hashtbl.find_opt t.tbl name
+let size t = Hashtbl.length t.tbl

@@ -1,0 +1,20 @@
+(** Whole-program fixpoint over per-function taint summaries. *)
+
+type t
+
+val compute : Callgraph.t -> t
+(** Summarize every function in the universe, iterating until the set of
+    interprocedural flows (return / sink / mutation) stabilizes. *)
+
+val env : t -> Taint.env
+(** Lookup environment over the computed table, resolving callee names
+    through the call graph (aliases, functor redirects, enclosing
+    prefixes). *)
+
+val rounds : t -> int
+(** Fixpoint rounds taken (diagnostic). *)
+
+val find : t -> string -> Taint.summary option
+(** Summary under a canonical fully qualified name. *)
+
+val size : t -> int

@@ -9,6 +9,12 @@
    - secret-branch:     if / match / while guard / for bound steered by taint
    - secret-length:     tainted size argument to an allocation, or a
                         variable-length encoder (varint) fed a tainted value
+   - secret-alloc:      a heap allocation sitting under secret-dependent
+                        control flow (allocation volume is profiled)
+   - secret-loop:       an iterator walking a container whose taint — and
+                        hence length / trip count — derives from secrets
+   - secret-compare:    polymorphic compare, physical equality or
+                        [Hashtbl.hash] on non-immediate secret values
    - effectful-call:    calls into ambient-effect APIs (I/O, clocks,
                         randomness, process state) from oblivious code
    - secret-exception:  tainted payload handed to raise/failwith/invalid_arg
@@ -16,8 +22,17 @@
 
    A finding inside [(e [@leak_ok "reason"])] (or under a binding carrying
    the attribute) is counted as justified instead of reported; the reason
-   string is mandatory.  The analysis is intraprocedural: local closures
-   taking secrets must mark their own parameters [@secret]. *)
+   string is mandatory.
+
+   The per-binding analysis is intraprocedural, but it consults an
+   [env]: a lookup of interprocedural *summaries* (computed by
+   [Summary], to a fixpoint over the whole program) describing, for each
+   known function, which parameters flow to its return value, which
+   parameters reach an observable sink (with the full call chain), which
+   parameters absorb other parameters by mutation, and whether the
+   function performs ambient effects unconditionally.  A tainted
+   argument at a call site whose summary reaches a sink becomes a
+   finding *at the call site*, carrying the cross-module chain. *)
 
 module SSet = Set.Make (String)
 module IMap = Map.Make (struct
@@ -110,8 +125,10 @@ let length_sensitive_table =
     ("Array.make", 0);
     ("Array.init", 0);
     ("Array.create_float", 0);
+    ("Array.make_matrix", 0);
     ("List.init", 0);
     ("Buffer.create", 0);
+    ("Hashtbl.create", 0);
     ("Byte_io.Writer.varint", 1);
     ("Byte_io.Writer.bytes", 1);
     ("Byte_io.varint_size", 0) ]
@@ -155,6 +172,57 @@ let telemetry_table =
     ("Obs.exit", []);
     ("Obs.with_span", [ 0 ]) ]
 
+(* (suffix, index of the iterated container).  The trip count of these
+   equals the container's length, which the server can observe through
+   timing and the profiled allocation volume — a tainted container means
+   a secret-dependent trip count (secret-loop).  Strings and bytes are
+   deliberately absent: their lengths are page-structural and already
+   policed by the length rule at the allocation/encoding boundary. *)
+let iterator_table =
+  [ ("List.iter", 1);
+    ("List.iteri", 1);
+    ("List.map", 1);
+    ("List.mapi", 1);
+    ("List.rev_map", 1);
+    ("List.filter", 1);
+    ("List.filter_map", 1);
+    ("List.concat_map", 1);
+    ("List.fold_left", 2);
+    ("List.fold_right", 1);
+    ("List.for_all", 1);
+    ("List.exists", 1);
+    ("List.find", 1);
+    ("List.find_opt", 1);
+    ("List.find_map", 1);
+    ("List.sort", 1);
+    ("List.stable_sort", 1);
+    ("List.sort_uniq", 1);
+    ("List.partition", 1);
+    ("Array.iter", 1);
+    ("Array.iteri", 1);
+    ("Array.map", 1);
+    ("Array.mapi", 1);
+    ("Array.fold_left", 2);
+    ("Array.fold_right", 1);
+    ("Array.for_all", 1);
+    ("Array.exists", 1);
+    ("Hashtbl.iter", 1);
+    ("Hashtbl.fold", 1);
+    ("Queue.iter", 1);
+    ("Queue.fold", 2);
+    ("Stack.iter", 1);
+    ("Stack.fold", 2);
+    ("Seq.iter", 1);
+    ("Seq.map", 1);
+    ("Seq.fold_left", 2) ]
+
+(* Variable-time comparisons: structural equality / compare / hashing
+   walk the value; physical equality publishes sharing.  Immediate and
+   unboxed-comparable types (int, char, bool, unit, float, boxed ints)
+   compile to constant-time primitives and are exempted at the call
+   site by inspecting the argument's type. *)
+let compare_names = [ "="; "<>"; "compare"; "=="; "!="; "Hashtbl.hash" ]
+
 let suffix_match table name =
   List.find_map
     (fun (suffix, v) ->
@@ -168,43 +236,99 @@ let suffix_match table name =
 let length_sensitive name = suffix_match length_sensitive_table name
 let mutator name = suffix_match mutator_table name
 let telemetry name = suffix_match telemetry_table name
+let iterator name = suffix_match iterator_table name
+let compare_like name = List.mem name compare_names
 let raise_like = [ "raise"; "raise_notrace"; "failwith"; "invalid_arg" ]
 
-let strip_stdlib name =
-  let prefix = "Stdlib." in
-  if String.length name > 7 && String.sub name 0 7 = prefix then
-    String.sub name 7 (String.length name - 7)
-  else name
+(* Constant-time comparable: immediates plus float and the boxed ints,
+   whose compare is a single hardware comparison.  Type abbreviations
+   are *not* expanded (no typing environment is rebuilt from the cmt) —
+   an alias of int is flagged conservatively and must be justified. *)
+let constant_time_comparable (ty : Types.type_expr) =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) ->
+      List.mem (Path.name p)
+        [ "int"; "char"; "bool"; "unit"; "float"; "int32"; "int64"; "nativeint" ]
+  | _ -> false
+
+(* Format-string literals elaborate into CamlinternalFormatBasics
+   constructor chains; they are compile-time constants, not
+   secret-dependent allocations. *)
+let format_literal (e : Typedtree.expression) =
+  match Types.get_desc e.exp_type with
+  | Types.Tconstr (p, _, _) ->
+      let name = Path.name p in
+      List.mem name
+        [ "CamlinternalFormatBasics.fmt";
+          "CamlinternalFormatBasics.format6";
+          "CamlinternalFormatBasics.fmtty";
+          "Stdlib.format6";
+          "Stdlib.format4";
+          "Stdlib.format";
+          "format6";
+          "format4";
+          "format" ]
+  | _ -> false
 
 (* Expand a leading module alias (collected from `module X = Path` items
    in the same file), repeatedly, then strip [Stdlib.]. *)
-let normalize aliases name =
-  let rec expand fuel name =
-    if fuel = 0 then name
-    else
-      match String.index_opt name '.' with
-      | None -> name
-      | Some i -> (
-          let head = String.sub name 0 i in
-          match List.assoc_opt head aliases with
-          | Some expansion ->
-              expand (fuel - 1) (expansion ^ String.sub name i (String.length name - i))
-          | None -> name)
-  in
-  strip_stdlib (expand 8 name)
+let normalize = Callgraph.expand_aliases
+
+(* ------------------------------------------------------------------ *)
+(* Interprocedural summaries (computed by [Summary], consumed here) *)
+
+type sink = {
+  sk_param : int; (* -1: ambient — reached regardless of the arguments *)
+  sk_rule : Finding.rule;
+  sk_short : string; (* taint-free phrase describing the sink *)
+  sk_chain : Finding.frame list; (* call path from the callee to the sink *)
+}
+
+type summary = {
+  sum_name : string; (* canonical fq name *)
+  sum_arity : int; (* peeled leading parameters *)
+  sum_ret_params : int list; (* params flowing into the return value *)
+  sum_sinks : sink list;
+  sum_mutations : (int * int list) list; (* param i absorbs params js *)
+}
+
+type env = { lookup : current:string -> string -> summary option }
+
+let empty_env = { lookup = (fun ~current:_ _ -> None) }
+
+(* Taint tokens standing for "parameter i" during summary extraction. *)
+let param_token i = Printf.sprintf "#p%d" i
+
+let param_of_token s =
+  if String.length s > 2 && s.[0] = '#' && s.[1] = 'p' then
+    int_of_string_opt (String.sub s 2 (String.length s - 2))
+  else None
 
 (* ------------------------------------------------------------------ *)
 (* The analysis proper *)
 
+(* A raw hit: a finding candidate still carrying the taint set that
+   triggered it, so summary extraction can attribute it to parameters. *)
+type hit = {
+  h_rule : Finding.rule;
+  h_loc : Location.t;
+  h_message : string;
+  h_short : string;
+  h_taint : SSet.t;
+  h_chain : Finding.frame list;
+}
+
 type state = {
   mutable vars : SSet.t IMap.t; (* ident -> secret sources it derives from *)
   mutable changed : bool;
-  mutable findings : Finding.t list;
+  mutable hits : hit list;
   mutable justified : int;
   mutable flagged : int;
   mutable secrets : SSet.t; (* all seeds seen in this binding *)
   aliases : (string * string) list;
-  func : string;
+  func : string; (* display name of the binding under analysis *)
+  prefix : string; (* enclosing module path, for summary resolution *)
+  env : env;
 }
 
 let taint_of st id = Option.value ~default:SSet.empty (IMap.find_opt id st.vars)
@@ -221,13 +345,20 @@ let add_taint st id t =
 
 let describe t = String.concat ", " (SSet.elements t)
 
-let report st ~emit ~suppressed rule loc message =
+let record st ~emit ~suppressed ?(chain = []) ?(taint = SSet.empty) ~short rule loc
+    message =
   if emit then
     if suppressed then st.justified <- st.justified + 1
     else begin
       st.flagged <- st.flagged + 1;
-      st.findings <-
-        Finding.of_location ~rule ~func:st.func ~message loc :: st.findings
+      st.hits <-
+        { h_rule = rule;
+          h_loc = loc;
+          h_message = message;
+          h_short = short;
+          h_taint = taint;
+          h_chain = chain }
+        :: st.hits
     end
 
 (* Root identifier of an lvalue-ish expression: strips field projections
@@ -280,7 +411,8 @@ let rec eval st ~emit ~suppressed ~ct (e : Typedtree.expression) =
     match leak_ok e.exp_attributes with
     | `Justified -> true
     | `Unjustified loc ->
-        report st ~emit ~suppressed:false Finding.Missing_justification loc
+        record st ~emit ~suppressed:false ~short:"empty [@leak_ok]"
+          Finding.Missing_justification loc
           "[@leak_ok] requires a non-empty justification string";
         suppressed
     | `Absent -> suppressed
@@ -288,6 +420,17 @@ let rec eval st ~emit ~suppressed ~ct (e : Typedtree.expression) =
   let eval1 = eval st ~emit ~suppressed ~ct in
   let eval_opt = function None -> SSet.empty | Some e -> eval1 e in
   let union_all = List.fold_left (fun acc e -> SSet.union acc (eval1 e)) SSet.empty in
+  (* A heap allocation performed under secret control publishes the arm
+     taken through the profiled allocation volume. *)
+  let check_alloc what =
+    if (not (SSet.is_empty ct)) && not (format_literal e) then
+      record st ~emit ~suppressed ~taint:ct ~short:(what ^ " allocation")
+        Finding.Secret_alloc e.exp_loc
+        (Printf.sprintf
+           "%s allocated under secret-dependent control flow (%s): allocation words \
+            are exported in profiles"
+           what (describe ct))
+  in
   match e.exp_desc with
   | Texp_ident (Path.Pident id, _, _) -> taint_of st id
   | Texp_ident _ | Texp_constant _ | Texp_unreachable | Texp_instvar _
@@ -300,7 +443,8 @@ let rec eval st ~emit ~suppressed ~ct (e : Typedtree.expression) =
             match leak_ok vb.vb_attributes with
             | `Justified -> true
             | `Unjustified loc ->
-                report st ~emit ~suppressed:false Finding.Missing_justification loc
+                record st ~emit ~suppressed:false ~short:"empty [@leak_ok]"
+                  Finding.Missing_justification loc
                   "[@leak_ok] requires a non-empty justification string";
                 suppressed
             | `Absent -> suppressed
@@ -322,21 +466,63 @@ let rec eval st ~emit ~suppressed ~ct (e : Typedtree.expression) =
         match List.nth_opt arg_taints i with Some t -> t | None -> SSet.empty
       in
       let nth_arg i = List.nth_opt arg_exprs i in
+      let summary = ref None in
       (match name with
       | None -> ()
       | Some name ->
-          if denylisted name then
-            report st ~emit ~suppressed Finding.Effectful_call e.exp_loc
+          summary := st.env.lookup ~current:st.prefix name;
+          (* A resolvable project function is described by its summary;
+             the stdlib tables would otherwise misfire on bare local
+             names that collide with stdlib entries (e.g. an [exit]
+             helper vs Stdlib.exit).  The telemetry table is policy, not
+             behavior, so it stays active either way. *)
+          let table_checks = Option.is_none !summary in
+          if table_checks && denylisted name then
+            record st ~emit ~suppressed ~short:("call to " ^ name)
+              Finding.Effectful_call e.exp_loc
               (Printf.sprintf "call to ambient-effect function %s from oblivious code"
                  name);
           (match length_sensitive name with
-          | Some i when not (SSet.is_empty (nth_taint i)) ->
-              report st ~emit ~suppressed Finding.Secret_length e.exp_loc
+          | Some i when table_checks && not (SSet.is_empty (nth_taint i)) ->
+              record st ~emit ~suppressed ~taint:(nth_taint i)
+                ~short:("length argument to " ^ name) Finding.Secret_length e.exp_loc
                 (Printf.sprintf "length given to %s depends on secrets: %s" name
                    (describe (nth_taint i)))
           | _ -> ());
+          (match iterator name with
+          | Some i when table_checks && not (SSet.is_empty (nth_taint i)) ->
+              record st ~emit ~suppressed ~taint:(nth_taint i)
+                ~short:("trip count of " ^ name) Finding.Secret_loop e.exp_loc
+                (Printf.sprintf
+                   "%s iterates a container derived from secrets (%s): the trip \
+                    count leaks"
+                   name
+                   (describe (nth_taint i)))
+          | _ -> ());
+          if compare_like name then begin
+            let boxed_tainted =
+              List.mapi (fun i arg -> (nth_taint i, arg)) arg_exprs
+              |> List.filter (fun (t, (arg : Typedtree.expression)) ->
+                     (not (SSet.is_empty t))
+                     && not (constant_time_comparable arg.exp_type))
+            in
+            match boxed_tainted with
+            | [] -> ()
+            | _ :: _ ->
+                let t =
+                  List.fold_left
+                    (fun acc (t, _) -> SSet.union acc t)
+                    SSet.empty boxed_tainted
+                in
+                record st ~emit ~suppressed ~taint:t
+                  ~short:("variable-time " ^ name) Finding.Secret_compare e.exp_loc
+                  (Printf.sprintf
+                     "%s on a non-immediate secret value (%s): structural \
+                      compare/hash is variable-time"
+                     name (describe t))
+          end;
           (match mutator name with
-          | Some i -> (
+          | Some i when table_checks -> (
               let payload =
                 List.fold_left SSet.union ct
                   (List.filteri (fun j _ -> j <> i) arg_taints)
@@ -347,7 +533,7 @@ let rec eval st ~emit ~suppressed ~ct (e : Typedtree.expression) =
                   | Some id -> add_taint st id payload
                   | None -> ())
               | _ -> ())
-          | None -> ());
+          | _ -> ());
           (match telemetry name with
           | Some payload_idxs ->
               let payload =
@@ -356,11 +542,15 @@ let rec eval st ~emit ~suppressed ~ct (e : Typedtree.expression) =
                   SSet.empty payload_idxs
               in
               if not (SSet.is_empty payload) then
-                report st ~emit ~suppressed Finding.Secret_telemetry e.exp_loc
+                record st ~emit ~suppressed ~taint:payload
+                  ~short:("telemetry payload to " ^ name) Finding.Secret_telemetry
+                  e.exp_loc
                   (Printf.sprintf "value recorded via %s depends on secrets: %s" name
                      (describe payload))
               else if not (SSet.is_empty ct) then
-                report st ~emit ~suppressed Finding.Secret_telemetry e.exp_loc
+                record st ~emit ~suppressed ~taint:ct
+                  ~short:("metric update " ^ name ^ " under secret control")
+                  Finding.Secret_telemetry e.exp_loc
                   (Printf.sprintf
                      "metric update %s under secret-dependent control flow: %s" name
                      (describe ct))
@@ -368,7 +558,9 @@ let rec eval st ~emit ~suppressed ~ct (e : Typedtree.expression) =
           if List.mem name raise_like then begin
             let payload = List.fold_left SSet.union SSet.empty arg_taints in
             if not (SSet.is_empty payload) then
-              report st ~emit ~suppressed Finding.Secret_exception e.exp_loc
+              record st ~emit ~suppressed ~taint:payload
+                ~short:("exception payload to " ^ name) Finding.Secret_exception
+                e.exp_loc
                 (Printf.sprintf "exception payload carries secrets: %s"
                    (describe payload))
           end;
@@ -381,12 +573,63 @@ let rec eval st ~emit ~suppressed ~ct (e : Typedtree.expression) =
             match Option.bind (nth_arg 0) root_ident with
             | Some id -> add_taint st id payload
             | None -> ()
-          end);
-      List.fold_left SSet.union fn_taint arg_taints
+          end;
+          (* Interprocedural: apply the callee's summary. *)
+          (match !summary with
+          | None -> ()
+          | Some sum ->
+              let call_frame note =
+                Finding.frame_of_location ~func:st.func ~note e.exp_loc
+              in
+              List.iter
+                (fun sk ->
+                  let chain = call_frame ("calls " ^ sum.sum_name) :: sk.sk_chain in
+                  if sk.sk_param < 0 then
+                    record st ~emit ~suppressed ~chain ~short:sk.sk_short sk.sk_rule
+                      e.exp_loc
+                      (Printf.sprintf
+                         "call to %s transitively reaches an ambient-effect sink \
+                          (%s)"
+                         sum.sum_name sk.sk_short)
+                  else
+                    let t = nth_taint sk.sk_param in
+                    if not (SSet.is_empty t) then
+                      record st ~emit ~suppressed ~chain ~taint:t ~short:sk.sk_short
+                        sk.sk_rule e.exp_loc
+                        (Printf.sprintf
+                           "argument %d of %s carries secrets (%s) into a %s sink \
+                            (%s)"
+                           sk.sk_param sum.sum_name (describe t)
+                           (Finding.rule_slug sk.sk_rule)
+                           sk.sk_short))
+                sum.sum_sinks;
+              List.iter
+                (fun (i, srcs) ->
+                  let payload =
+                    List.fold_left
+                      (fun acc j -> SSet.union acc (nth_taint j))
+                      ct srcs
+                  in
+                  match nth_arg i with
+                  | Some container when not (SSet.is_empty payload) -> (
+                      match root_ident container with
+                      | Some id -> add_taint st id payload
+                      | None -> ())
+                  | _ -> ())
+                sum.sum_mutations));
+      (* Result taint: with a summary, only the parameters that flow to
+         the return value contribute; otherwise every argument does. *)
+      (match !summary with
+      | Some sum when List.length arg_exprs >= sum.sum_arity ->
+          List.fold_left
+            (fun acc i -> SSet.union acc (nth_taint i))
+            fn_taint sum.sum_ret_params
+      | _ -> List.fold_left SSet.union fn_taint arg_taints)
   | Texp_match (scrut, cases, _) ->
       let t = eval1 scrut in
       if (not (SSet.is_empty t)) && not (trivial_match cases) then
-        report st ~emit ~suppressed Finding.Secret_branch e.exp_loc
+        record st ~emit ~suppressed ~taint:t ~short:"match scrutinee"
+          Finding.Secret_branch e.exp_loc
           (Printf.sprintf "match scrutinee depends on secrets: %s" (describe t));
       SSet.union t
         (cases_taint st ~emit ~suppressed ~ct:(SSet.union ct t) ~scrutinee:t cases)
@@ -396,7 +639,8 @@ let rec eval st ~emit ~suppressed ~ct (e : Typedtree.expression) =
   | Texp_ifthenelse (cond, th, el) ->
       let t = eval1 cond in
       if not (SSet.is_empty t) then
-        report st ~emit ~suppressed Finding.Secret_branch e.exp_loc
+        record st ~emit ~suppressed ~taint:t ~short:"conditional guard"
+          Finding.Secret_branch e.exp_loc
           (Printf.sprintf "conditional guard depends on secrets: %s" (describe t));
       let ct' = SSet.union ct t in
       let tb = eval st ~emit ~suppressed ~ct:ct' th in
@@ -409,14 +653,16 @@ let rec eval st ~emit ~suppressed ~ct (e : Typedtree.expression) =
   | Texp_while (cond, body) ->
       let t = eval1 cond in
       if not (SSet.is_empty t) then
-        report st ~emit ~suppressed Finding.Secret_branch e.exp_loc
+        record st ~emit ~suppressed ~taint:t ~short:"while-loop guard"
+          Finding.Secret_branch e.exp_loc
           (Printf.sprintf "while-loop guard depends on secrets: %s" (describe t));
       ignore (eval st ~emit ~suppressed ~ct:(SSet.union ct t) body);
       SSet.empty
   | Texp_for (id, _, lo, hi, _, body) ->
       let t = SSet.union (eval1 lo) (eval1 hi) in
       if not (SSet.is_empty t) then
-        report st ~emit ~suppressed Finding.Secret_branch e.exp_loc
+        record st ~emit ~suppressed ~taint:t ~short:"for-loop bound"
+          Finding.Secret_branch e.exp_loc
           (Printf.sprintf "for-loop bound depends on secrets: %s" (describe t));
       add_taint st id (SSet.union ct t);
       ignore (eval st ~emit ~suppressed ~ct:(SSet.union ct t) body);
@@ -424,10 +670,21 @@ let rec eval st ~emit ~suppressed ~ct (e : Typedtree.expression) =
   | Texp_sequence (a, b) ->
       ignore (eval1 a);
       eval1 b
-  | Texp_tuple es | Texp_array es -> union_all es
-  | Texp_construct (_, _, es) -> union_all es
-  | Texp_variant (_, eo) -> eval_opt eo
+  | Texp_tuple es ->
+      check_alloc "tuple";
+      union_all es
+  | Texp_array es ->
+      if es <> [] then check_alloc "array";
+      union_all es
+  | Texp_construct (_, _, es) ->
+      (* Constant constructors carry no arguments and don't allocate. *)
+      if es <> [] then check_alloc "constructor";
+      union_all es
+  | Texp_variant (_, eo) ->
+      if eo <> None then check_alloc "variant";
+      eval_opt eo
   | Texp_record { fields; extended_expression; _ } ->
+      check_alloc "record";
       let t =
         Array.fold_left
           (fun acc (_, def) ->
@@ -448,7 +705,8 @@ let rec eval st ~emit ~suppressed ~ct (e : Typedtree.expression) =
   | Texp_assert (cond, _) ->
       let t = eval1 cond in
       if not (SSet.is_empty t) then
-        report st ~emit ~suppressed Finding.Secret_branch e.exp_loc
+        record st ~emit ~suppressed ~taint:t ~short:"assertion" Finding.Secret_branch
+          e.exp_loc
           (Printf.sprintf "assertion depends on secrets: %s" (describe t));
       SSet.empty
   | Texp_lazy e -> eval1 e
@@ -498,51 +756,164 @@ and trivial_match (cases : Typedtree.computation Typedtree.case list) =
   | _ -> false
 
 (* ------------------------------------------------------------------ *)
-(* Structure walking *)
+(* Per-binding drivers *)
 
-let analyze_binding ~aliases (vb : Typedtree.value_binding) =
+let new_state ?(env = empty_env) ?(prefix = "") ~aliases ~func () =
+  { vars = IMap.empty;
+    changed = false;
+    hits = [];
+    justified = 0;
+    flagged = 0;
+    secrets = SSet.empty;
+    aliases;
+    func;
+    prefix;
+    env }
+
+let finding_of_hit st (h : hit) =
+  Finding.of_location ~chain:h.h_chain ~rule:h.h_rule ~func:st.func ~message:h.h_message
+    h.h_loc
+
+let run_to_fixpoint st ~suppressed (expr : Typedtree.expression) =
+  let rounds = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !rounds < 16 do
+    st.changed <- false;
+    ignore (eval st ~emit:false ~suppressed ~ct:SSet.empty expr);
+    incr rounds;
+    if not st.changed then continue_ := false
+  done;
+  eval st ~emit:true ~suppressed ~ct:SSet.empty expr
+
+let audit_of st (vb : Typedtree.value_binding) =
+  { Finding.a_file = vb.vb_loc.loc_start.pos_fname;
+    a_line = vb.vb_loc.loc_start.pos_lnum;
+    a_func = st.func;
+    secrets = SSet.elements st.secrets;
+    justified = st.justified;
+    flagged = st.flagged }
+
+let analyze_binding ?env ?prefix ?func ~aliases (vb : Typedtree.value_binding) =
   let func =
-    match vb.vb_pat.pat_desc with
-    | Tpat_var (id, _) -> Ident.name id
-    | _ -> "<binding>"
+    match func with
+    | Some f -> f
+    | None -> (
+        match vb.vb_pat.pat_desc with
+        | Tpat_var (id, _) -> Ident.name id
+        | _ -> "<binding>")
   in
+  let st = new_state ?env ?prefix ~aliases ~func () in
+  let suppressed =
+    match leak_ok vb.vb_attributes with
+    | `Justified -> true
+    | `Unjustified _ | `Absent -> false
+  in
+  ignore (run_to_fixpoint st ~suppressed vb.vb_expr);
+  (List.rev_map (finding_of_hit st) st.hits, audit_of st vb)
+
+(* ------------------------------------------------------------------ *)
+(* Summary extraction: seed every leading parameter with a #p<i> token,
+   run the same analysis, and read off which tokens reached the return
+   value, a sink, or another parameter's container. *)
+
+let summarize ~env (fn : Callgraph.fn) =
+  let vb = fn.Callgraph.fn_binding in
   let st =
-    { vars = IMap.empty;
-      changed = false;
-      findings = [];
-      justified = 0;
-      flagged = 0;
-      secrets = SSet.empty;
-      aliases;
-      func }
+    new_state ~env ~prefix:fn.Callgraph.fn_prefix ~aliases:fn.Callgraph.fn_aliases
+      ~func:fn.Callgraph.fn_name ()
   in
   let suppressed =
     match leak_ok vb.vb_attributes with
     | `Justified -> true
     | `Unjustified _ | `Absent -> false
   in
-  (* Fixpoint: back edges (refs mutated under secret control read earlier
-     in the loop body) need repeated rounds before reporting. *)
-  let rounds = ref 0 in
-  let continue_ = ref true in
-  while !continue_ && !rounds < 16 do
-    st.changed <- false;
-    ignore (eval st ~emit:false ~suppressed ~ct:SSet.empty vb.vb_expr);
-    incr rounds;
-    if not st.changed then continue_ := false
-  done;
-  ignore (eval st ~emit:true ~suppressed ~ct:SSet.empty vb.vb_expr);
-  let audit =
-    { Finding.a_file = vb.vb_loc.loc_start.pos_fname;
-      a_line = vb.vb_loc.loc_start.pos_lnum;
-      a_func = func;
-      secrets = SSet.elements st.secrets;
-      justified = st.justified;
-      flagged = st.flagged }
+  (* Peel the leading [fun] layers, seeding one token per parameter.  A
+     multi-case [function] layer both binds its patterns and *is* a
+     dispatch on that parameter. *)
+  let param_roots = ref [] in
+  let rec peel i (e : Typedtree.expression) =
+    match e.exp_desc with
+    | Texp_function { cases = [ ({ c_guard = None; _ } as c) ]; _ } ->
+        let tok = SSet.singleton (param_token i) in
+        param_roots := (i, Typedtree.pat_bound_idents c.c_lhs) :: !param_roots;
+        bind_pattern st c.c_lhs tok;
+        peel (i + 1) c.c_rhs
+    | Texp_function { cases; _ } when List.length cases > 1 ->
+        let tok = SSet.singleton (param_token i) in
+        List.iter (fun (c : _ Typedtree.case) -> bind_pattern st c.c_lhs tok) cases;
+        record st ~emit:true ~suppressed ~taint:tok ~short:"function dispatch"
+          Finding.Secret_branch e.exp_loc
+          (Printf.sprintf "parameter %d is dispatched on by a multi-case function" i);
+        (i + 1, e)
+    | _ -> (i, e)
   in
-  (List.rev st.findings, audit)
+  let arity, body = peel 0 vb.vb_expr in
+  (* The dispatch hit recorded during peeling must survive the fixpoint
+     rounds; [run_to_fixpoint] only appends on the final emit pass, and
+     peeling already ran with emit:true, so nothing is lost. *)
+  let ret = run_to_fixpoint st ~suppressed body in
+  let params_of set =
+    SSet.fold
+      (fun s acc -> match param_of_token s with Some i -> i :: acc | None -> acc)
+      set []
+    |> List.sort_uniq Int.compare
+  in
+  let sinks = ref [] in
+  let seen = Hashtbl.create 8 in
+  let push sk =
+    let key = (sk.sk_param, sk.sk_rule) in
+    if (not (Hashtbl.mem seen key)) && List.length !sinks < 16 then begin
+      Hashtbl.add seen key ();
+      sinks := sk :: !sinks
+    end
+  in
+  List.iter
+    (fun h ->
+      let chain =
+        match h.h_chain with
+        | [] ->
+            [ Finding.frame_of_location ~func:fn.Callgraph.fn_name ~note:h.h_short
+                h.h_loc ]
+        | chain -> chain
+      in
+      match params_of h.h_taint with
+      | [] ->
+          if h.h_rule = Finding.Effectful_call then
+            push { sk_param = -1; sk_rule = h.h_rule; sk_short = h.h_short; sk_chain = chain }
+      | params ->
+          List.iter
+            (fun i ->
+              push { sk_param = i; sk_rule = h.h_rule; sk_short = h.h_short; sk_chain = chain })
+            params)
+    (List.rev st.hits);
+  let mutations =
+    List.filter_map
+      (fun (i, ids) ->
+        let absorbed =
+          List.fold_left (fun acc id -> SSet.union acc (taint_of st id)) SSet.empty ids
+          |> params_of
+          |> List.filter (fun j -> j <> i)
+        in
+        if absorbed = [] then None else Some (i, absorbed))
+      !param_roots
+  in
+  { sum_name = fn.Callgraph.fn_name;
+    sum_arity = arity;
+    sum_ret_params = params_of ret;
+    sum_sinks = List.rev !sinks;
+    sum_mutations = mutations }
 
-let rec analyze_items ~aliases items =
+(* Convergence measure for the interprocedural fixpoint: chains and
+   messages may deepen without changing *which* flows exist. *)
+let summary_shape s =
+  ( s.sum_ret_params,
+    List.map (fun sk -> (sk.sk_param, sk.sk_rule)) s.sum_sinks,
+    s.sum_mutations )
+
+(* ------------------------------------------------------------------ *)
+(* Structure walking (per-module mode, used by [Lint.analyze_cmt]) *)
+
+let rec analyze_items ?(env = empty_env) ~aliases items =
   let findings = ref [] and audits = ref [] in
   let aliases = ref aliases in
   List.iter
@@ -552,7 +923,7 @@ let rec analyze_items ~aliases items =
           List.iter
             (fun (vb : Typedtree.value_binding) ->
               if has_attr "oblivious" vb.vb_attributes then begin
-                let fs, a = analyze_binding ~aliases:!aliases vb in
+                let fs, a = analyze_binding ~env ~aliases:!aliases vb in
                 findings := !findings @ fs;
                 audits := !audits @ [ a ]
               end)
@@ -561,7 +932,7 @@ let rec analyze_items ~aliases items =
           match module_payload mb with
           | `Alias (name, target) -> aliases := (name, target) :: !aliases
           | `Structure (name, items) ->
-              let fs, au = analyze_items ~aliases:!aliases items in
+              let fs, au = analyze_items ~env ~aliases:!aliases items in
               let qualify (f : Finding.t) = { f with func = name ^ "." ^ f.func } in
               findings := !findings @ List.map qualify fs;
               audits :=
@@ -576,7 +947,7 @@ let rec analyze_items ~aliases items =
             (fun mb ->
               match module_payload mb with
               | `Structure (name, items) ->
-                  let fs, au = analyze_items ~aliases:!aliases items in
+                  let fs, au = analyze_items ~env ~aliases:!aliases items in
                   findings :=
                     !findings
                     @ List.map (fun (f : Finding.t) -> { f with func = name ^ "." ^ f.func }) fs;
@@ -604,5 +975,11 @@ and module_payload (mb : Typedtree.module_binding) =
   | Tmod_structure { str_items; _ } -> `Structure (name, str_items)
   | _ -> `Other
 
-let analyze_structure (str : Typedtree.structure) =
-  analyze_items ~aliases:[] str.str_items
+let analyze_structure ?env (str : Typedtree.structure) =
+  analyze_items ?env ~aliases:[] str.str_items
+
+(* Whole-program mode: analyze one indexed function with fully qualified
+   naming and an interprocedural environment. *)
+let analyze_fn ~env (fn : Callgraph.fn) =
+  analyze_binding ~env ~prefix:fn.Callgraph.fn_prefix ~func:fn.Callgraph.fn_name
+    ~aliases:fn.Callgraph.fn_aliases fn.Callgraph.fn_binding

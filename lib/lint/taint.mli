@@ -3,9 +3,67 @@
     [analyze_structure] scans an implementation for value bindings marked
     [\@\@oblivious], seeds taint at patterns marked [\@secret], and returns
     the findings together with one audit record per checked binding.  See
-    DESIGN.md §4 for the rule set and annotation conventions. *)
+    DESIGN.md §4 for the rule set and annotation conventions.
 
-val analyze_structure : Typedtree.structure -> Finding.t list * Finding.audit list
+    The per-binding analysis consults an {!env} of interprocedural
+    {!summary} values (computed by [Summary] to a whole-program fixpoint):
+    a tainted argument whose summary reaches an observable sink becomes a
+    finding at the call site, carrying the cross-module call chain. *)
+
+(** {2 Interprocedural summaries} *)
+
+type sink = {
+  sk_param : int;  (** -1: ambient — reached regardless of the arguments *)
+  sk_rule : Finding.rule;
+  sk_short : string;  (** taint-free phrase describing the sink *)
+  sk_chain : Finding.frame list;  (** call path from the callee to the sink *)
+}
+
+type summary = {
+  sum_name : string;  (** canonical fq name *)
+  sum_arity : int;  (** peeled leading parameters *)
+  sum_ret_params : int list;  (** params flowing into the return value *)
+  sum_sinks : sink list;
+  sum_mutations : (int * int list) list;  (** param [i] absorbs params [js] *)
+}
+
+type env = { lookup : current:string -> string -> summary option }
+
+val empty_env : env
+
+val param_token : int -> string
+(** The taint token standing for "parameter [i]" during summary extraction. *)
+
+val summarize : env:env -> Callgraph.fn -> summary
+(** Seed every leading parameter with a token, run the analysis, and read
+    off return flows, parameter-to-sink flows (with chains), ambient
+    effects and parameter-mutation flows. *)
+
+val summary_shape : summary -> int list * (int * Finding.rule) list * (int * int list) list
+(** Convergence measure for the interprocedural fixpoint: which flows
+    exist, ignoring chains and wording. *)
+
+(** {2 Per-binding and per-structure analysis} *)
+
+val analyze_binding :
+  ?env:env ->
+  ?prefix:string ->
+  ?func:string ->
+  aliases:(string * string) list ->
+  Typedtree.value_binding ->
+  Finding.t list * Finding.audit
+(** Analyze one binding (regardless of its attributes). [func] overrides
+    the display name; [prefix] is the enclosing module path used to
+    resolve summaries for unqualified callees. *)
+
+val analyze_structure :
+  ?env:env -> Typedtree.structure -> Finding.t list * Finding.audit list
+(** Per-module mode: every [\@\@oblivious] binding in the structure, with
+    file-local naming ([Session.fetch]-style for nested modules). *)
+
+val analyze_fn : env:env -> Callgraph.fn -> Finding.t list * Finding.audit
+(** Whole-program mode: analyze one indexed function under its fully
+    qualified name with an interprocedural environment. *)
 
 (** {2 Callee classification — exposed for unit tests} *)
 
@@ -30,3 +88,11 @@ val telemetry : string -> int list option
     [idxs] are the recorded-payload arguments (instrument names and
     recorded values).  A tainted payload — or any sink call made under
     secret-dependent control flow — is a [secret-telemetry] finding. *)
+
+val iterator : string -> int option
+(** [Some i] when argument [i] of the named function is a container whose
+    length determines the trip count (the [secret-loop] rule). *)
+
+val compare_like : string -> bool
+(** Polymorphic compare / physical equality / [Hashtbl.hash] — the
+    [secret-compare] rule, modulo the immediate-type exemption. *)

@@ -191,6 +191,10 @@ let enter name =
   in
   stack := sp :: !stack;
   sp
+  [@@leak_ok
+    "wall-clock and GC sampling for constant-shape spans: every plan step \
+     enters its span unconditionally, so the sampling schedule is plan-derived, \
+     never secret-derived"]
 
 let finalize sp =
   sp.sp_open <- false;
@@ -206,6 +210,10 @@ let finalize sp =
   agg.a_seconds <- agg.a_seconds +. (!clock () -. sp.sp_t0);
   agg.a_alloc <- agg.a_alloc +. (Gc.allocated_bytes () -. sp.sp_alloc0);
   agg.a_pages <- agg.a_pages + (!pages_total - sp.sp_pages0)
+  [@@leak_ok
+    "span aggregation samples the clock and allocator on the same \
+     constant-shape schedule as enter; aggregates are published knowingly \
+     through the snapshot API"]
 
 let exit sp =
   if not sp.sp_open then incr (misnested ())

@@ -136,6 +136,10 @@ let rec locate_tree tree ~x ~y =
   | Split { axis; coord; less; geq } ->
       let c = match axis with X -> x | Y -> y in
       if c < coord then locate_tree less ~x ~y else locate_tree geq ~x ~y
+  [@@leak_ok
+    "client-local descent of the downloaded KD-tree index: the comparisons \
+     run on the client, and the resulting region only feeds the plan-shaped \
+     page schedule, which is public by definition"]
 
 let locate t ~x ~y = locate_tree t.tree ~x ~y
 

@@ -31,8 +31,12 @@ let fetch t ~file ~pages:(pages [@secret]) =
   [@leak_ok
     "the guard reads only the array's length — the public batch width — never the \
      secret page indices inside it"];
-  Server.Session.fetch_batch ~file
-    (Array.mapi (fun i page -> (t.sessions.(i), page)) pages)
+  (Server.Session.fetch_batch ~file
+     (Array.mapi (fun i page -> (t.sessions.(i), page)) pages)
+  [@leak_ok
+    "the merged pass branches and iterates on the batch width and session \
+     identities — both public — while the page index inside each pair stays \
+     opaque until the oblivious store resolves it"])
   [@@oblivious]
 
 let note_retry t ~backoff =

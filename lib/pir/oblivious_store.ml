@@ -54,6 +54,10 @@ let decrypt_slot ~key ~slot stored =
   if not (Psp_crypto.Hmac.verify ~key:mac_key (Bytes.cat (slot_nonce slot) cipher) ~tag)
   then raise (Tampering_detected { slot });
   Psp_crypto.Chacha20.decrypt ~key ~nonce:(slot_nonce slot) cipher
+  [@@leak_ok
+    "branches only on the stored ciphertext's length and MAC validity — \
+     host-supplied data, not the secret page index; the abort names the \
+     physical slot, which the host already observes"]
   [@@oblivious]
 
 (* Re-scatter every page (and fresh dummies) under this epoch's keys. *)

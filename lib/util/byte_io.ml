@@ -12,14 +12,19 @@ module Writer = struct
   let u8 t v =
     if v < 0 || v > 0xFF then invalid_arg "Writer.u8: out of range";
     Buffer.add_char t (Char.chr v)
+  [@@leak_ok
+    "range guard is a single compare; violations abort encoding, and exactly \
+     one byte is written per call"]
 
   let u16 t v =
-    if v < 0 || v > 0xFFFF then invalid_arg "Writer.u16: out of range";
+    (if v < 0 || v > 0xFFFF then invalid_arg "Writer.u16: out of range")
+    [@leak_ok "range guard is a single compare; two bytes written per call"];
     u8 t (v land 0xFF);
     u8 t (v lsr 8)
 
   let u32 t v =
-    if v < 0 || v > 0xFFFFFFFF then invalid_arg "Writer.u32: out of range";
+    (if v < 0 || v > 0xFFFFFFFF then invalid_arg "Writer.u32: out of range")
+    [@leak_ok "range guard is a single compare; four bytes written per call"];
     u16 t (v land 0xFFFF);
     u16 t (v lsr 16)
 
@@ -65,6 +70,9 @@ module Reader = struct
     let v = Char.code (Bytes.get t.buf t.pos) in
     t.pos <- t.pos + 1;
     v
+  [@@leak_ok
+    "single-compare bounds guard on the read cursor; decode failures abort \
+     with a constant exception before any payload is interpreted"]
 
   let u16 t =
     let lo = u8 t in

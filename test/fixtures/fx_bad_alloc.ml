@@ -1,0 +1,28 @@
+(* Secret-dependent allocation: heap words provisioned under secret
+   control show up in allocation profiles and GC counters, publishing
+   which arm ran.  Allocations outside secret control are fine. *)
+
+let option_of_sign (x [@secret]) =
+  if x >= 0 (* EXPECT: secret-branch *) then Some x (* EXPECT: secret-alloc *)
+  else None
+  [@@oblivious]
+
+let pair_when_odd (x [@secret]) =
+  match x land 1 with (* EXPECT: secret-branch *)
+  | 1 -> (x, x) (* EXPECT: secret-alloc *)
+  | _ -> (0, 0) (* EXPECT: secret-alloc *)
+  [@@oblivious]
+
+(* Allocation before any secret branch is public: no finding. *)
+let public_alloc (x [@secret]) =
+  let box = (1, 2) in
+  fst box + (x * 0)
+  [@@oblivious]
+
+(* Regression: a format literal inside a secret arm elaborates to
+   CamlinternalFormatBasics constructors, which must not register as a
+   secret allocation. *)
+let label (x [@secret]) =
+  if x > 0 (* EXPECT: secret-branch *) then Printf.sprintf "positive"
+  else "negative"
+  [@@oblivious]

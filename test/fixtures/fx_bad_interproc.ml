@@ -1,0 +1,18 @@
+(* Cross-module flow: the secret reaches a branch two modules away
+   (fx_bad_interproc -> fx_interproc_mid -> fx_interproc_helper).  The
+   finding must land at the call site here, carrying the full chain.
+
+   Per-module analysis sees nothing — [Fx_interproc_mid.relay] is just an
+   opaque call — so this fixture is asserted clean in per-module mode and
+   flagged only by the whole-program pass (test_lint.ml exercises both). *)
+
+let launder (x [@secret]) =
+  Fx_interproc_mid.relay x (* EXPECT: secret-branch *)
+  [@@oblivious]
+
+(* The same call on public data stays clean: the summary's sink is on
+   the parameter, not ambient. *)
+let public_path () = Fx_interproc_mid.relay 7 [@@oblivious]
+
+(* A sink-free helper chain stays clean even with a secret argument. *)
+let pure_path (x [@secret]) = Fx_interproc_mid.relay_pure x [@@oblivious]

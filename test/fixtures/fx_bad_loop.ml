@@ -1,0 +1,25 @@
+(* Secret trip counts: iterating a container whose identity derives from
+   secrets leaks its length through timing and allocation volume.
+   Iterating a public container with a secret-capturing closure is fine:
+   the trip count is the public container's. *)
+
+let sum_all (xs [@secret]) =
+  List.fold_left ( + ) 0 xs (* EXPECT: secret-loop *)
+  [@@oblivious]
+
+let visit (pages [@secret]) =
+  Array.iter (fun (_ : int) -> ()) pages (* EXPECT: secret-loop *)
+  [@@oblivious]
+
+let tally (counts [@secret]) =
+  Hashtbl.fold (fun (_ : string) v acc -> v + acc) counts 0 (* EXPECT: secret-loop *)
+  [@@oblivious]
+
+(* Public container, secret closure: the trip count is public. *)
+let scale (k [@secret]) (xs : int list) = List.map (fun x -> x * k) xs [@@oblivious]
+
+(* String iterators are deliberately absent from the table: page-sized
+   strings are length-policed at the allocation/encoding boundary. *)
+let checksum (s [@secret]) =
+  String.fold_left (fun acc c -> acc + Char.code c) 0 s
+  [@@oblivious]

@@ -1,0 +1,25 @@
+(* Variable-time comparisons on secrets: structural equality, compare
+   and Hashtbl.hash walk the value (time depends on contents); physical
+   equality publishes sharing.  Immediate types compile to constant-time
+   primitives and are exempt. *)
+
+let same_blob (a [@secret]) (b : bytes) =
+  a = b (* EXPECT: secret-compare *)
+  [@@oblivious]
+
+let order (xs [@secret]) (ys : int list) =
+  compare xs ys (* EXPECT: secret-compare *)
+  [@@oblivious]
+
+let bucket (key [@secret]) (table : (string, int) Hashtbl.t) =
+  ignore table;
+  Hashtbl.hash key land 15 (* EXPECT: secret-compare *)
+  [@@oblivious]
+
+let interned (s [@secret]) (t : string) =
+  s == t (* EXPECT: secret-compare *)
+  [@@oblivious]
+
+(* Immediate comparisons are constant-time: no findings. *)
+let same_int (a [@secret]) (b : int) = a = b [@@oblivious]
+let same_char (c [@secret]) (d : char) = c <> d [@@oblivious]

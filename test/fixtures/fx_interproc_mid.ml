@@ -1,0 +1,9 @@
+(* Mid-tier for the interprocedural fixtures: forwards its argument into
+   the leaf helper, adding one frame to any reported call chain.  Also
+   not [@@oblivious]: the flow only matters once an oblivious caller
+   feeds it a secret. *)
+
+let relay v = Fx_interproc_helper.clamp (v + 1)
+
+(* Clean counterpart: routes through the sink-free helper entry. *)
+let relay_pure v = Fx_interproc_helper.double v

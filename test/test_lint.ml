@@ -9,6 +9,8 @@
 module Lint = Psp_lint.Lint
 module Taint = Psp_lint.Taint
 module Finding = Psp_lint.Finding
+module Baseline = Psp_lint.Baseline
+module Sarif = Psp_lint.Sarif
 
 (* Paths are relative to the test runner's cwd, [_build/default/test]. *)
 let fixture_src name = Filename.concat "fixtures" (name ^ ".ml")
@@ -78,6 +80,29 @@ let test_telemetry () =
     "suffix needs module boundary" None (Taint.telemetry "MyObs.add");
   Alcotest.(check (option (list int)))
     "unrelated call" None (Taint.telemetry "Hashtbl.add")
+
+let test_iterator () =
+  Alcotest.(check (option int)) "Array.iter walks arg 1" (Some 1)
+    (Taint.iterator "Array.iter");
+  Alcotest.(check (option int)) "List.fold_left walks arg 2" (Some 2)
+    (Taint.iterator "List.fold_left");
+  Alcotest.(check (option int)) "qualified Seq.iter" (Some 1)
+    (Taint.iterator "Stdlib.Seq.iter");
+  Alcotest.(check (option int)) "String.iter deliberately absent" None
+    (Taint.iterator "String.iter");
+  Alcotest.(check (option int)) "suffix needs module boundary" None
+    (Taint.iterator "MyList.iter")
+
+let test_compare_like () =
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " compare-like") true (Taint.compare_like name))
+    [ "="; "<>"; "compare"; "=="; "!="; "Hashtbl.hash" ];
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " not compare-like") false
+        (Taint.compare_like name))
+    [ "String.equal"; "Int.compare"; "+" ]
 
 let test_mutator () =
   Alcotest.(check (option int)) "Hashtbl.replace" (Some 0)
@@ -162,6 +187,160 @@ let test_exit_codes () =
     (Lint.exit_code (Lint.analyze_cmt "fixtures/no_such_file.cmt"))
 
 (* ------------------------------------------------------------------ *)
+(* Whole-program: cross-module flows, discovery gaps *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let interproc_cmts names = List.map fixture_cmt names
+
+(* The secret flows fx_bad_interproc -> mid -> helper; the finding lands
+   at the oblivious call site with the full three-frame chain. *)
+let test_interproc_chain () =
+  let r =
+    Lint.run_program ~root:"."
+      (interproc_cmts
+         [ "fx_interproc_helper"; "fx_interproc_mid"; "fx_bad_interproc" ])
+  in
+  Alcotest.(check (list string)) "no read errors" [] r.errors;
+  Alcotest.(check (list finding_pair))
+    "findings match EXPECT markers"
+    (sorted (expectations (fixture_src "fx_bad_interproc")))
+    (sorted (found_pairs r));
+  match r.findings with
+  | [ f ] ->
+      Alcotest.(check int) "three-frame chain" 3 (List.length f.Finding.chain);
+      Alcotest.(check (list string))
+        "chain crosses all three modules"
+        [ "fx_bad_interproc.ml"; "fx_interproc_mid.ml"; "fx_interproc_helper.ml" ]
+        (List.map
+           (fun (fr : Finding.frame) -> Filename.basename fr.fr_file)
+           f.Finding.chain)
+  | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
+
+(* Without linking, the same module is vacuously clean: the flow exists
+   only in the whole-program view. *)
+let test_interproc_per_module_blind () =
+  let r = Lint.analyze_cmt (fixture_cmt "fx_bad_interproc") in
+  Alcotest.(check (list string)) "no read errors" [] r.errors;
+  Alcotest.(check (list finding_pair))
+    "per-module mode cannot see the cross-module flow" [] (found_pairs r)
+
+(* Dropping the leaf from the surface turns the unresolved project call
+   into a discovery-gap finding instead of silence. *)
+let test_unanalyzed_module () =
+  let r =
+    Lint.run_program ~root:"."
+      (interproc_cmts [ "fx_interproc_mid"; "fx_bad_interproc" ])
+  in
+  Alcotest.(check (list string)) "no read errors" [] r.errors;
+  Alcotest.(check bool) "discovery gap flagged" true
+    (List.exists
+       (fun (f : Finding.t) ->
+         Finding.rule_slug f.rule = "unanalyzed-module"
+         && contains f.message "Psp_lint_fixtures.Fx_interproc_helper")
+       r.findings)
+
+(* ------------------------------------------------------------------ *)
+(* Baseline: fingerprint suppression and the drift ratchet *)
+
+let mk_finding ?(chain = []) ~file ~line ~rule ~func message =
+  { Finding.file; line; col = 0; rule; func; message; chain }
+
+let mk_audit ~func justified =
+  { Finding.a_file = "a.ml"; a_line = 1; a_func = func; secrets = [ "x" ];
+    justified; flagged = 0 }
+
+let with_baseline findings audits k =
+  let tmp = Filename.temp_file "psplint_baseline" ".json" in
+  Baseline.write tmp findings audits;
+  let b =
+    match Baseline.load tmp with
+    | Ok b -> b
+    | Error e -> Alcotest.failf "baseline load failed: %s" e
+  in
+  Fun.protect ~finally:(fun () -> Sys.remove tmp) (fun () -> k tmp b)
+
+let test_baseline_roundtrip () =
+  let f = mk_finding ~file:"a.ml" ~line:3 ~rule:Finding.Secret_branch ~func:"M.f" "m" in
+  let a = mk_audit ~func:"M.f" 2 in
+  with_baseline [ f ] [ a ] (fun tmp b ->
+      let applied = Baseline.apply b ~baseline_file:tmp [ f ] [ a ] in
+      Alcotest.(check int) "accepted finding suppressed" 1 applied.Baseline.suppressed;
+      Alcotest.(check int) "nothing kept" 0 (List.length applied.Baseline.kept);
+      Alcotest.(check int) "no drift" 0 (List.length applied.Baseline.drift);
+      (* the fingerprint is line-free: a moved finding stays accepted *)
+      let applied =
+        Baseline.apply b ~baseline_file:tmp [ { f with Finding.line = 41 } ] [ a ]
+      in
+      Alcotest.(check int) "moved finding still suppressed" 1
+        applied.Baseline.suppressed;
+      (* a finding the baseline has never seen fails the run *)
+      let fresh =
+        mk_finding ~file:"b.ml" ~line:1 ~rule:Finding.Secret_loop ~func:"M.g" "new"
+      in
+      let applied = Baseline.apply b ~baseline_file:tmp [ f; fresh ] [ a ] in
+      Alcotest.(check int) "fresh finding kept" 1 (List.length applied.Baseline.kept))
+
+let test_baseline_drift () =
+  let f = mk_finding ~file:"a.ml" ~line:3 ~rule:Finding.Secret_branch ~func:"M.f" "m" in
+  let a = mk_audit ~func:"M.f" 2 in
+  with_baseline [ f ] [ a ] (fun tmp b ->
+      (* the accepted finding was fixed: its stale entry must surface *)
+      let applied = Baseline.apply b ~baseline_file:tmp [] [ a ] in
+      Alcotest.(check int) "stale accepted entry drifts" 1
+        (List.length applied.Baseline.drift);
+      (* justified-site count changed in either direction *)
+      let drift_with n =
+        List.length
+          (Baseline.apply b ~baseline_file:tmp [ f ] [ mk_audit ~func:"M.f" n ])
+            .Baseline.drift
+      in
+      Alcotest.(check int) "justification added drifts" 1 (drift_with 3);
+      Alcotest.(check int) "justification removed drifts" 1 (drift_with 1);
+      Alcotest.(check int) "matching count is quiet" 0 (drift_with 2))
+
+(* ------------------------------------------------------------------ *)
+(* SARIF: structure of the emitted log *)
+
+let test_sarif () =
+  let chain =
+    [ { Finding.fr_func = "M.f"; fr_file = "a.ml"; fr_line = 3; fr_col = 2;
+        fr_note = "calls M.g" };
+      { Finding.fr_func = "M.g"; fr_file = "b.ml"; fr_line = 8; fr_col = 4;
+        fr_note = "conditional guard" } ]
+  in
+  let f =
+    mk_finding ~chain ~file:"a.ml" ~line:3 ~rule:Finding.Secret_branch ~func:"M.f"
+      "cross-module flow"
+  in
+  let tmp = Filename.temp_file "psplint" ".sarif" in
+  Fun.protect ~finally:(fun () -> Sys.remove tmp) (fun () ->
+      Sarif.write tmp [ f ];
+      let ic = open_in_bin tmp in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) ("log contains " ^ needle) true (contains s needle))
+        [ "\"2.1.0\"";
+          "sarif-2.1.0.json";
+          "\"secret-branch\"";
+          "\"psplint/v1\"";
+          "codeFlows";
+          "threadFlows";
+          "conditional guard";
+          "cross-module flow" ];
+      (* every rule ships in the catalog, found or not *)
+      List.iter
+        (fun rule ->
+          let id = Printf.sprintf "\"%s\"" (Finding.rule_slug rule) in
+          Alcotest.(check bool) ("catalog has " ^ id) true (contains s id))
+        Finding.all_rules)
+
+(* ------------------------------------------------------------------ *)
 (* End-to-end: the real oblivious core must stay clean *)
 
 let core_cmts =
@@ -204,6 +383,8 @@ let () =
           Alcotest.test_case "denylist" `Quick test_denylist;
           Alcotest.test_case "length-sensitive" `Quick test_length_sensitive;
           Alcotest.test_case "mutators" `Quick test_mutator;
+          Alcotest.test_case "iterators" `Quick test_iterator;
+          Alcotest.test_case "compare-like" `Quick test_compare_like;
           Alcotest.test_case "telemetry sinks" `Quick test_telemetry ] );
       ( "fixtures",
         [ Alcotest.test_case "good is clean" `Quick test_good_audit;
@@ -211,9 +392,21 @@ let () =
           Alcotest.test_case "bad length" `Quick (check_fixture "fx_bad_length");
           Alcotest.test_case "bad call" `Quick (check_fixture "fx_bad_call");
           Alcotest.test_case "bad telemetry" `Quick (check_fixture "fx_bad_telemetry");
+          Alcotest.test_case "bad alloc" `Quick (check_fixture "fx_bad_alloc");
+          Alcotest.test_case "bad polyeq" `Quick (check_fixture "fx_bad_polyeq");
+          Alcotest.test_case "bad loop" `Quick (check_fixture "fx_bad_loop");
           Alcotest.test_case "regression: fetch message" `Quick
             (check_fixture "fx_regression_audit");
           Alcotest.test_case "exit codes" `Quick test_exit_codes ] );
+      ( "interproc",
+        [ Alcotest.test_case "cross-module chain" `Quick test_interproc_chain;
+          Alcotest.test_case "per-module is blind" `Quick
+            test_interproc_per_module_blind;
+          Alcotest.test_case "unanalyzed module" `Quick test_unanalyzed_module ] );
+      ( "baseline",
+        [ Alcotest.test_case "roundtrip" `Quick test_baseline_roundtrip;
+          Alcotest.test_case "drift ratchet" `Quick test_baseline_drift ] );
+      ( "sarif", [ Alcotest.test_case "log structure" `Quick test_sarif ] );
       ( "oblivious-core",
         [ Alcotest.test_case "zero findings" `Quick test_oblivious_core_clean;
           Alcotest.test_case "secrets seeded" `Quick test_core_secrets_seeded ] ) ]
