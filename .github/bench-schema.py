@@ -14,7 +14,15 @@ import sys
 
 LATENCY_KEYS = ("mean", "p50", "p95", "p99", "min", "max")
 
-RUN_INT_KEYS = ("queries", "correct", "fetches_per_query", "retries", "unavailable")
+RUN_INT_KEYS = (
+    "queries",
+    "correct",
+    "fetches_per_query",
+    "retries",
+    "unavailable",
+    "executed_slot_touches",
+    "level_scans",
+)
 
 
 def fail(errors):

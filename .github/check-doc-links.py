@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Check relative links and intra-repo anchors in the Markdown docs.
+
+Usage: python3 .github/check-doc-links.py [file.md ...]
+
+With no arguments, checks README.md, DESIGN.md, EXPERIMENTS.md,
+CONTRIBUTING.md, ROADMAP.md and docs/*.md.  For every Markdown link
+[text](target) whose target is not an absolute URL, the script verifies
+that
+
+  * the referenced file (resolved relative to the linking file) exists
+    in the working tree, and
+  * when the target carries a #fragment, the referenced Markdown file
+    has a heading whose GitHub-style slug matches it.
+
+External http(s)/mailto links are skipped (CI must not depend on the
+network), as are links inside fenced code blocks.  Exits non-zero and
+prints every violation; plain stdlib so CI needs no extra dependencies.
+"""
+
+import os
+import re
+import sys
+
+DEFAULT_FILES = ["README.md", "DESIGN.md", "EXPERIMENTS.md", "CONTRIBUTING.md",
+                 "ROADMAP.md"]
+
+LINK_RE = re.compile(r"(?<!\!)\[(?:[^\]\\]|\\.)*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading):
+    """GitHub's anchor algorithm: lowercase, drop everything but
+    alphanumerics/spaces/hyphens, spaces become hyphens."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)          # inline code
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> text
+    text = re.sub(r"[*_]", "", text)                      # emphasis markers
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def strip_fenced(lines):
+    """Yield lines outside fenced code blocks."""
+    in_fence = False
+    for line in lines:
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            yield line
+
+
+def anchors_of(path, cache={}):
+    if path in cache:
+        return cache[path]
+    slugs = {}
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError:
+        cache[path] = None
+        return None
+    for line in strip_fenced(lines):
+        m = HEADING_RE.match(line)
+        if m:
+            slug = github_slug(m.group(2))
+            # duplicate headings get -1, -2, ... suffixes on GitHub
+            n = slugs.get(slug, -1) + 1
+            slugs[slug] = n
+            if n:
+                slugs[f"{slug}-{n}"] = 0
+    cache[path] = set(slugs)
+    return cache[path]
+
+
+def check_file(md, errors):
+    try:
+        with open(md, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        errors.append(f"{md}: {e}")
+        return
+    base = os.path.dirname(md)
+    for lineno, line in enumerate(strip_fenced(lines), 1):
+        for m in LINK_RE.finditer(line):
+            target = m.group(1)
+            if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):
+                continue  # http:, https:, mailto:, ...
+            path, _, frag = target.partition("#")
+            if path:
+                resolved = os.path.normpath(os.path.join(base, path))
+                if not os.path.exists(resolved):
+                    errors.append(f"{md}:{lineno}: broken link {target!r} "
+                                  f"({resolved} does not exist)")
+                    continue
+            else:
+                resolved = md  # pure fragment: #section in the same file
+            if frag:
+                if not resolved.endswith((".md", ".markdown")):
+                    continue  # can't check anchors in non-Markdown targets
+                anchors = anchors_of(resolved)
+                if anchors is not None and frag.lower() not in anchors:
+                    errors.append(f"{md}:{lineno}: broken anchor {target!r} "
+                                  f"(no heading slugs to #{frag} in {resolved})")
+
+
+def main():
+    files = sys.argv[1:]
+    if not files:
+        files = [f for f in DEFAULT_FILES if os.path.exists(f)]
+        files += sorted(
+            os.path.join("docs", f) for f in os.listdir("docs")
+            if f.endswith(".md")
+        ) if os.path.isdir("docs") else []
+    errors = []
+    for md in files:
+        check_file(md, errors)
+    if errors:
+        for e in errors:
+            print(f"doc-links: {e}", file=sys.stderr)
+        sys.exit(1)
+    print(f"doc-links: {len(files)} file(s) ok")
+
+
+if __name__ == "__main__":
+    main()

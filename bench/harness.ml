@@ -110,6 +110,8 @@ type run_record = {
   r_unavailable : int;
   r_correct : int;
   r_total : int;
+  r_exec_touches : int;           (** executed oblivious-store slot touches *)
+  r_level_scans : int;            (** executed merged level scans / sweeps *)
 }
 
 let bench_runs : run_record list ref = ref []
@@ -173,7 +175,11 @@ let run env preset db =
       r_recovery_seconds = !recovery;
       r_unavailable = !unavailable;
       r_correct = !correct;
-      r_total = Array.length queries }
+      r_total = Array.length queries;
+      (* `Simulated servers execute no store passes; the batch
+         experiment's `Pyramid runs fill these in. *)
+      r_exec_touches = Psp_pir.Server.executed_slot_touches server;
+      r_level_scans = Psp_pir.Server.executed_level_scans server }
     :: !bench_runs;
   { time = Response_time.mean !times;
     space_bytes = DB.total_bytes db;
@@ -411,7 +417,9 @@ let run_json r =
            ("max", J.Float (if n = 0 then nan else sorted.(n - 1))) ]);
       ("retries", J.Int r.r_retries);
       ("recovery_seconds", J.Float r.r_recovery_seconds);
-      ("unavailable", J.Int r.r_unavailable) ]
+      ("unavailable", J.Int r.r_unavailable);
+      ("executed_slot_touches", J.Int r.r_exec_touches);
+      ("level_scans", J.Int r.r_level_scans) ]
 
 let write_bench env ~experiment =
   let path = Printf.sprintf "BENCH_%s.json" experiment in

@@ -82,7 +82,10 @@ let with_retry ~policy ~on_retry op =
 
 (* ------------------------------------------------------------------ *)
 (* Transports: how a walk reaches the server — one session, or one
-   batcher multiplexing N lockstep sessions. *)
+   batcher multiplexing N lockstep sessions.  The page array's length is
+   the batch width; it rides down through Batcher.fetch into the
+   oblivious store's merged pass, which serves the whole batch with one
+   level scan per level per chunk. *)
 
 type transport = {
   next_round : unit -> unit;

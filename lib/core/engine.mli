@@ -106,6 +106,10 @@ val run_batch :
 (** Walk the plan once for N same-plan queries in lockstep: each fetch
     slot becomes one merged {!Psp_pir.Batcher.fetch} pass, and a retry
     re-issues every member's identical request so members stay mutually
-    trace-identical.
+    trace-identical.  The batch width flows through the batcher into the
+    oblivious store, where the pass executes as one level scan per level
+    per chunk ({!Psp_pir.Pyramid_store.fetch_many}) — so the engine's
+    simulated amortization and the store's executed page touches agree
+    by construction.
     @raise Invalid_argument unless there is one query per batcher
     session. *)

@@ -5,7 +5,12 @@
     lockstep and their per-round page requests can be merged into one
     oblivious-store pass each ({!Server.Session.fetch_batch}) — the
     amortization that lets hardware-aided PIR serve real request
-    volumes.  The batch width is public: the LBS trivially observes how
+    volumes.  The pass is {e executed}, not just simulated: in the
+    oblivious server modes the width-k request lands in
+    {!Pyramid_store.fetch_many} / {!Oblivious_store.fetch_many}, which
+    serve all k probes with one sequential scan per level while keeping
+    every member's slot trace byte-identical to sequential execution.
+    The batch width is public: the LBS trivially observes how
     many sessions it serves, and learns nothing else beyond the one
     shared plan.
 
@@ -33,7 +38,9 @@ val next_round : t -> unit
 val fetch : t -> file:string -> pages:int array -> bytes array
 (** One merged pass: member [i] privately retrieves [pages.(i)] from
     [file].  Cost, trace and fault semantics per
-    {!Server.Session.fetch_batch}.
+    {!Server.Session.fetch_batch}; the width flows down to the store
+    layer, so each extra member costs one slot touch per hierarchy
+    level — executed and simulated alike.
     @raise Invalid_argument unless there is exactly one page per
     member. *)
 

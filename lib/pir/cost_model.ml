@@ -35,18 +35,44 @@ let pir_fetch_seconds t ~file_pages =
   let ops = Float.max 1.0 (t.pir_calibration *. (log2 n ** 2.0)) in
   ops *. page_op_seconds t
 
+(* Pyramid depth for a file: the smallest L with cache_capacity * 4^L >=
+   file_pages.  This is the one place the layout formula lives —
+   Pyramid_store.create calls it to size the hierarchy, and the
+   simulated batch cost below charges marginal probes against it, so the
+   executed and modeled per-probe touch counts coincide by
+   construction. *)
+let pyramid_levels ~cache_capacity ~file_pages =
+  if cache_capacity < 1 then invalid_arg "Cost_model.pyramid_levels: cache_capacity >= 1";
+  if file_pages < 1 then invalid_arg "Cost_model.pyramid_levels: file_pages >= 1";
+  let rec depth_for l =
+    if cache_capacity * (1 lsl (2 * l)) >= file_pages then l else depth_for (l + 1)
+  in
+  depth_for 1
+
+(* The physical basis of the batch amortization: a merged pass serves
+   each request beyond the first with exactly one extra slot touch per
+   hierarchy level, so a width-k batch executes (k-1) * levels marginal
+   page touches on top of the first member's full pass.  test_batch.ml
+   asserts the oblivious stores execute exactly this many. *)
+let batch_probe_touches ~levels ~batch =
+  if levels < 0 then invalid_arg "Cost_model.batch_probe_touches: levels >= 0";
+  if batch < 1 then invalid_arg "Cost_model.batch_probe_touches: batch >= 1";
+  (batch - 1) * levels
+
 (* Same-round requests served in one pass over the oblivious store: the
    calibrated log²N term pays for the pass itself (level scans plus the
-   amortized reshuffle), and each request beyond the first only adds one
-   probe per hierarchy level — log N further page operations, capped at
-   the full pass (a batch can always fall back to independent passes, so
-   no request may cost more than its own).  With [batch = 1] this
-   reduces exactly to {!pir_fetch_seconds}, which keeps single-query
-   costs (and every existing benchmark) unchanged. *)
-let pir_batch_fetch_seconds t ~file_pages ~batch =
+   amortized reshuffle) once, and the marginal cost is derived from the
+   merged pass's executed page-touch count ({!batch_probe_touches}):
+   each request beyond the first adds [levels] slot touches — one probe
+   per hierarchy level — capped at the full pass (a batch can always
+   fall back to independent passes, so no request may cost more than its
+   own).  With [batch = 1] this reduces exactly to
+   {!pir_fetch_seconds}, which keeps single-query costs (and every
+   existing benchmark) unchanged. *)
+let pir_batch_fetch_seconds t ~file_pages ~levels ~batch =
   let n = float_of_int (max 2 file_pages) in
   let pass = Float.max 1.0 (t.pir_calibration *. (log2 n ** 2.0)) in
-  let marginal = Float.min pass (Float.max 1.0 (log2 n)) in
+  let marginal = Float.min pass (Float.max 1.0 (float_of_int levels)) in
   let extra = float_of_int (max 0 (batch - 1)) in
   (pass +. (extra *. marginal)) *. page_op_seconds t
 

@@ -38,14 +38,36 @@ val pir_fetch_seconds : t -> file_pages:int -> float
 (** Amortized latency of one private page retrieval from a file of
     [file_pages] pages. *)
 
-val pir_batch_fetch_seconds : t -> file_pages:int -> batch:int -> float
+val pyramid_levels : cache_capacity:int -> file_pages:int -> int
+(** Depth of the hierarchical (pyramid) store over a file: the smallest
+    [L] with [cache_capacity · 4{^L} ≥ file_pages].  The single source
+    of the layout formula — {!Pyramid_store.create} sizes its hierarchy
+    with it, and {!pir_batch_fetch_seconds} charges marginal batch
+    probes against it, so the modeled per-probe touch count equals the
+    executed one by construction.
+    @raise Invalid_argument when [cache_capacity < 1] or
+    [file_pages < 1]. *)
+
+val batch_probe_touches : levels:int -> batch:int -> int
+(** [(batch - 1) · levels] — the marginal physical slot touches a merged
+    width-[batch] pass executes beyond the first member's full pass (one
+    probe per hierarchy level per extra member).  This count is the
+    basis of {!pir_batch_fetch_seconds}'s marginal term, and
+    [test_batch.ml] asserts the oblivious stores execute exactly this
+    many.
+    @raise Invalid_argument when [levels < 0] or [batch < 1]. *)
+
+val pir_batch_fetch_seconds : t -> file_pages:int -> levels:int -> batch:int -> float
 (** Total latency of [batch] same-round retrievals from one file served
-    in a single pass over the oblivious store.  The calibrated log²N
-    term pays for the pass (level scans plus amortized reshuffle) once;
-    each request beyond the first adds one probe per hierarchy level
-    (log N page operations, capped at the full-pass cost since a batch
-    can always fall back to independent passes) — the amortization that
-    makes batched serving worthwhile under Table 2's constants.
+    in a single merged pass over the oblivious store.  The calibrated
+    log²N term pays for the pass (level scans plus amortized reshuffle)
+    once; the marginal term is derived from the executed page-touch
+    count {!batch_probe_touches}: each request beyond the first adds
+    [levels] page operations — one probe per hierarchy level, as the
+    merged level scans actually execute — capped at the full-pass cost
+    (a batch can always fall back to independent passes).  [levels] is
+    the serving store's hierarchy depth ({!Pyramid_store.level_count},
+    or {!pyramid_levels} when simulating; 1 for the square-root store).
     [batch = 1] equals {!pir_fetch_seconds} exactly. *)
 
 val retry_backoff_seconds : base:float -> attempt:int -> float

@@ -25,6 +25,8 @@ type t = {
   shelter : (int, bytes) Hashtbl.t; (* sheltered logical pages *)
   mutable dummy_cursor : int; (* dummies consumed this epoch *)
   trace : physical_event Psp_util.Dyn_array.t;
+  mutable slot_touches : int; (* physical slot touches ever executed *)
+  mutable sweeps : int; (* merged sweeps ever executed *)
 }
 
 let isqrt_up n = int_of_float (ceil (sqrt (float_of_int n)))
@@ -93,7 +95,9 @@ let create ~key file =
       epoch = 0;
       shelter = Hashtbl.create 16;
       dummy_cursor = 0;
-      trace = Psp_util.Dyn_array.create () }
+      trace = Psp_util.Dyn_array.create ();
+      slot_touches = 0;
+      sweeps = 0 }
   in
   shuffle t;
   t
@@ -103,49 +107,134 @@ let slot_count t = t.n + t.dummies
 let shelter_capacity t = t.dummies
 let epoch t = t.epoch
 
+(* Where a chunk member's page comes from: its own (real) slot, the SCP
+   shelter, or an earlier member of the same chunk.  The planned
+   physical slot travels with the decision. *)
+type probe = Real of int | Sheltered of int | Member of { supplier : int; slot : int }
+
+(* Serve a width-k batch of reads as one merged sweep per epoch chunk.
+   The batch is cut at the reshuffle cadence (a reshuffle re-keys and
+   re-permutes every slot, so probes across it cannot share a sweep);
+   within a chunk the plan decides each member's physical slot in member
+   order — a repeat of a sheltered (or same-chunk) page consumes the
+   next unused dummy, a fresh page maps through the epoch permutation,
+   exactly as k sequential reads would — and the execution touches the
+   planned slots in one sequential sweep under a single key schedule.
+   Per-member slot touches are therefore byte-identical to the
+   sequential execution's.
+
+   The array itself is not marked secret — its length (the batch width)
+   is public, and the loop structure below depends only on it and on the
+   access count; the page indices inside are marked [@secret] where they
+   are read out, exactly as Server.Session.fetch_batch treats its
+   request array. *)
+let fetch_many t ids =
+  let k = Array.length ids in
+  (* constant delta before any secret-dependent work: one slot per member *)
+  Obs.add m_slot_reads k;
+  (Array.iter
+     (fun (i [@secret]) ->
+       if i < 0 || i >= t.n then invalid_arg "Oblivious_store.fetch_many: page out of range")
+     ids)
+  [@leak_ok
+    "bounds check fails closed with a constant message before any slot is touched; \
+     the trip count is the public batch width"];
+  let results = Array.make k Bytes.empty in
+  let rec serve base =
+    if base >= k then ()
+    else begin
+    (* epoch room: each read advances shelter + consumed dummies by one,
+       so the chunk boundary is a public function of the access count *)
+    let chunk = min (k - base) (t.dummies - (Hashtbl.length t.shelter + t.dummy_cursor)) in
+    let plan =
+      (Array.make chunk (Real 0))
+      [@leak_ok
+        "the chunk length is a public function of the access count and the batch \
+         width (the reshuffle cadence), never of which pages were accessed"]
+    in
+    let pending =
+      (Hashtbl.create (2 * chunk))
+      [@leak_ok "sized by the public chunk length, as above"]
+    in
+    (for m = 0 to chunk - 1 do
+       let (i [@secret]) = ids.(base + m) in
+       let dummy () =
+         let slot = Psp_crypto.Feistel.forward t.perm (t.n + t.dummy_cursor) in
+         t.dummy_cursor <- t.dummy_cursor + 1;
+         slot
+       in
+       match Hashtbl.find_opt pending i with
+       | Some supplier -> plan.(m) <- Member { supplier; slot = dummy () }
+       | None ->
+           if Hashtbl.mem t.shelter i then plan.(m) <- Sheltered (dummy ())
+           else begin
+             plan.(m) <- Real (Psp_crypto.Feistel.forward t.perm i);
+             Hashtbl.replace pending i m
+           end
+     done)
+    [@leak_ok
+      "every member is planned exactly one freshly permuted physical slot: a \
+       sheltered or repeated page consumes the next unused dummy, a fresh page maps \
+       through the epoch permutation — the host cannot tell the cases apart"];
+    (* one sequential sweep over the planned slots, in member order,
+       under one derived key; every probe (dummy included) is fetched
+       and authenticated, as in the sequential path *)
+    let enc_key = Psp_crypto.Hmac.derive ~key:(epoch_key t) ~label:"enc" in
+    t.sweeps <- t.sweeps + 1;
+    (for m = 0 to chunk - 1 do
+       let slot =
+         match plan.(m) with Real s | Sheltered s | Member { slot = s; _ } -> s
+       in
+       t.slot_touches <- t.slot_touches + 1;
+       Psp_util.Dyn_array.push t.trace (Slot { epoch = t.epoch; slot });
+       let page = decrypt_slot ~key:enc_key ~slot t.slots.(slot) in
+       match plan.(m) with Real _ -> results.(base + m) <- page | _ -> ()
+     done)
+    [@leak_ok
+      "the sweep touches and authenticates one slot per member regardless of the \
+       plan arm; only the client-side retention of the decrypted page differs"];
+    (* retire the chunk in member order: shelter the fresh pages, route
+       repeats from the shelter or their same-chunk supplier *)
+    (for m = 0 to chunk - 1 do
+       let (i [@secret]) = ids.(base + m) in
+       match plan.(m) with
+       | Real _ -> Hashtbl.replace t.shelter i results.(base + m)
+       | Sheltered _ -> results.(base + m) <- Hashtbl.find t.shelter i
+       | Member { supplier; _ } -> results.(base + m) <- results.(base + supplier)
+     done)
+    [@leak_ok
+      "payload routing between client-side copies after the host already observed \
+       one slot touch per member"];
+    (* sheltered + consumed dummies = accesses this epoch; reshuffling at
+       a fixed access count keeps the epoch cadence pattern-independent *)
+    (if Hashtbl.length t.shelter + t.dummy_cursor >= t.dummies then begin
+       t.epoch <- t.epoch + 1;
+       Psp_util.Dyn_array.push t.trace (Reshuffle { epoch = t.epoch });
+       shuffle t
+     end)
+    [@leak_ok
+      "shelter size + consumed dummies advances by one per read, so the reshuffle \
+       cadence is a public function of the access count alone"];
+    serve (base + chunk)
+    end
+  in
+  serve 0;
+  results
+  [@@oblivious]
+
 let read t (i [@secret]) =
-  (* constant delta before any secret-dependent work: one read = one slot *)
-  Obs.incr m_slot_reads;
   (if i < 0 || i >= t.n then invalid_arg "Oblivious_store.read: page out of range")
   [@leak_ok "bounds check fails closed with a constant message before any slot is touched"];
-  let enc_key = Psp_crypto.Hmac.derive ~key:(epoch_key t) ~label:"enc" in
-  let fetch_slot slot =
-    Psp_util.Dyn_array.push t.trace (Slot { epoch = t.epoch; slot });
-    decrypt_slot ~key:enc_key ~slot t.slots.(slot)
-  in
-  let result =
-    (match Hashtbl.find_opt t.shelter i with
-    | Some cached ->
-        (* already sheltered: touch the next unused dummy instead, so the
-           host cannot tell a repeat from a fresh read *)
-        let slot = Psp_crypto.Feistel.forward t.perm (t.n + t.dummy_cursor) in
-        t.dummy_cursor <- t.dummy_cursor + 1;
-        ignore (fetch_slot slot);
-        cached
-    | None ->
-        let slot = Psp_crypto.Feistel.forward t.perm i in
-        let page = fetch_slot slot in
-        Hashtbl.replace t.shelter i page;
-        page)
-    [@leak_ok
-      "both arms touch exactly one freshly permuted physical slot: a sheltered hit \
-       consumes the next unused dummy, a miss fetches the target"]
-  in
-  (* sheltered + consumed dummies = accesses this epoch; reshuffling at a
-     fixed access count keeps the epoch cadence pattern-independent *)
-  (if Hashtbl.length t.shelter + t.dummy_cursor >= t.dummies then begin
-     t.epoch <- t.epoch + 1;
-     Psp_util.Dyn_array.push t.trace (Reshuffle { epoch = t.epoch });
-     shuffle t
-   end)
+  ((fetch_many t [| i |]).(0))
   [@leak_ok
-    "shelter size + consumed dummies advances by one per read, so the reshuffle \
-     cadence is a public function of the access count alone"];
-  result
+    "a width-1 merged pass: fetch_many's loop structure depends only on the public \
+     batch width (here 1) and the access count, never on the page index"]
   [@@oblivious]
 
 let physical_trace t = Psp_util.Dyn_array.to_list t.trace
 let clear_trace t = Psp_util.Dyn_array.clear t.trace
+let slot_touches t = t.slot_touches
+let sweeps t = t.sweeps
 
 let corrupt_slot t ~slot =
   if slot < 0 || slot >= Array.length t.slots then

@@ -46,8 +46,35 @@ val slot_count : t -> int
 val shelter_capacity : t -> int
 
 val read : t -> int -> bytes
-(** Logical page content (the page-file payload padded to page size).
+(** Logical page content (the page-file payload padded to page size) —
+    a width-1 {!fetch_many}.
     @raise Invalid_argument on an out-of-range page. *)
+
+val fetch_many : t -> int array -> bytes array
+(** Serve a width-k batch of logical page reads as merged sweeps: per
+    reshuffle-cadence chunk, one sequential pass over the epoch's slots
+    under a single derived key schedule touches every member's slot
+    (each probe MAC-verified, dummies included, as in the sequential
+    path).  Dummy slots are consumed per member in member order, so each
+    member's slot-touch subsequence of {!physical_trace} — here the
+    whole chunk's trace, since slots are already visited in member
+    order — is byte-identical to the k sequential {!read}s'.  Duplicate
+    pages within a batch are served obliviously (the repeat draws a
+    dummy, like a shelter hit).
+    @raise Invalid_argument on an out-of-range page. *)
+
+val slot_touches : t -> int
+(** Physical slot touches executed since creation (the number of [Slot]
+    events ever recorded, surviving {!clear_trace}) — what
+    [test_batch.ml] and the batch benchmark compare against the cost
+    model's page-touch basis. *)
+
+val sweeps : t -> int
+(** Merged sweeps executed since creation: sequential passes over one
+    epoch's slots, each serving a whole chunk's probes under one key
+    schedule.  The square-root store is a single-level hierarchy, so a
+    width-k batch runs one sweep per reshuffle-cadence chunk instead of
+    k. *)
 
 val epoch : t -> int
 (** Number of reshuffles performed so far. *)

@@ -14,6 +14,13 @@ let m_slot_reads = Obs.counter "oram.pyramid.slot_reads"
 let m_rebuilds = Obs.counter "oram.pyramid.rebuilds"
 let m_flushes = Obs.counter "oram.pyramid.flushes"
 
+(* A merged level scan is one sequential sweep over a level's epoch that
+   serves every probe of a batch chunk at once.  Its count is a public
+   function of the access count and the (public) batch width, so it is
+   safe to export — it is the executed-side evidence of the batch
+   amortization the cost model charges. *)
+let m_level_scans = Obs.counter "oram.pyramid.level_scans"
+
 (* Level j holds at most [cap] items in [cap + dummies] encrypted slots
    scattered by a per-epoch Feistel permutation; a keyed Bloom filter
    answers membership inside the SCP. *)
@@ -40,6 +47,8 @@ type t = {
   mutable queries : int;
   mutable flushes : int;
   mutable fp : int;
+  mutable slot_touches : int; (* physical slots touched (trace Slot events) *)
+  mutable scans : int; (* merged level scans executed (sweeps per level per chunk) *)
   trace : physical_event Psp_util.Dyn_array.t;
 }
 
@@ -99,14 +108,17 @@ let rebuild t level contents =
   Psp_util.Dyn_array.push t.trace (Rebuild { level = level.depth; items = domain })
   [@@oblivious]
 
-let create ?(cache_capacity = 4) ~key file =
+let default_cache_capacity = 4
+
+let create ?(cache_capacity = default_cache_capacity) ~key file =
   let n = Psp_storage.Page_file.page_count file in
   if n = 0 then invalid_arg "Pyramid_store.create: empty file";
   if cache_capacity < 1 then invalid_arg "Pyramid_store.create: cache_capacity >= 1";
   let c = cache_capacity in
-  (* deepest level must hold all n pages: cap_L = c * 4^L >= n *)
-  let rec depth_for l = if c * (1 lsl (2 * l)) >= n then l else depth_for (l + 1) in
-  let deepest = depth_for 1 in
+  (* deepest level must hold all n pages: cap_L = c * 4^L >= n.  The
+     formula lives in Cost_model so the simulated batch cost and this
+     layout can never drift apart. *)
+  let deepest = Cost_model.pyramid_levels ~cache_capacity:c ~file_pages:n in
   let make_level depth =
     (* the deepest level must absorb the initial n pages on top of the
        usual merge traffic *)
@@ -139,6 +151,8 @@ let create ?(cache_capacity = 4) ~key file =
       queries = 0;
       flushes = 0;
       fp = 0;
+      slot_touches = 0;
+      scans = 0;
       trace = Psp_util.Dyn_array.create () }
   in
   (* initial load: everything lives in the deepest level *)
@@ -155,20 +169,15 @@ let page_count t = t.n
 let level_count t = Array.length t.levels
 let cache_capacity t = t.cache_capacity
 
-let touch_dummy t level =
-  let slot = Psp_crypto.Feistel.forward level.perm (level.cap + level.dummy_cursor) in
+(* Reserve the level's next unused dummy slot (the planning half of the
+   old touch_dummy; the physical touch happens in the merged sweep). *)
+let plan_dummy level =
   if level.dummy_cursor >= level.dummies then
     invalid_arg
       (Printf.sprintf "Pyramid_store: level %d dummy budget exhausted" level.depth);
+  let slot = Psp_crypto.Feistel.forward level.perm (level.cap + level.dummy_cursor) in
   level.dummy_cursor <- level.dummy_cursor + 1;
-  Psp_util.Dyn_array.push t.trace (Slot { level = level.depth; epoch = level.epoch; slot })
-  [@@oblivious]
-
-let touch_real t level (id [@secret]) =
-  let slot = Hashtbl.find level.assign id in
-  Psp_util.Dyn_array.push t.trace (Slot { level = level.depth; epoch = level.epoch; slot });
-  let enc_key = Psp_crypto.Hmac.derive ~key:(level_key t level) ~label:"enc" in
-  Psp_crypto.Chacha20.decrypt ~key:enc_key ~nonce:(slot_nonce slot) level.slots.(slot)
+  slot
   [@@oblivious]
 
 (* base-4 merge counter: flush f lands in level 1 + (times 4 divides f) *)
@@ -197,47 +206,183 @@ let flush t =
   t.cache <- []
   [@@oblivious]
 
-let read t (id [@secret]) =
-  (* constant per-read delta fixed by the public layout: one slot per level *)
-  (Obs.add m_slot_reads (Array.length t.levels))
+(* Where a chunk member's page comes from, decided in the planning walk:
+   the SCP cache, an earlier member of the same chunk (which reads it on
+   the member's behalf), or a level of the pyramid. *)
+type source = From_cache | From_member of int | From_level
+
+(* Serve a width-k batch with one merged sweep per level.  The batch is
+   cut into chunks at the flush cadence (a flush re-keys every level, so
+   probes across it cannot share an epoch's scan); within a chunk the
+   walk is split into a planning half — decide, per member in order,
+   which slot each level touch lands on, consuming dummy cursors exactly
+   as k sequential reads would — and an execution half that performs one
+   sequential sweep per level over the planned slots, in member order.
+   Hence each member's slot touches are byte-identical to the sequential
+   execution's, while the host serves k probes of a level with a single
+   scan of its epoch (one Bloom consultation round, one key schedule). *)
+(* The array itself is not marked secret — its length (the batch width)
+   is public, and the loop structure below depends only on it and on the
+   access count; the page indices inside are marked [@secret] where they
+   are read out, exactly as Server.Session.fetch_batch treats its
+   request array. *)
+let fetch_many t ids =
+  let k = Array.length ids in
+  let nlevels = Array.length t.levels in
+  (* constant per-read delta fixed by the public layout: one slot per
+     level per member *)
+  (Obs.add m_slot_reads (k * nlevels))
   [@leak_ok
     "the level count is the store's public layout (a function of n and the cache \
-     capacity), not of which pages were accessed"];
-  (if id < 0 || id >= t.n then invalid_arg "Pyramid_store.read: page out of range")
-  [@leak_ok "bounds check fails closed with a constant message before any slot is touched"];
-  let found = ref (List.assoc_opt id t.cache) in
+     capacity) and the batch width is public, not a function of which pages were \
+     accessed"];
   (Array.iter
-     (fun level ->
-       match !found with
-       | Some _ -> touch_dummy t level
-       | None ->
-           if Psp_crypto.Bloom.mem level.bloom id then
-             if Hashtbl.mem level.assign id then found := Some (touch_real t level id)
+     (fun (id [@secret]) ->
+       if id < 0 || id >= t.n then invalid_arg "Pyramid_store.fetch_many: page out of range")
+     ids)
+  [@leak_ok
+    "bounds check fails closed with a constant message before any slot is touched; \
+     the trip count is the public batch width"];
+  let results = Array.make k Bytes.empty in
+  let rec serve base =
+    if base >= k then ()
+    else begin
+    (* the chunk ends at the next flush boundary: queries is public, so
+       the chunk lengths are a function of the access count and width *)
+    let chunk = min (k - base) (t.cache_capacity - (t.queries mod t.cache_capacity)) in
+    (* -- plan: one decision walk per member, in member order.
+       plans.(m).(l) is the slot member m touches at level l; real.(m)
+       is the level holding m's page (-1 when cached or supplied by an
+       earlier member), and sources.(m) routes the payload. *)
+    let plans =
+      (Array.make_matrix chunk nlevels 0)
+      [@leak_ok
+        "the chunk length is a public function of the access count and the batch \
+         width (the flush cadence), never of which pages were accessed"]
+    in
+    let real =
+      (Array.make chunk (-1))
+      [@leak_ok "sized by the public chunk length, as above"]
+    in
+    let sources =
+      (Array.make chunk From_level)
+      [@leak_ok "sized by the public chunk length, as above"]
+    in
+    let pending =
+      (Hashtbl.create (2 * chunk))
+      [@leak_ok "sized by the public chunk length, as above"]
+    in
+    (for m = 0 to chunk - 1 do
+      let (id [@secret]) = ids.(base + m) in
+      let found = ref false in
+      (match Hashtbl.find_opt pending id with
+      | Some m' ->
+          sources.(m) <- From_member m';
+          found := true
+      | None ->
+          if List.mem_assoc id t.cache then begin
+            sources.(m) <- From_cache;
+            found := true
+          end
+          else Hashtbl.replace pending id m)
+      [@leak_ok
+        "both the pending table and the SCP cache are client-side state; the chosen \
+         source only routes the decrypted payload and never changes how many slots \
+         the walk below reserves"];
+      (Array.iteri
+         (fun l level ->
+           if !found then plans.(m).(l) <- plan_dummy level
+           else if Psp_crypto.Bloom.mem level.bloom id then
+             if Hashtbl.mem level.assign id then begin
+               found := true;
+               real.(m) <- l;
+               plans.(m).(l) <- Hashtbl.find level.assign id
+             end
              else begin
                (* Bloom false positive: covered by a dummy touch *)
                t.fp <- t.fp + 1;
-               touch_dummy t level
+               plans.(m).(l) <- plan_dummy level
              end
-           else touch_dummy t level)
-     t.levels)
-  [@leak_ok
-    "every level is touched exactly once per read — the real slot on the first hit, a \
-     fresh dummy otherwise — so the per-level slot sequence is independent of the page"];
-  let page =
-    (match !found with
-    | Some page -> page
-    | None -> failwith "Pyramid_store: page lost (invariant violation)")
-    [@leak_ok "a lost page is an invariant violation; fails closed with a constant message"]
+           else plans.(m).(l) <- plan_dummy level)
+         t.levels)
+      [@leak_ok
+        "every level reserves exactly one slot per member — the real slot on the \
+         first hit, a fresh dummy otherwise — so the per-level slot sequence is \
+         independent of the page"];
+      (if not !found then failwith "Pyramid_store: page lost (invariant violation)")
+      [@leak_ok "a lost page is an invariant violation; fails closed with a constant message"]
+    done)
+    [@leak_ok
+      "one planning decision per chunk member: the trip count is the public chunk \
+       length, and every decision reserves exactly one slot per level either way"];
+    (* -- execute: one merged sweep per level over the planned slots, in
+       member order, so the per-member event subsequence equals the
+       sequential trace while the level is scanned once per chunk *)
+    (Array.iteri
+       (fun l level ->
+         t.scans <- t.scans + 1;
+         Obs.incr m_level_scans;
+         let enc_key =
+           lazy (Psp_crypto.Hmac.derive ~key:(level_key t level) ~label:"enc")
+         in
+         for m = 0 to chunk - 1 do
+           let slot = plans.(m).(l) in
+           t.slot_touches <- t.slot_touches + 1;
+           Psp_util.Dyn_array.push t.trace
+             (Slot { level = level.depth; epoch = level.epoch; slot });
+           (if real.(m) = l then
+              results.(base + m) <-
+                Psp_crypto.Chacha20.decrypt ~key:(Lazy.force enc_key)
+                  ~nonce:(slot_nonce slot) level.slots.(slot))
+           [@leak_ok
+             "the slot touch the host observes happens either way; only the \
+              client-side decryption of the already-planned slot is skipped for \
+              dummies, exactly as in the sequential walk"]
+         done)
+       t.levels)
+    [@leak_ok
+      "the sweep runs once per level per chunk — level count and chunk length are \
+       both public — and touches the chunk's pre-planned slot in each step; the \
+       scan counter it reports is likewise a function of those public quantities"];
+    (* -- retire the chunk in member order, reproducing the sequential
+       cache growth and flush cadence *)
+    (for m = 0 to chunk - 1 do
+       let (id [@secret]) = ids.(base + m) in
+       (match sources.(m) with
+       | From_level -> ()
+       | From_cache -> results.(base + m) <- List.assoc id t.cache
+       | From_member m' -> results.(base + m) <- results.(base + m'))
+       [@leak_ok
+         "payload routing between client-side copies; the host saw one slot per \
+          level for this member regardless of the source"];
+       t.cache <- (id, results.(base + m)) :: t.cache;
+       t.queries <- t.queries + 1;
+       (if t.queries mod t.cache_capacity = 0 then flush t)
+       [@leak_ok
+         "the query counter advances by one per read, so the flush-and-rebuild cadence \
+          is a public function of the access count alone"]
+     done)
+    [@leak_ok
+      "payload retirement in member order: the trip count is the public chunk \
+       length and the host-visible flush cadence depends on the access count alone"];
+    serve (base + chunk)
+    end
   in
-  t.cache <- (id, page) :: t.cache;
-  t.queries <- t.queries + 1;
-  (if t.queries mod t.cache_capacity = 0 then flush t)
+  serve 0;
+  results
+  [@@oblivious]
+
+let read t (id [@secret]) =
+  (if id < 0 || id >= t.n then invalid_arg "Pyramid_store.read: page out of range")
+  [@leak_ok "bounds check fails closed with a constant message before any slot is touched"];
+  ((fetch_many t [| id |]).(0))
   [@leak_ok
-    "the query counter advances by one per read, so the flush-and-rebuild cadence is a \
-     public function of the access count alone"];
-  page
+    "a width-1 merged pass: fetch_many's loop structure depends only on the public \
+     batch width (here 1) and the access count, never on the page index"]
   [@@oblivious]
 
 let physical_trace t = Psp_util.Dyn_array.to_list t.trace
 let clear_trace t = Psp_util.Dyn_array.clear t.trace
 let bloom_false_positives t = t.fp
+let slot_touches t = t.slot_touches
+let level_scans t = t.scans

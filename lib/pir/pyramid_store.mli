@@ -35,8 +35,15 @@ type physical_event =
   | Rebuild of { level : int; items : int }
       (** levels 0..level-1 merged into [level] *)
 
+val default_cache_capacity : int
+(** The [cache_capacity] {!create} uses when none is given (4) — also
+    the capacity {!Cost_model.pyramid_levels} is consulted with when the
+    server simulates a pyramid it does not instantiate. *)
+
 val create : ?cache_capacity:int -> key:bytes -> Psp_storage.Page_file.t -> t
-(** Snapshot the file's pages.  [cache_capacity] defaults to 4.
+(** Snapshot the file's pages.  [cache_capacity] defaults to
+    {!default_cache_capacity}; the pyramid depth is
+    {!Cost_model.pyramid_levels}[ ~cache_capacity ~file_pages].
     @raise Invalid_argument on an empty file. *)
 
 val page_count : t -> int
@@ -49,8 +56,35 @@ val cache_capacity : t -> int
 (** SCP cache slots; also the flush (and level-1 rebuild) cadence. *)
 
 val read : t -> int -> bytes
-(** Logical page content.
+(** Logical page content — a width-1 {!fetch_many}.
     @raise Invalid_argument on an out-of-range page. *)
+
+val fetch_many : t -> int array -> bytes array
+(** Serve a width-k batch of logical page reads as merged level scans:
+    per flush-cadence chunk, one sequential sweep over each level's
+    epoch touches every member's slot (one Bloom consultation round and
+    one key schedule per level instead of k).  Dummy slots are drawn
+    per member in member order, so each member's slot-touch subsequence
+    of {!physical_trace} is byte-identical to the k sequential {!read}s'
+    — the host additionally learns only the batch width, which it
+    observes anyway.  Each extra member beyond the first adds exactly
+    {!level_count} slot touches, the
+    {!Cost_model.batch_probe_touches} basis of the batched cost model.
+    Duplicate pages within a batch are served obliviously (the repeat
+    draws dummies, like a cache hit).
+    @raise Invalid_argument on an out-of-range page. *)
+
+val slot_touches : t -> int
+(** Physical slot touches executed since creation (the number of [Slot]
+    events ever recorded, surviving {!clear_trace}) — what
+    [test_batch.ml] and the batch benchmark compare against the cost
+    model's page-touch basis. *)
+
+val level_scans : t -> int
+(** Merged level scans executed since creation: sequential sweeps over
+    one level's epoch, each serving a whole chunk's probes.  A width-k
+    batch runs [level_count] scans per flush-cadence chunk instead of
+    [k · level_count] — the executed-side amortization. *)
 
 val physical_trace : t -> physical_event list
 (** Host-visible events since creation (or the last {!clear_trace}),

@@ -67,6 +67,45 @@ let database_bytes t =
     (fun acc name -> acc + Psp_storage.Page_file.size_bytes (file t name))
     0 t.order
 
+(* Executed-side accounting, summed over the instantiated oblivious
+   stores (zero in `Simulated mode, where no store exists).  Both totals
+   are public functions of the access count and the batch widths — what
+   the batch benchmark and test_batch.ml compare against the cost
+   model's page-touch basis. *)
+let executed_slot_touches t =
+  Hashtbl.fold
+    (fun _ store acc ->
+      acc
+      + (match store with
+        | Sqrt s -> Oblivious_store.slot_touches s
+        | Pyramid s -> Pyramid_store.slot_touches s))
+    t.stores 0
+
+let executed_level_scans t =
+  Hashtbl.fold
+    (fun _ store acc ->
+      acc
+      + (match store with
+        | Sqrt s -> Oblivious_store.sweeps s
+        | Pyramid s -> Pyramid_store.level_scans s))
+    t.stores 0
+
+(* The hierarchy depth a batched pass probes per marginal member: the
+   serving store's actual depth, or — in `Simulated mode, where no store
+   is instantiated — the depth the default pyramid layout would have
+   over this file.  Keeping both sides on Cost_model.pyramid_levels
+   makes the simulated marginal cost equal the executed touch count by
+   construction. *)
+let probe_levels t ~file:name ~pages =
+  match t.mode with
+  | `Simulated ->
+      Cost_model.pyramid_levels
+        ~cache_capacity:Pyramid_store.default_cache_capacity ~file_pages:pages
+  | `Oblivious | `Pyramid -> (
+      match Hashtbl.find t.stores name with
+      | Sqrt _ -> 1
+      | Pyramid store -> Pyramid_store.level_count store)
+
 module Session = struct
   type server = t
 
@@ -250,8 +289,10 @@ module Session = struct
      *before* the shared failpoint is consulted, so a batch-granular
      fault (and its retry) adds the same extra events to every member —
      batched sessions stay mutually trace-identical under any fault
-     schedule.  The amortized pass cost is split evenly: each member is
-     charged pir_batch_fetch_seconds / batch. *)
+     schedule.  In the oblivious modes the k probes are executed as one
+     merged level scan per level (fetch_many); the simulated pass cost
+     charges the same marginal page-touch count and is split evenly:
+     each member is charged pir_batch_fetch_seconds / batch. *)
   let fetch_batch ~file:name (requests : (t * int) array) =
     match Array.length requests with
     | 0 -> [||]
@@ -266,8 +307,10 @@ module Session = struct
               requests;
             let f = file server name in
             let pages = Psp_storage.Page_file.page_count f in
+            let levels = if pages = 0 then 1 else probe_levels server ~file:name ~pages in
             let share =
-              Cost_model.pir_batch_fetch_seconds server.cost ~file_pages:pages ~batch:k
+              Cost_model.pir_batch_fetch_seconds server.cost ~file_pages:pages ~levels
+                ~batch:k
               /. float_of_int k
             in
             Array.iter
@@ -317,16 +360,28 @@ module Session = struct
                 "the timeout threshold and the accumulated spike delay are deterministic \
                  cost-model quantities, independent of query content"]
             end;
-            Array.map
-              (fun (_, (page [@secret])) ->
-                let bytes =
-                  match server.mode with
-                  | `Simulated -> Psp_storage.Page_file.read f page
-                  | `Oblivious | `Pyramid -> (
-                      match Hashtbl.find server.stores name with
-                      | Sqrt store -> Oblivious_store.read store page
-                      | Pyramid store -> Pyramid_store.read store page)
-                in
+            (* the store pass: one merged fetch serves every member's
+               probe (level-major scans in the pyramid, one sweep in the
+               square-root store) instead of k independent walks *)
+            let contents =
+              (match server.mode with
+              | `Simulated ->
+                  Array.map
+                    (fun (_, (page [@secret])) -> Psp_storage.Page_file.read f page)
+                    requests
+              | `Oblivious | `Pyramid -> (
+                  let ids = Array.map (fun (_, (page [@secret])) -> page) requests in
+                  match Hashtbl.find server.stores name with
+                  | Sqrt store -> Oblivious_store.fetch_many store ids
+                  | Pyramid store -> Pyramid_store.fetch_many store ids))
+              [@leak_ok
+                "the merged pass's loop structure depends only on the public batch \
+                 width and the access count; the secret page indices only select \
+                 which pre-planned slots carry real payloads (see fetch_many)"]
+            in
+            Array.mapi
+              (fun m (_, (page [@secret])) ->
+                let bytes = contents.(m) in
                 let bytes =
                   (if Psp_fault.Fault.fires "pir.fetch.corrupt" then begin
                      let b = Bytes.copy bytes in

@@ -75,6 +75,20 @@ val file_names : t -> string list
 val database_bytes : t -> int
 (** Total size across all files. *)
 
+val executed_slot_touches : t -> int
+(** Physical slot touches the server's oblivious stores have executed
+    since creation, summed over files (0 in [`Simulated] mode, which
+    instantiates no store).  A width-k {!Session.fetch_batch} adds
+    exactly {!Cost_model.batch_probe_touches} touches beyond the first
+    member's pass — the identity the batch benchmark and
+    [test_batch.ml] assert. *)
+
+val executed_level_scans : t -> int
+(** Merged level scans (pyramid) or epoch sweeps (square-root) the
+    server's oblivious stores have executed since creation, summed over
+    files (0 in [`Simulated] mode).  The executed-side amortization: a
+    width-k batch runs one scan per level per chunk instead of k. *)
+
 module Session : sig
   type server := t
   type t
@@ -126,9 +140,13 @@ module Session : sig
       The pass cost {!Cost_model.pir_batch_fetch_seconds} is split
       evenly across members; with one request the cost, trace and fault
       behaviour equal {!fetch} exactly.  In [`Oblivious]/[`Pyramid]
-      modes each member's page still goes through a real store access —
-      the amortization lives in the simulated cost model, as the rest of
-      Table 2 does.
+      modes the k probes are {e executed} as one merged pass
+      ({!Pyramid_store.fetch_many} / {!Oblivious_store.fetch_many}):
+      one sequential scan per level serves every member, per-member
+      slot traces stay byte-identical to sequential execution, and the
+      marginal page-touch count equals the simulated cost model's
+      {!Cost_model.batch_probe_touches} basis by construction (both
+      sides derive the depth from {!Cost_model.pyramid_levels}).
 
       Replica faults are batch-granular: [pir.replica.down] and
       [pir.replica.latency] are consulted once per merged pass and their

@@ -291,6 +291,207 @@ let test_batch_seed_sweep () =
   done
 
 (* ------------------------------------------------------------------ *)
+(* The executed merged pass: width-k fetch_many must leave per-member
+   slot traces byte-identical to k sequential reads, and its executed
+   page-touch count must equal the cost model's batched basis. *)
+
+module OS = Psp_pir.Oblivious_store
+module PS = Psp_pir.Pyramid_store
+module CM = Psp_pir.Cost_model
+
+let make_file ?(name = "data") ~pages ~page_size () =
+  let f = PF.create ~name ~page_size in
+  for i = 0 to pages - 1 do
+    ignore (PF.append f (Bytes.of_string (Printf.sprintf "page-%06d" i)))
+  done;
+  f
+
+(* Capture, on a twin store, each member's own sequential event list
+   (clearing the trace between reads), together with its payload. *)
+let sequential_members ~read ~clear ~trace store ids =
+  Array.map
+    (fun id ->
+      clear store;
+      let page = read store id in
+      (page, trace store))
+    ids
+
+(* Pyramid: the merged trace must be, per flush-cadence chunk, the
+   level-major reorder of the members' sequential traces — each level
+   scan touches the chunk's planned slots in member order — with the
+   flush's rebuild events (recorded by the chunk's last member
+   sequentially) following the chunk, as they do sequentially. *)
+let test_pyramid_fetch_many_trace () =
+  let pages = 60 and page_size = 32 in
+  (* duplicates (in and across chunks) exercise the pending/cache routing *)
+  let ids = [| 3; 41; 3; 17; 59; 0; 41; 8; 3 |] in
+  let mk () = PS.create ~key (make_file ~pages ~page_size ()) in
+  let seq = mk () and mrg = mk () in
+  let members =
+    sequential_members ~read:PS.read ~clear:PS.clear_trace ~trace:PS.physical_trace
+      seq ids
+  in
+  PS.clear_trace mrg;
+  let got = PS.fetch_many mrg ids in
+  Array.iteri
+    (fun m (page, _) ->
+      Alcotest.(check string)
+        (Printf.sprintf "member %d payload equals sequential" m)
+        (Bytes.to_string page)
+        (Bytes.to_string got.(m)))
+    members;
+  let cap = PS.cache_capacity mrg and nlevels = PS.level_count mrg in
+  let k = Array.length ids in
+  let expected = ref [] in
+  let base = ref 0 in
+  while !base < k do
+    let chunk = min (k - !base) cap in
+    for l = 0 to nlevels - 1 do
+      for m = !base to !base + chunk - 1 do
+        let _, tr = members.(m) in
+        expected := List.nth tr l :: !expected
+      done
+    done;
+    for m = !base to !base + chunk - 1 do
+      let _, tr = members.(m) in
+      List.iteri (fun i e -> if i >= nlevels then expected := e :: !expected) tr
+    done;
+    base := !base + chunk
+  done;
+  Alcotest.(check bool)
+    "merged trace = level-major reorder of the sequential member traces" true
+    (PS.physical_trace mrg = List.rev !expected)
+
+(* Square-root: the merged sweep visits slots in member order, so the
+   merged trace equals the plain concatenation of the members'
+   sequential traces (reshuffles included, at the same positions). *)
+let test_sqrt_fetch_many_trace () =
+  let pages = 25 in
+  let ids = [| 5; 19; 5; 0; 24; 19; 7; 3; 3; 11 |] in
+  let mk () = OS.create ~key (make_file ~pages ~page_size:32 ()) in
+  let seq = mk () and mrg = mk () in
+  let members =
+    sequential_members ~read:OS.read ~clear:OS.clear_trace ~trace:OS.physical_trace
+      seq ids
+  in
+  OS.clear_trace mrg;
+  let got = OS.fetch_many mrg ids in
+  Array.iteri
+    (fun m (page, _) ->
+      Alcotest.(check string)
+        (Printf.sprintf "member %d payload equals sequential" m)
+        (Bytes.to_string page)
+        (Bytes.to_string got.(m)))
+    members;
+  let expected = List.concat_map snd (Array.to_list members) in
+  Alcotest.(check bool)
+    "merged trace = concatenation of the sequential member traces" true
+    (OS.physical_trace mrg = expected)
+
+(* The executed page-touch count is the cost model's basis, width by
+   width: a width-k pass touches one slot per level per member — the
+   first member's pass plus batch_probe_touches marginal ones — and
+   scans each level once per flush-cadence chunk. *)
+let test_executed_touches_match_basis () =
+  let pages = 60 in
+  List.iter
+    (fun batch ->
+      let s = PS.create ~key (make_file ~pages ~page_size:32 ()) in
+      let levels = PS.level_count s in
+      Alcotest.(check int) "store depth = Cost_model.pyramid_levels"
+        (CM.pyramid_levels ~cache_capacity:PS.default_cache_capacity ~file_pages:pages)
+        levels;
+      let touches0 = PS.slot_touches s and scans0 = PS.level_scans s in
+      let ids = Array.init batch (fun i -> (i * 7) mod pages) in
+      ignore (PS.fetch_many s ids);
+      Alcotest.(check int)
+        (Printf.sprintf "width %d: executed touches = levels + marginal basis" batch)
+        (levels + CM.batch_probe_touches ~levels ~batch)
+        (PS.slot_touches s - touches0);
+      let cap = PS.cache_capacity s in
+      Alcotest.(check int)
+        (Printf.sprintf "width %d: one scan per level per chunk" batch)
+        (levels * ((batch + cap - 1) / cap))
+        (PS.level_scans s - scans0))
+    [ 1; 4; 16 ]
+
+(* Through the server: a `Pyramid batch executes levels·width touches,
+   and the simulated charge the members share is exactly the batched
+   pass cost derived from the same levels — executed and simulated
+   agree by construction. *)
+let test_server_executed_vs_simulated () =
+  let pages = 60 in
+  List.iter
+    (fun width ->
+      let f = make_file ~name:"file" ~pages ~page_size:32 () in
+      let server = Server.create ~mode:`Pyramid ~cost ~key [ f ] in
+      let levels =
+        CM.pyramid_levels ~cache_capacity:PS.default_cache_capacity ~file_pages:pages
+      in
+      let b = Batcher.start server ~width in
+      let touches0 = Server.executed_slot_touches server in
+      let scans0 = Server.executed_level_scans server in
+      ignore
+        (Batcher.fetch b ~file:"file" ~pages:(Array.init width (fun i -> (3 * i) mod pages)));
+      Alcotest.(check int)
+        (Printf.sprintf "width %d: executed touches = levels * width" width)
+        (levels * width)
+        (Server.executed_slot_touches server - touches0);
+      Alcotest.(check bool) "level scans executed" true
+        (Server.executed_level_scans server - scans0 >= levels);
+      let stats = Batcher.finish b in
+      let charged =
+        Array.fold_left
+          (fun acc (s : Session.stats) -> acc +. s.Session.pir_seconds)
+          0.0 stats
+      in
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "width %d: members' charges sum to the batched pass cost" width)
+        (CM.pir_batch_fetch_seconds cost ~file_pages:pages ~levels ~batch:width)
+        charged)
+    [ 1; 4; 16 ]
+
+(* Fault-schedule sweep over the merged executed pass: with a `Pyramid
+   server the batch members must stay correct and mutually
+   indistinguishable under recoverable schedules, exactly as in
+   `Simulated mode. *)
+let test_executed_fault_sweep () =
+  let db = List.assoc "CI" (Lazy.force databases) in
+  for seed = 0 to 7 do
+    let rng = Psp_util.Rng.create (0x9a7e + seed) in
+    let pick n = 1 + Psp_util.Rng.int rng n in
+    List.iter
+      (fun (p, s) -> F.arm p s)
+      [ ("pir.fetch.transient", F.Hits [ pick 6 ]);
+        ("pir.fetch.corrupt", F.Hits [ 6 + pick 6 ]) ];
+    Fun.protect ~finally:F.reset (fun () ->
+        F.rewind ();
+        let server = Server.create ~mode:`Pyramid ~cost ~key (DB.files db) in
+        let pairs = Array.sub queries 0 3 in
+        let batched = Client.query_nodes_batch server g pairs in
+        Array.iteri
+          (fun i (r : Client.result) ->
+            let s, t = pairs.(i) in
+            let truth = Psp_graph.Dijkstra.distance g s t in
+            match r.Client.path with
+            | Some (_, got) ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "seed %d: member %d correct under faults" seed i)
+                  true (close_cost got truth)
+            | None -> Alcotest.fail (Printf.sprintf "seed %d: no path" seed))
+          batched;
+        let traces =
+          Array.to_list
+            (Array.map (fun (r : Client.result) -> r.Client.stats.Session.trace) batched)
+        in
+        match Privacy.indistinguishable traces with
+        | Ok () -> ()
+        | Error e ->
+            Alcotest.fail
+              (Printf.sprintf "seed %d: members diverged on the executed pass: %s" seed e))
+  done
+
+(* ------------------------------------------------------------------ *)
 (* An unknown scheme tag surfaces as a typed status — batch included. *)
 
 let test_batch_unknown_scheme () =
@@ -339,6 +540,17 @@ let () =
           Alcotest.test_case "degraded but indistinguishable" `Quick
             test_batch_degraded_indistinguishable;
           Alcotest.test_case "32-seed schedule sweep" `Slow test_batch_seed_sweep ] );
+      ( "executed",
+        [ Alcotest.test_case "pyramid fetch_many trace = sequential" `Quick
+            test_pyramid_fetch_many_trace;
+          Alcotest.test_case "sqrt fetch_many trace = sequential" `Quick
+            test_sqrt_fetch_many_trace;
+          Alcotest.test_case "executed touches = cost basis (widths 1/4/16)" `Quick
+            test_executed_touches_match_basis;
+          Alcotest.test_case "server executed = simulated (widths 1/4/16)" `Quick
+            test_server_executed_vs_simulated;
+          Alcotest.test_case "fault sweep over the executed pass" `Slow
+            test_executed_fault_sweep ] );
       ( "dispatch",
         [ Alcotest.test_case "unknown scheme status" `Quick test_batch_unknown_scheme;
           Alcotest.test_case "degenerate widths" `Quick test_batch_edges ] ) ]
