@@ -625,3 +625,142 @@ let replication env =
     ~columns:
       [ "replicas"; "fault rate"; "availability"; "p99 (s)"; "recoveries"; "correct" ]
     rows
+
+(* ------------------------------------------------------------------ *)
+
+(* Multi-tenant serving: the scheduler-driven frontend (lib/serve) over
+   a CI and a PI database side by side, driven by a bursty arrival
+   process.  The adaptive policy is compared against fill-or-timeout
+   batchers at fixed widths 1, 4 and 16 on the same stream; the p95
+   column is the acceptance bar — adaptive must beat every fixed width,
+   because width 1 serializes each burst, width 4 strands a burst's
+   stragglers until the SLO timeout and width 16 rarely fills at all.
+   Latency here is the virtual-clock end-to-end figure: queueing wait
+   plus the whole batch's modeled service.  BENCH_serve.json captures
+   one run per policy. *)
+let serve env =
+  header_line "Multi-tenant serving: adaptive vs fixed batch width";
+  let preset = P.Oldenburg in
+  let g = graph env preset in
+  let tenant_dbs =
+    [ ("ci", DB.build_ci ~page_size:env.page_size g);
+      ("pi", DB.build_pi ~page_size:env.page_size g) ]
+  in
+  List.iter (fun (_, db) -> check_feasible env db) tenant_dbs;
+  let count = max 16 (env.queries / 5) in
+  let slo = 60.0 in
+  let streams =
+    List.mapi
+      (fun idx (name, _) ->
+        ( name,
+          Psp_netgen.Synthetic.random_queries g ~count ~seed:(env.seed + 1 + idx),
+          Psp_netgen.Workload.arrivals
+            (Psp_netgen.Workload.Bursts { period = 400.0; mean_size = 6 })
+            ~count ~seed:(env.seed + 13 + idx) ))
+      tenant_dbs
+  in
+  let policies =
+    [ ("adaptive", Psp_serve.Scheduler.Adaptive);
+      ("fixed-1", Psp_serve.Scheduler.Fixed 1);
+      ("fixed-4", Psp_serve.Scheduler.Fixed 4);
+      ("fixed-16", Psp_serve.Scheduler.Fixed 16) ]
+  in
+  let run_policy (label, policy) =
+    let cfg = { Psp_serve.Scheduler.min_width = 1; max_width = 16; slo; policy } in
+    let tenants =
+      List.map
+        (fun (name, db) ->
+          { Psp_serve.Scheduler.name;
+            server =
+              Psp_pir.Server.create ~mode:`Pyramid ~cost:env.cost ~key (DB.files db);
+            graph = g })
+        tenant_dbs
+    in
+    let jobs = Psp_serve.Scheduler.mix streams in
+    let report = Psp_serve.Scheduler.run cfg ~tenants ~jobs in
+    let served = report.Psp_serve.Scheduler.served in
+    let correct = ref 0 and retries = ref 0 in
+    let recovery = ref 0.0 and unavailable = ref 0 in
+    Array.iter
+      (fun (s : Psp_serve.Scheduler.served) ->
+        let r = s.Psp_serve.Scheduler.result in
+        retries := !retries + r.Client.stats.Psp_pir.Server.Session.retries;
+        recovery :=
+          !recovery +. r.Client.stats.Psp_pir.Server.Session.recovery_seconds;
+        (match r.Client.status with
+        | Client.Unavailable _ -> incr unavailable
+        | _ -> ());
+        let j = s.Psp_serve.Scheduler.job in
+        let truth =
+          Psp_graph.Dijkstra.distance g j.Psp_serve.Queue.src j.Psp_serve.Queue.dst
+        in
+        match r.Client.path with
+        | Some (_, got) when Float.abs (got -. truth) <= 1e-3 *. Float.max 1.0 truth
+          ->
+            incr correct
+        | _ -> ())
+      served;
+    let samples =
+      Array.map (fun (s : Psp_serve.Scheduler.served) -> s.Psp_serve.Scheduler.latency)
+        served
+    in
+    let touches, scans =
+      List.fold_left
+        (fun (t, s) tn ->
+          ( t + Psp_pir.Server.executed_slot_touches tn.Psp_serve.Scheduler.server,
+            s + Psp_pir.Server.executed_level_scans tn.Psp_serve.Scheduler.server ))
+        (0, 0) tenants
+    in
+    let data_fetches, index_fetches = plan_fetches (snd (List.hd tenant_dbs)) in
+    bench_runs :=
+      { r_label =
+          Printf.sprintf "serve-%s:%s" label (Psp_netgen.Presets.short_name preset);
+        r_samples = samples;
+        r_fetches_per_query = data_fetches + index_fetches;
+        r_retries = !retries;
+        r_recovery_seconds = !recovery;
+        r_unavailable = !unavailable;
+        r_correct = !correct;
+        r_total = Array.length served;
+        r_exec_touches = touches;
+        r_level_scans = scans }
+      :: !bench_runs;
+    (report, samples, !correct)
+  in
+  let pct sorted q =
+    let n = Array.length sorted in
+    if n = 0 then nan
+    else
+      let rank = int_of_float (ceil (q *. float_of_int n)) in
+      sorted.(max 0 (min (n - 1) (rank - 1)))
+  in
+  let rows =
+    List.map
+      (fun (label, policy) ->
+        let report, samples, correct = run_policy (label, policy) in
+        let sorted = Array.copy samples in
+        Array.sort compare sorted;
+        let widths =
+          List.map
+            (fun (b : Psp_serve.Scheduler.batch_record) ->
+              b.Psp_serve.Scheduler.b_width)
+            report.Psp_serve.Scheduler.batches
+        in
+        let n = Array.length samples in
+        [ label;
+          seconds (pct sorted 0.50);
+          seconds (pct sorted 0.95);
+          seconds (pct sorted 0.99);
+          Printf.sprintf "%.1f"
+            (float_of_int (List.fold_left ( + ) 0 widths)
+            /. float_of_int (max 1 (List.length widths)));
+          string_of_int (List.length widths);
+          Printf.sprintf "%.0f" report.Psp_serve.Scheduler.makespan;
+          Printf.sprintf "%d/%d" correct n ])
+      policies
+  in
+  table
+    ~columns:
+      [ "policy"; "p50 (s)"; "p95 (s)"; "p99 (s)"; "mean width"; "batches";
+        "makespan (s)"; "correct" ]
+    rows

@@ -22,6 +22,7 @@ let all_experiments : (string * string * (Harness.env -> unit)) list =
     ("extras", "extra ablations", Experiments.extras);
     ("resilience", "resilience: retry cost under fault injection", Experiments.resilience);
     ("batch", "batched serving: response vs batch width", Experiments.batch);
+    ("serve", "multi-tenant serving: adaptive vs fixed batch width", Experiments.serve);
     ("replication", "replicated serving: availability under chaos", Experiments.replication);
     ("kernels", "bechamel kernel micro-benchmarks", fun env -> Kernels.run env) ]
 

@@ -4,6 +4,8 @@
      generate   synthesize a road network (or a Table 1 preset) to DIMACS
      build      build a scheme database from a network and report its layout
      query      answer a private shortest-path query end to end
+     serve      run a mixed multi-tenant stream through the scheduler-driven
+                serving frontend (lib/serve)
      trace      print the adversary's view of a query and check it against
                 the published plan
      stats      run sample queries and report the telemetry registry
@@ -374,6 +376,201 @@ let batch_cmd =
       $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
+(* serve *)
+
+let serve_cmd =
+  let tenants_arg =
+    Arg.(value & opt string "ci,pi"
+         & info [ "tenants" ] ~docv:"SCHEMES"
+             ~doc:"Comma-separated scheme list served side by side (e.g. \
+                   $(b,ci,pi)).  Each scheme becomes one tenant database over \
+                   the same network.")
+  in
+  let count =
+    Arg.(value & opt int 12 & info [ "queries" ] ~doc:"Queries per tenant.")
+  in
+  let arrivals_arg =
+    Arg.(value & opt string "bursts:300x4"
+         & info [ "arrivals" ] ~docv:"SPEC"
+             ~doc:"Arrival process per tenant: $(b,steady:RATE), \
+                   $(b,poisson:RATE) or $(b,bursts:PERIODxMEAN).")
+  in
+  let slo_arg =
+    Arg.(value & opt float 60.0 & info [ "slo" ] ~doc:"Latency SLO in model seconds.")
+  in
+  let min_width_arg =
+    Arg.(value & opt int 1 & info [ "min-width" ] ~doc:"Smallest batch width.")
+  in
+  let max_width_arg =
+    Arg.(value & opt int 16 & info [ "max-width" ] ~doc:"Largest batch width.")
+  in
+  let policy_arg =
+    Arg.(value & opt string "adaptive"
+         & info [ "policy" ] ~docv:"POLICY"
+             ~doc:"$(b,adaptive) or $(b,fixed:W) (fill-or-timeout at width W).")
+  in
+  let percentile sorted q =
+    let n = Array.length sorted in
+    if n = 0 then nan
+    else
+      let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+      sorted.(max 0 (min (n - 1) (rank - 1)))
+  in
+  let run preset preset_scale gr co seed page_size tenants count arrivals slo min_width
+      max_width policy faults fault_seed metrics =
+    let policy =
+      match String.lowercase_ascii policy with
+      | "adaptive" -> Psp_serve.Scheduler.Adaptive
+      | p -> (
+          match String.index_opt p ':' with
+          | Some i when String.sub p 0 i = "fixed" -> (
+              match
+                int_of_string_opt (String.sub p (i + 1) (String.length p - i - 1))
+              with
+              | Some w when w >= 1 -> Psp_serve.Scheduler.Fixed w
+              | _ -> failwith (Printf.sprintf "bad --policy %S: fixed:W needs W >= 1" p))
+          | _ -> failwith (Printf.sprintf "unknown --policy %S" p))
+    in
+    let process =
+      match Psp_netgen.Workload.arrival_of_string arrivals with
+      | Ok p -> p
+      | Error e -> failwith (Printf.sprintf "bad --arrivals %S: %s" arrivals e)
+    in
+    let schemes =
+      List.filter (fun s -> s <> "") (String.split_on_char ',' tenants)
+    in
+    if schemes = [] then failwith "--tenants needs at least one scheme";
+    let g = load_network preset preset_scale gr co seed in
+    let cost = Psp_pir.Cost_model.ibm4764 in
+    let key = Psp_crypto.Sha256.digest_string "pspc" in
+    let seen = Hashtbl.create 4 in
+    let tenant_of idx scheme =
+      let base = String.lowercase_ascii scheme in
+      let n = 1 + Option.value ~default:0 (Hashtbl.find_opt seen base) in
+      Hashtbl.replace seen base n;
+      let name = if n = 1 then base else Printf.sprintf "%s-%d" base n in
+      let db = build_database g scheme page_size seed in
+      let server = Psp_pir.Server.create ~cost ~key (DB.files db) in
+      let pairs = Psp_netgen.Synthetic.random_queries g ~count ~seed:(seed + 1 + idx) in
+      let arrivals =
+        Psp_netgen.Workload.arrivals process ~count ~seed:(seed + 13 + idx)
+      in
+      ( { Psp_serve.Scheduler.name; server; graph = g },
+        (name, pairs, arrivals),
+        db.DB.scheme )
+    in
+    let built = List.mapi tenant_of schemes in
+    let cfg = { Psp_serve.Scheduler.min_width; max_width; slo; policy } in
+    arm_faults faults fault_seed;
+    Obs.reset ();
+    let jobs = Psp_serve.Scheduler.mix (List.map (fun (_, s, _) -> s) built) in
+    let report =
+      Psp_serve.Scheduler.run cfg
+        ~tenants:(List.map (fun (t, _, _) -> t) built)
+        ~jobs
+    in
+    Psp_fault.Fault.reset ();
+    Printf.printf "served %d queries across %d tenants (%s policy, slo %.1fs)\n"
+      (Array.length report.Psp_serve.Scheduler.served)
+      (List.length built)
+      (match policy with
+      | Psp_serve.Scheduler.Adaptive -> "adaptive"
+      | Psp_serve.Scheduler.Fixed w -> Printf.sprintf "fixed:%d" w)
+      slo;
+    let unavailable = ref 0 in
+    List.iter
+      (fun (tn, _, scheme) ->
+        let name = tn.Psp_serve.Scheduler.name in
+        let mine =
+          Array.of_list
+            (List.filter
+               (fun (s : Psp_serve.Scheduler.served) ->
+                 s.Psp_serve.Scheduler.job.Psp_serve.Queue.tenant = name)
+               (Array.to_list report.Psp_serve.Scheduler.served))
+        in
+        Array.iter
+          (fun (s : Psp_serve.Scheduler.served) ->
+            match s.Psp_serve.Scheduler.result.Psp_core.Client.status with
+            | Psp_core.Client.Unavailable _ | Psp_core.Client.Unknown_scheme _ ->
+                incr unavailable
+            | _ -> ())
+          mine;
+        let batches =
+          List.filter
+            (fun (b : Psp_serve.Scheduler.batch_record) ->
+              b.Psp_serve.Scheduler.b_tenant = name)
+            report.Psp_serve.Scheduler.batches
+        in
+        let widths =
+          List.map (fun (b : Psp_serve.Scheduler.batch_record) ->
+              b.Psp_serve.Scheduler.b_width)
+            batches
+        in
+        let lat =
+          Array.map (fun (s : Psp_serve.Scheduler.served) ->
+              s.Psp_serve.Scheduler.latency)
+            mine
+        in
+        Array.sort compare lat;
+        let over =
+          Array.fold_left (fun acc l -> if l > slo then acc + 1 else acc) 0 lat
+        in
+        Printf.printf
+          "  %-6s (%s): %d queries in %d batches, widths %d-%d (mean %.1f)\n" name
+          scheme (Array.length mine) (List.length batches)
+          (List.fold_left min max_int widths)
+          (List.fold_left max 0 widths)
+          (float_of_int (List.fold_left ( + ) 0 widths)
+          /. float_of_int (max 1 (List.length widths)));
+        Printf.printf
+          "         latency p50 %.2fs  p95 %.2fs  p99 %.2fs  (%d over slo)\n"
+          (percentile lat 0.50) (percentile lat 0.95) (percentile lat 0.99) over)
+      built;
+    (* the privacy invariant, checked on the live run: members of every
+       dispatched batch must be mutually indistinguishable *)
+    let by_batch = Hashtbl.create 16 in
+    Array.iter
+      (fun (s : Psp_serve.Scheduler.served) ->
+        let k =
+          ( s.Psp_serve.Scheduler.job.Psp_serve.Queue.tenant,
+            s.Psp_serve.Scheduler.dispatched )
+        in
+        Hashtbl.replace by_batch k
+          (s.Psp_serve.Scheduler.result.Psp_core.Client.stats
+             .Psp_pir.Server.Session.trace
+          :: Option.value ~default:[] (Hashtbl.find_opt by_batch k)))
+      report.Psp_serve.Scheduler.served;
+    let violations =
+      Hashtbl.fold
+        (fun _ traces acc ->
+          match Psp_core.Privacy.indistinguishable traces with
+          | Ok () -> acc
+          | Error e -> e :: acc)
+        by_batch []
+    in
+    (match violations with
+    | [] ->
+        Printf.printf
+          "all batch members mutually indistinguishable (%d batches, makespan %.1fs)\n"
+          (List.length report.Psp_serve.Scheduler.batches)
+          report.Psp_serve.Scheduler.makespan
+    | e :: _ -> Printf.printf "PRIVACY VIOLATION: %s\n" e);
+    report_metrics metrics;
+    if !unavailable > 0 then begin
+      Printf.printf "%d queries UNAVAILABLE\n" !unavailable;
+      exit 3
+    end;
+    if violations <> [] then exit 4
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve a mixed multi-tenant query stream through the adaptive scheduler")
+    Term.(
+      const run $ preset_arg $ preset_scale $ gr_arg $ co_arg $ seed_arg
+      $ page_size_arg $ tenants_arg $ count $ arrivals_arg $ slo_arg $ min_width_arg
+      $ max_width_arg $ policy_arg $ fault_arg $ fault_seed_arg $ metrics_arg)
+
+(* ------------------------------------------------------------------ *)
 (* trace *)
 
 let trace_cmd =
@@ -611,6 +808,7 @@ let () =
             build_cmd;
             query_cmd;
             batch_cmd;
+            serve_cmd;
             trace_cmd;
             stats_cmd;
             inspect_cmd;

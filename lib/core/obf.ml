@@ -59,5 +59,6 @@ let query ?(placement = Uniform) t ~set_size ~s ~t_node =
   ( { Response_time.pir_seconds = 0.0;
       comm_seconds = comm;
       server_cpu_seconds = server_cpu;
-      client_seconds = 0.0 },
+      client_seconds = 0.0;
+      queue_seconds = 0.0 },
     !result )

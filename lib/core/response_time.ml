@@ -3,36 +3,51 @@ type t = {
   comm_seconds : float;
   server_cpu_seconds : float;
   client_seconds : float;
+  queue_seconds : float;
 }
 
-let total t = t.pir_seconds +. t.comm_seconds +. t.server_cpu_seconds +. t.client_seconds
+let total t =
+  t.pir_seconds +. t.comm_seconds +. t.server_cpu_seconds +. t.client_seconds
+  +. t.queue_seconds
 
 let of_result (r : Client.result) =
   { pir_seconds = r.Client.stats.Psp_pir.Server.Session.pir_seconds;
     comm_seconds = r.Client.stats.Psp_pir.Server.Session.comm_seconds;
     server_cpu_seconds = r.Client.stats.Psp_pir.Server.Session.server_cpu_seconds;
-    client_seconds = r.Client.client_seconds }
+    client_seconds = r.Client.client_seconds;
+    queue_seconds = 0.0 }
 
 let zero =
-  { pir_seconds = 0.0; comm_seconds = 0.0; server_cpu_seconds = 0.0; client_seconds = 0.0 }
+  { pir_seconds = 0.0;
+    comm_seconds = 0.0;
+    server_cpu_seconds = 0.0;
+    client_seconds = 0.0;
+    queue_seconds = 0.0 }
 
 let of_stats (s : Psp_pir.Server.Session.stats) =
   { pir_seconds = s.Psp_pir.Server.Session.pir_seconds;
     comm_seconds = s.Psp_pir.Server.Session.comm_seconds;
     server_cpu_seconds = s.Psp_pir.Server.Session.server_cpu_seconds;
-    client_seconds = 0.0 }
+    client_seconds = 0.0;
+    queue_seconds = 0.0 }
+
+let with_queue ~seconds t =
+  if seconds < 0.0 then invalid_arg "Response_time.with_queue: negative delay";
+  { t with queue_seconds = seconds }
 
 let add a b =
   { pir_seconds = a.pir_seconds +. b.pir_seconds;
     comm_seconds = a.comm_seconds +. b.comm_seconds;
     server_cpu_seconds = a.server_cpu_seconds +. b.server_cpu_seconds;
-    client_seconds = a.client_seconds +. b.client_seconds }
+    client_seconds = a.client_seconds +. b.client_seconds;
+    queue_seconds = a.queue_seconds +. b.queue_seconds }
 
 let scale k t =
   { pir_seconds = k *. t.pir_seconds;
     comm_seconds = k *. t.comm_seconds;
     server_cpu_seconds = k *. t.server_cpu_seconds;
-    client_seconds = k *. t.client_seconds }
+    client_seconds = k *. t.client_seconds;
+    queue_seconds = k *. t.queue_seconds }
 
 (* A failover-surviving query's honest response time: the serving
    attempt, plus every abandoned attempt's already-accounted cost, plus
@@ -57,5 +72,7 @@ let mean = function
   | ts -> scale (1.0 /. float_of_int (List.length ts)) (List.fold_left add zero ts)
 
 let pp ppf t =
-  Format.fprintf ppf "total=%.2fs (pir=%.2fs comm=%.2fs server=%.2fs client=%.3fs)"
+  Format.fprintf ppf
+    "total=%.2fs (pir=%.2fs comm=%.2fs server=%.2fs client=%.3fs queue=%.2fs)"
     (total t) t.pir_seconds t.comm_seconds t.server_cpu_seconds t.client_seconds
+    t.queue_seconds

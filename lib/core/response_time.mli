@@ -10,6 +10,11 @@ type t = {
   comm_seconds : float;  (** simulated transfer time (3G link) *)
   server_cpu_seconds : float;  (** plaintext server work (OBF only) *)
   client_seconds : float;  (** client-side decode + Dijkstra *)
+  queue_seconds : float;
+      (** time spent waiting in the serving frontend's queue before the
+          batch that served the query was dispatched
+          ({!Psp_pir.Cost_model.queueing_delay_seconds}); 0 for direct
+          queries that never pass through a scheduler *)
 }
 
 val total : t -> float
@@ -32,6 +37,11 @@ val of_replicated : Client.replicated -> t array
     plus} the modeled failover seconds (charged as communication time)
     — so [Degraded] answers report the recovery overhead instead of
     the clean-run cost. *)
+
+val with_queue : seconds:float -> t -> t
+(** Replace the queueing component (the scheduler charges it once per
+    served query).
+    @raise Invalid_argument when [seconds < 0]. *)
 
 val add : t -> t -> t
 (** Component-wise sum. *)

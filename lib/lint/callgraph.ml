@@ -77,9 +77,14 @@ type t = {
   fns : fn SMap.t ref;
   redirects : string SMap.t ref; (* canonical module ↦ canonical functor path *)
   mods : string list ref; (* canonical names of loaded modules *)
+  abbrevs : Types.type_expr SMap.t ref; (* canonical type name ↦ manifest *)
 }
 
-let create () = { fns = ref SMap.empty; redirects = ref SMap.empty; mods = ref [] }
+let create () =
+  { fns = ref SMap.empty;
+    redirects = ref SMap.empty;
+    mods = ref [];
+    abbrevs = ref SMap.empty }
 let fns t = List.map snd (SMap.bindings !(t.fns))
 let modules t = List.rev !(t.mods)
 let find t name = SMap.find_opt name !(t.fns)
@@ -166,12 +171,26 @@ let add_fn t ~prefix ~aliases (vb : Typedtree.value_binding) =
          surprisingly wrong; precision, not soundness, is at stake. *)
       if not (SMap.mem fq !(t.fns)) then t.fns := SMap.add fq fn !(t.fns)
 
+(* Type abbreviations ([type id = int]): the manifest, keyed under the
+   canonical fq type name, so the secret-compare exemption can expand
+   aliases of immediate types without rebuilding a typing environment
+   from the cmt.  First definition wins, like [add_fn]. *)
+let add_abbrev t ~prefix (td : Typedtree.type_declaration) =
+  match td.typ_manifest with
+  | None -> ()
+  | Some cty ->
+      let name = td.typ_name.txt in
+      let fq = if prefix = "" then name else prefix ^ "." ^ name in
+      if not (SMap.mem fq !(t.abbrevs)) then
+        t.abbrevs := SMap.add fq cty.ctyp_type !(t.abbrevs)
+
 let rec index_items t ~prefix ~aliases items =
   let aliases = ref aliases in
   List.iter
     (fun (item : Typedtree.structure_item) ->
       match item.str_desc with
       | Tstr_value (_, vbs) -> List.iter (add_fn t ~prefix ~aliases:!aliases) vbs
+      | Tstr_type (_, decls) -> List.iter (add_abbrev t ~prefix) decls
       | Tstr_module mb -> index_module t ~prefix ~aliases mb
       | Tstr_recmodule mbs -> List.iter (index_module t ~prefix ~aliases) mbs
       | Tstr_include { incl_mod; _ } -> (
@@ -245,17 +264,11 @@ let apply_redirects t name =
   in
   go 4 name
 
-(* Resolve an alias-expanded callee name as seen from inside [current]
-   (the caller's enclosing module path).  Tries the name as-is, then
-   redirected, then qualified by each enclosing prefix from innermost to
-   outermost (a bare [helper] or a sibling [Session.fetch]). *)
-let resolve t ~current name =
-  let name = canon name in
-  let try_one n =
-    match find t n with
-    | Some fn -> Some fn
-    | None -> find t (apply_redirects t n)
-  in
+(* Candidate spellings of an alias-expanded name as seen from inside
+   [current] (the caller's enclosing module path): the name as-is, then
+   qualified by each enclosing prefix from innermost to outermost (a
+   bare [helper] or a sibling [Session.fetch]). *)
+let candidates ~current name =
   let rec prefixes acc p =
     match String.rindex_opt p '.' with
     | None -> List.rev (p :: acc)
@@ -264,9 +277,29 @@ let resolve t ~current name =
   let qualified =
     if current = "" then [] else List.map (fun p -> p ^ "." ^ name) (prefixes [] current)
   in
+  name :: qualified
+
+let first_candidate ~current name try_one =
   List.fold_left
     (fun acc cand -> match acc with Some _ -> acc | None -> try_one cand)
-    None (name :: qualified)
+    None
+    (candidates ~current name)
+
+(* Resolve an alias-expanded callee name: each candidate spelling is
+   tried as-is and through the functor redirects. *)
+let resolve t ~current name =
+  first_candidate ~current (canon name) (fun n ->
+      match find t n with
+      | Some fn -> Some fn
+      | None -> find t (apply_redirects t n))
+
+(* Same search over the type-abbreviation table: [abbrev t ~current
+   "id"] from inside "Psp_util.Byte_io" finds "Psp_util.Byte_io.id". *)
+let abbrev t ~current name =
+  first_candidate ~current (canon name) (fun n ->
+      match SMap.find_opt n !(t.abbrevs) with
+      | Some ty -> Some ty
+      | None -> SMap.find_opt (apply_redirects t n) !(t.abbrevs))
 
 (* Does [name] live inside a module that was loaded into the universe?
    Used to separate "resolvable in principle but not a function we track"

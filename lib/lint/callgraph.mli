@@ -34,6 +34,13 @@ val resolve : t -> current:string -> string -> fn option
     seen from inside module path [current]: as-is, through functor
     redirects, then qualified by each enclosing prefix. *)
 
+val abbrev : t -> current:string -> string -> Types.type_expr option
+(** [abbrev t ~current name] looks up a type abbreviation's manifest
+    (collected from [Tstr_type] items at indexing time) with the same
+    candidate search as {!resolve}: as-is, through redirects, then
+    qualified by each enclosing prefix of [current].  Lets the
+    [secret-compare] exemption expand [type id = int] to an immediate. *)
+
 val covered : t -> string -> bool
 (** The name's module (after redirects) was loaded into the universe. *)
 

@@ -17,7 +17,8 @@ let env_of graph tbl =
       (fun ~current name ->
         match Callgraph.resolve graph ~current name with
         | Some fn -> Hashtbl.find_opt tbl fn.Callgraph.fn_name
-        | None -> None) }
+        | None -> None);
+    ty_abbrev = (fun ~current name -> Callgraph.abbrev graph ~current name) }
 
 let max_rounds = 12
 

@@ -240,16 +240,12 @@ let iterator name = suffix_match iterator_table name
 let compare_like name = List.mem name compare_names
 let raise_like = [ "raise"; "raise_notrace"; "failwith"; "invalid_arg" ]
 
-(* Constant-time comparable: immediates plus float and the boxed ints,
-   whose compare is a single hardware comparison.  Type abbreviations
-   are *not* expanded (no typing environment is rebuilt from the cmt) —
-   an alias of int is flagged conservatively and must be justified. *)
-let constant_time_comparable (ty : Types.type_expr) =
-  match Types.get_desc ty with
-  | Types.Tconstr (p, _, _) ->
-      List.mem (Path.name p)
-        [ "int"; "char"; "bool"; "unit"; "float"; "int32"; "int64"; "nativeint" ]
-  | _ -> false
+(* Immediates plus float and the boxed ints, whose compare is a single
+   hardware comparison; the exemption proper (including abbreviation
+   expansion) is [constant_time_comparable] below, which needs the
+   analysis state for its abbreviation tables. *)
+let immediate_type_names =
+  [ "int"; "char"; "bool"; "unit"; "float"; "int32"; "int64"; "nativeint" ]
 
 (* Format-string literals elaborate into CamlinternalFormatBasics
    constructor chains; they are compile-time constants, not
@@ -292,9 +288,14 @@ type summary = {
   sum_mutations : (int * int list) list; (* param i absorbs params js *)
 }
 
-type env = { lookup : current:string -> string -> summary option }
+type env = {
+  lookup : current:string -> string -> summary option;
+  ty_abbrev : current:string -> string -> Types.type_expr option;
+      (* type-abbreviation manifests, for the secret-compare exemption *)
+}
 
-let empty_env = { lookup = (fun ~current:_ _ -> None) }
+let empty_env =
+  { lookup = (fun ~current:_ _ -> None); ty_abbrev = (fun ~current:_ _ -> None) }
 
 (* Taint tokens standing for "parameter i" during summary extraction. *)
 let param_token i = Printf.sprintf "#p%d" i
@@ -326,10 +327,36 @@ type state = {
   mutable flagged : int;
   mutable secrets : SSet.t; (* all seeds seen in this binding *)
   aliases : (string * string) list;
+  abbrevs : (string * Types.type_expr) list; (* file-local type manifests *)
   func : string; (* display name of the binding under analysis *)
   prefix : string; (* enclosing module path, for summary resolution *)
   env : env;
 }
+
+(* Constant-time comparable: immediates plus float and the boxed ints.
+   Type abbreviations ([type id = int]) are expanded syntactically —
+   manifests collected from the loaded typedtrees (file-locally in
+   per-module mode, through the call graph in whole-program mode) are
+   followed to a bounded depth; no typing environment is rebuilt from
+   the cmt.  A chain that leaves the loaded universe stays flagged
+   conservatively. *)
+let constant_time_comparable st (ty : Types.type_expr) =
+  let rec check fuel (ty : Types.type_expr) =
+    match Types.get_desc ty with
+    | Types.Tconstr (p, _, _) ->
+        let name = Callgraph.expand_aliases st.aliases (Path.name p) in
+        List.mem name immediate_type_names
+        || fuel > 0
+           &&
+           let manifest =
+             match List.assoc_opt name st.abbrevs with
+             | Some ty' -> Some ty'
+             | None -> st.env.ty_abbrev ~current:st.prefix name
+           in
+           (match manifest with Some ty' -> check (fuel - 1) ty' | None -> false)
+    | _ -> false
+  in
+  check 8 ty
 
 let taint_of st id = Option.value ~default:SSet.empty (IMap.find_opt id st.vars)
 
@@ -372,7 +399,15 @@ let rec root_ident (e : Typedtree.expression) =
 let seed_pattern (type k) st (p : k Typedtree.general_pattern) =
   let seen_secret = ref false in
   let mark (type k) (p : k Typedtree.general_pattern) =
-    if has_attr "secret" p.Typedtree.pat_attributes then begin
+    (* [@secret] may sit on the pattern itself or on a constraint
+       wrapper — type-constrained parameters ([(a [@secret] : node_id)])
+       can file the attribute under [pat_extra] — so both attribute
+       homes are consulted. *)
+    let extra_attrs =
+      List.concat_map (fun (_, _, attrs) -> attrs) p.Typedtree.pat_extra
+    in
+    if has_attr "secret" p.Typedtree.pat_attributes || has_attr "secret" extra_attrs
+    then begin
       seen_secret := true;
       List.iter
         (fun id ->
@@ -401,6 +436,33 @@ let callee_name st (fn : Typedtree.expression) =
   match fn.exp_desc with
   | Texp_ident (path, _, _) -> Some (normalize st.aliases (Path.name path))
   | _ -> None
+
+(* The compiler elaborates an optional argument's default — [?(pos = 0)]
+   — into [match *opt* with Some x -> x | None -> default].  The
+   scrutinee is a compiler-generated ident (its name contains ['*'],
+   unwritable in source) and the discriminator is whether the caller
+   supplied the argument: call-site syntax, public by definition, so the
+   select is not a secret branch.  Taint still flows from the supplied
+   value into the bound variable through the [Some] case's pattern. *)
+let optional_default_select (scrut : Typedtree.expression)
+    (cases : Typedtree.computation Typedtree.case list) =
+  let generated_ident =
+    match scrut.exp_desc with
+    | Texp_ident (Path.Pident id, _, _) -> String.contains (Ident.name id) '*'
+    | _ -> false
+  in
+  let option_case (c : Typedtree.computation Typedtree.case) =
+    c.c_guard = None
+    &&
+    match c.c_lhs.pat_desc with
+    | Tpat_value arg -> (
+        match (arg :> Typedtree.pattern).pat_desc with
+        | Typedtree.Tpat_construct (_, cstr, _, _) ->
+            cstr.Types.cstr_name = "Some" || cstr.Types.cstr_name = "None"
+        | _ -> false)
+    | _ -> false
+  in
+  generated_ident && List.length cases = 2 && List.for_all option_case cases
 
 (* [eval st ~emit ~suppressed ~ct e] returns the secret sources the value
    of [e] may derive from.  [ct] is the control taint: sources steering
@@ -504,7 +566,7 @@ let rec eval st ~emit ~suppressed ~ct (e : Typedtree.expression) =
               List.mapi (fun i arg -> (nth_taint i, arg)) arg_exprs
               |> List.filter (fun (t, (arg : Typedtree.expression)) ->
                      (not (SSet.is_empty t))
-                     && not (constant_time_comparable arg.exp_type))
+                     && not (constant_time_comparable st arg.exp_type))
             in
             match boxed_tainted with
             | [] -> ()
@@ -627,12 +689,19 @@ let rec eval st ~emit ~suppressed ~ct (e : Typedtree.expression) =
       | _ -> List.fold_left SSet.union fn_taint arg_taints)
   | Texp_match (scrut, cases, _) ->
       let t = eval1 scrut in
-      if (not (SSet.is_empty t)) && not (trivial_match cases) then
+      let default_select = optional_default_select scrut cases in
+      if
+        (not (SSet.is_empty t))
+        && (not (trivial_match cases))
+        && not default_select
+      then
         record st ~emit ~suppressed ~taint:t ~short:"match scrutinee"
           Finding.Secret_branch e.exp_loc
           (Printf.sprintf "match scrutinee depends on secrets: %s" (describe t));
-      SSet.union t
-        (cases_taint st ~emit ~suppressed ~ct:(SSet.union ct t) ~scrutinee:t cases)
+      (* A default-select's arm choice is call-site syntax, so the arms
+         are not under secret control; every other match taints them. *)
+      let ct' = if default_select then ct else SSet.union ct t in
+      SSet.union t (cases_taint st ~emit ~suppressed ~ct:ct' ~scrutinee:t cases)
   | Texp_try (body, cases) ->
       let t = eval1 body in
       SSet.union t (cases_taint st ~emit ~suppressed ~ct ~scrutinee:t cases)
@@ -758,7 +827,7 @@ and trivial_match (cases : Typedtree.computation Typedtree.case list) =
 (* ------------------------------------------------------------------ *)
 (* Per-binding drivers *)
 
-let new_state ?(env = empty_env) ?(prefix = "") ~aliases ~func () =
+let new_state ?(env = empty_env) ?(prefix = "") ?(abbrevs = []) ~aliases ~func () =
   { vars = IMap.empty;
     changed = false;
     hits = [];
@@ -766,6 +835,7 @@ let new_state ?(env = empty_env) ?(prefix = "") ~aliases ~func () =
     flagged = 0;
     secrets = SSet.empty;
     aliases;
+    abbrevs;
     func;
     prefix;
     env }
@@ -793,7 +863,8 @@ let audit_of st (vb : Typedtree.value_binding) =
     justified = st.justified;
     flagged = st.flagged }
 
-let analyze_binding ?env ?prefix ?func ~aliases (vb : Typedtree.value_binding) =
+let analyze_binding ?env ?prefix ?abbrevs ?func ~aliases (vb : Typedtree.value_binding)
+    =
   let func =
     match func with
     | Some f -> f
@@ -802,7 +873,7 @@ let analyze_binding ?env ?prefix ?func ~aliases (vb : Typedtree.value_binding) =
         | Tpat_var (id, _) -> Ident.name id
         | _ -> "<binding>")
   in
-  let st = new_state ?env ?prefix ~aliases ~func () in
+  let st = new_state ?env ?prefix ?abbrevs ~aliases ~func () in
   let suppressed =
     match leak_ok vb.vb_attributes with
     | `Justified -> true
@@ -913,17 +984,30 @@ let summary_shape s =
 (* ------------------------------------------------------------------ *)
 (* Structure walking (per-module mode, used by [Lint.analyze_cmt]) *)
 
-let rec analyze_items ?(env = empty_env) ~aliases items =
+let rec analyze_items ?(env = empty_env) ?(abbrevs = []) ~aliases items =
   let findings = ref [] and audits = ref [] in
   let aliases = ref aliases in
+  let abbrevs = ref abbrevs in
   List.iter
     (fun (item : Typedtree.structure_item) ->
       match item.str_desc with
+      | Tstr_type (_, decls) ->
+          (* file-local abbreviation manifests feed the secret-compare
+             exemption (bare names: types are referenced unqualified
+             within their own module) *)
+          List.iter
+            (fun (td : Typedtree.type_declaration) ->
+              match td.typ_manifest with
+              | Some cty -> abbrevs := (td.typ_name.txt, cty.ctyp_type) :: !abbrevs
+              | None -> ())
+            decls
       | Tstr_value (_, vbs) ->
           List.iter
             (fun (vb : Typedtree.value_binding) ->
               if has_attr "oblivious" vb.vb_attributes then begin
-                let fs, a = analyze_binding ~env ~aliases:!aliases vb in
+                let fs, a =
+                  analyze_binding ~env ~abbrevs:!abbrevs ~aliases:!aliases vb
+                in
                 findings := !findings @ fs;
                 audits := !audits @ [ a ]
               end)
@@ -932,7 +1016,9 @@ let rec analyze_items ?(env = empty_env) ~aliases items =
           match module_payload mb with
           | `Alias (name, target) -> aliases := (name, target) :: !aliases
           | `Structure (name, items) ->
-              let fs, au = analyze_items ~env ~aliases:!aliases items in
+              let fs, au =
+                analyze_items ~env ~abbrevs:!abbrevs ~aliases:!aliases items
+              in
               let qualify (f : Finding.t) = { f with func = name ^ "." ^ f.func } in
               findings := !findings @ List.map qualify fs;
               audits :=
@@ -947,7 +1033,9 @@ let rec analyze_items ?(env = empty_env) ~aliases items =
             (fun mb ->
               match module_payload mb with
               | `Structure (name, items) ->
-                  let fs, au = analyze_items ~env ~aliases:!aliases items in
+                  let fs, au =
+                    analyze_items ~env ~abbrevs:!abbrevs ~aliases:!aliases items
+                  in
                   findings :=
                     !findings
                     @ List.map (fun (f : Finding.t) -> { f with func = name ^ "." ^ f.func }) fs;

@@ -27,7 +27,13 @@ type summary = {
   sum_mutations : (int * int list) list;  (** param [i] absorbs params [js] *)
 }
 
-type env = { lookup : current:string -> string -> summary option }
+type env = {
+  lookup : current:string -> string -> summary option;
+  ty_abbrev : current:string -> string -> Types.type_expr option;
+      (** type-abbreviation manifests (see [Callgraph.abbrev]), consulted
+          by the [secret-compare] immediate-type exemption so aliases of
+          immediates ([type id = int]) are not flagged *)
+}
 
 val empty_env : env
 
@@ -48,13 +54,15 @@ val summary_shape : summary -> int list * (int * Finding.rule) list * (int * int
 val analyze_binding :
   ?env:env ->
   ?prefix:string ->
+  ?abbrevs:(string * Types.type_expr) list ->
   ?func:string ->
   aliases:(string * string) list ->
   Typedtree.value_binding ->
   Finding.t list * Finding.audit
 (** Analyze one binding (regardless of its attributes). [func] overrides
     the display name; [prefix] is the enclosing module path used to
-    resolve summaries for unqualified callees. *)
+    resolve summaries for unqualified callees; [abbrevs] are file-local
+    type-abbreviation manifests for the [secret-compare] exemption. *)
 
 val analyze_structure :
   ?env:env -> Typedtree.structure -> Finding.t list * Finding.audit list

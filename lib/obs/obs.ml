@@ -48,6 +48,7 @@ let gauge name =
       g
 
 let set g v = g.g_value <- v
+let set_max g v = if v > g.g_value then g.g_value <- v
 let get g = g.g_value
 
 (* ---------------------------------------------------------------- *)

@@ -73,6 +73,12 @@ val gauge : string -> gauge
 val set : gauge -> float -> unit
 (** Replace the gauge's value. *)
 
+val set_max : gauge -> float -> unit
+(** Raise the gauge to [v] if [v] exceeds the current value — a
+    high-watermark update (peak queue depth, widest batch).  Values at
+    or below the current reading are ignored, so the gauge is monotone
+    between {!reset}s. *)
+
 val get : gauge -> float
 (** Current value (0.0 before any {!set}). *)
 

@@ -17,7 +17,14 @@
     A batcher owns one {!Server.Session} per member, so every member
     keeps its own trace, cost accounting and stats; the privacy tests
     assert the members' traces stay mutually equal and equal to a
-    sequential query's trace. *)
+    sequential query's trace.
+
+    This module is deliberately the {e same-plan merge core} only.
+    Routing a mixed multi-tenant stream to per-plan batchers lives in
+    {!Dispatch}, and choosing {e when} and {e how wide} to dispatch
+    lives in the serving frontend ([Psp_serve.Scheduler]) — the split
+    keeps the part with privacy obligations (this file) small and
+    auditable. *)
 
 type t
 

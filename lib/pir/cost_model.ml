@@ -76,6 +76,28 @@ let pir_batch_fetch_seconds t ~file_pages ~levels ~batch =
   let extra = float_of_int (max 0 (batch - 1)) in
   (pass +. (extra *. marginal)) *. page_op_seconds t
 
+(* Serving-frontend latencies.  The multi-tenant scheduler keeps a
+   virtual clock in model seconds; a query's served latency splits into
+   the time it sat queued (dispatch - arrival, both public events on
+   that clock) and the response time of the batch that served it.  Both
+   are functions of public quantities only — arrival timestamps, batch
+   widths and the layout constants above — so the scheduler's decisions
+   never have anything secret to read. *)
+
+let queueing_delay_seconds ~enqueued ~dispatched =
+  if dispatched < enqueued then
+    invalid_arg "Cost_model.queueing_delay_seconds: dispatched before enqueued";
+  dispatched -. enqueued
+
+(* The width-w service estimate the scheduler plans against: the batched
+   pass cost with the hierarchy depth derived from the same layout
+   formula the store uses, so the estimate and the executed charge agree
+   by construction. *)
+let batch_response_seconds t ~cache_capacity ~file_pages ~batch =
+  pir_batch_fetch_seconds t ~file_pages
+    ~levels:(pyramid_levels ~cache_capacity ~file_pages)
+    ~batch
+
 (* Recovery-path latencies.  All are deterministic functions of public
    quantities (attempt ordinals and Table 2 link constants), so charging
    them cannot leak: the oblivious-retry argument of DESIGN.md extends

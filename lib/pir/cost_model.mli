@@ -70,6 +70,22 @@ val pir_batch_fetch_seconds : t -> file_pages:int -> levels:int -> batch:int -> 
     or {!pyramid_levels} when simulating; 1 for the square-root store).
     [batch = 1] equals {!pir_fetch_seconds} exactly. *)
 
+val queueing_delay_seconds : enqueued:float -> dispatched:float -> float
+(** [dispatched - enqueued] on the serving frontend's virtual clock —
+    the queueing component of a served query's latency.  Both instants
+    are public events (arrival and batch dispatch), so the delay is
+    publicly derivable by construction.
+    @raise Invalid_argument when [dispatched < enqueued]. *)
+
+val batch_response_seconds :
+  t -> cache_capacity:int -> file_pages:int -> batch:int -> float
+(** {!pir_batch_fetch_seconds} with the hierarchy depth derived from
+    {!pyramid_levels} over the same layout constants the pyramid store
+    uses — the service-time estimate the multi-tenant scheduler plans
+    batch widths against, guaranteed to agree with the executed charge.
+    @raise Invalid_argument when [cache_capacity < 1], [file_pages < 1]
+    or [batch < 1]. *)
+
 val retry_backoff_seconds : base:float -> attempt:int -> float
 (** [base · 2{^attempt-1}] — the deterministic exponential backoff
     charged before retry number [attempt] (1-based).  Owned here so

@@ -1,0 +1,70 @@
+(* Plan-keyed dispatch over the same-plan merge core.
+
+   Batcher merges queries that share one public plan; this layer is the
+   other half of the split: it routes a mixed stream of (tenant, query)
+   pairs to per-tenant batchers and scatters the per-tenant results back
+   into submission order.  Nothing here reads query content — grouping
+   keys are tenant names, which the LBS knows anyway (each tenant is a
+   separately published database). *)
+
+module SMap = Map.Make (String)
+
+type t = { mutable servers : Server.t SMap.t; mutable order : string list }
+
+let create () = { servers = SMap.empty; order = [] }
+
+let register t ~name server =
+  if SMap.mem name t.servers then
+    invalid_arg (Printf.sprintf "Dispatch.register: duplicate tenant %S" name);
+  t.servers <- SMap.add name server t.servers;
+  t.order <- name :: t.order
+
+let names t = List.rev t.order
+let server t name = SMap.find_opt name t.servers
+
+let batcher t name ~width =
+  match server t name with
+  | None -> invalid_arg (Printf.sprintf "Dispatch.batcher: unknown tenant %S" name)
+  | Some s -> Batcher.start s ~width
+
+(* Stable partition: members keep their submission index, tenants appear
+   in first-seen order, and within a tenant the original order is
+   preserved — so a scatter back through the indices is a permutation
+   inverse, not a re-sort. *)
+type 'a group = { tenant : string; members : (int * 'a) array }
+
+let partition key items =
+  let tbl : (string, (int * 'a) list ref) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  Array.iteri
+    (fun i item ->
+      let k = key item in
+      let cell =
+        match Hashtbl.find_opt tbl k with
+        | Some cell -> cell
+        | None ->
+            let cell = ref [] in
+            Hashtbl.replace tbl k cell;
+            order := k :: !order;
+            cell
+      in
+      cell := (i, item) :: !cell)
+    items;
+  List.rev_map
+    (fun tenant ->
+      let cell = Hashtbl.find tbl tenant in
+      { tenant; members = Array.of_list (List.rev !cell) })
+    !order
+
+let scatter ~none groups =
+  let total =
+    List.fold_left (fun acc (g, _) -> acc + Array.length g.members) 0 groups
+  in
+  let out = Array.make total none in
+  List.iter
+    (fun (g, results) ->
+      if Array.length results <> Array.length g.members then
+        invalid_arg "Dispatch.scatter: one result per member required";
+      Array.iteri (fun j (i, _) -> out.(i) <- results.(j)) g.members)
+    groups;
+  out

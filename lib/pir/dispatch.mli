@@ -1,0 +1,53 @@
+(** Plan-keyed dispatch — the routing half of the batching split.
+
+    {!Batcher} is the same-plan merge core: it merges queries that walk
+    one public plan into single oblivious-store passes.  A multi-tenant
+    frontend additionally receives queries for {e different} plans (a CI
+    database next to a PI database, say) in one stream.  This module
+    owns that routing: a registry of named tenants, a stable partition
+    of a mixed stream into per-tenant groups, and the scatter that puts
+    per-tenant results back into submission order.
+
+    Grouping never reads query content.  The key is the tenant name —
+    public configuration the LBS knows anyway, since each tenant is a
+    separately published database — so a query's observable routing
+    depends only on which database it asked for, exactly what the
+    adversary already sees from the session it opens. *)
+
+type t
+(** A tenant registry: name → serving {!Server.t}. *)
+
+val create : unit -> t
+
+val register : t -> name:string -> Server.t -> unit
+(** Add a tenant.
+    @raise Invalid_argument on a duplicate name. *)
+
+val names : t -> string list
+(** Registered tenant names, in registration order. *)
+
+val server : t -> string -> Server.t option
+
+val batcher : t -> string -> width:int -> Batcher.t
+(** Open a same-plan merge core of [width] sessions against the named
+    tenant's server.
+    @raise Invalid_argument on an unknown tenant or [width <= 0]. *)
+
+(** {1 Stable partition / scatter} *)
+
+type 'a group = {
+  tenant : string;
+  members : (int * 'a) array;
+      (** (submission index, item), in submission order *)
+}
+
+val partition : ('a -> string) -> 'a array -> 'a group list
+(** Group a mixed stream by tenant key.  Tenants appear in first-seen
+    order; members keep their submission indices and relative order. *)
+
+val scatter : none:'b -> ('a group * 'b array) list -> 'b array
+(** Invert {!partition}: place each group's results (one per member, in
+    member order) back at the members' submission indices.  [none]
+    fills any index no group covers (partial serving).
+    @raise Invalid_argument when a group's result count differs from
+    its member count. *)

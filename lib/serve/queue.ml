@@ -1,0 +1,63 @@
+(* Per-tenant FIFO of pending jobs.  Everything this module stores or
+   reads is public: tenant names (separately published databases),
+   arrival instants on the virtual clock and submission indices.  The
+   endpoint node ids ride along opaquely — no operation here inspects
+   them; they are only opened by the client engine once the batch is
+   dispatched. *)
+
+type job = { tenant : string; src : int; dst : int; arrival : float; index : int }
+
+type lane = { jobs : job Stdlib.Queue.t; mutable pushed : int; mutable last : float }
+
+type t = {
+  lanes : (string, lane) Hashtbl.t;
+  mutable order : string list; (* first-push order, reversed *)
+  mutable pending : int;
+}
+
+let create () = { lanes = Hashtbl.create 8; order = []; pending = 0 }
+
+let lane t tenant =
+  match Hashtbl.find_opt t.lanes tenant with
+  | Some l -> l
+  | None ->
+      let l = { jobs = Stdlib.Queue.create (); pushed = 0; last = neg_infinity } in
+      Hashtbl.replace t.lanes tenant l;
+      t.order <- tenant :: t.order;
+      l
+
+let push t (j : job) =
+  let l = lane t j.tenant in
+  if j.arrival < l.last then
+    invalid_arg "Queue.push: arrivals must be nondecreasing per tenant";
+  Stdlib.Queue.push j l.jobs;
+  l.pushed <- l.pushed + 1;
+  l.last <- j.arrival;
+  t.pending <- t.pending + 1
+
+let depth t tenant =
+  match Hashtbl.find_opt t.lanes tenant with
+  | Some l -> Stdlib.Queue.length l.jobs
+  | None -> 0
+
+let pushed t tenant =
+  match Hashtbl.find_opt t.lanes tenant with Some l -> l.pushed | None -> 0
+
+let head_arrival t tenant =
+  match Hashtbl.find_opt t.lanes tenant with
+  | Some l -> Option.map (fun (j : job) -> j.arrival) (Stdlib.Queue.peek_opt l.jobs)
+  | None -> None
+
+let take t tenant ~max =
+  if max < 0 then invalid_arg "Queue.take: max must be >= 0";
+  match Hashtbl.find_opt t.lanes tenant with
+  | None -> [||]
+  | Some l ->
+      let n = min max (Stdlib.Queue.length l.jobs) in
+      t.pending <- t.pending - n;
+      Array.init n (fun _ -> Stdlib.Queue.pop l.jobs)
+
+let tenants t =
+  List.filter (fun name -> depth t name > 0) (List.rev t.order)
+
+let total_depth t = t.pending

@@ -1,0 +1,45 @@
+(** Per-tenant FIFO of pending queries for the serving frontend.
+
+    The queue stores only public facts: which tenant (a separately
+    published database the LBS already distinguishes by the session
+    opened against it), when the query arrived on the virtual clock and
+    its submission index.  The endpoint node ids ride along opaquely —
+    nothing here reads them; the client engine opens them only after
+    the batch is dispatched. *)
+
+type job = {
+  tenant : string;  (** which published database the query targets *)
+  src : int;
+  dst : int;  (** endpoint node ids — carried, never inspected here *)
+  arrival : float;  (** arrival instant on the scheduler's virtual clock *)
+  index : int;  (** submission index, for scatter-back *)
+}
+
+type t
+
+val create : unit -> t
+
+val push : t -> job -> unit
+(** Append to the job's tenant lane.
+    @raise Invalid_argument when the arrival precedes the lane's most
+    recently pushed arrival (per-tenant arrivals must be
+    nondecreasing). *)
+
+val depth : t -> string -> int
+(** Pending jobs in one tenant's lane (0 for unknown tenants). *)
+
+val pushed : t -> string -> int
+(** Total jobs ever pushed to the lane — taken ones included. *)
+
+val head_arrival : t -> string -> float option
+(** Arrival instant of the lane's oldest pending job. *)
+
+val take : t -> string -> max:int -> job array
+(** Pop up to [max] jobs from the lane's head, oldest first.
+    @raise Invalid_argument when [max < 0]. *)
+
+val tenants : t -> string list
+(** Tenants with at least one pending job, in first-push order. *)
+
+val total_depth : t -> int
+(** Pending jobs across all lanes. *)

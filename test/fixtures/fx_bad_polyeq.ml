@@ -23,3 +23,12 @@ let interned (s [@secret]) (t : string) =
 (* Immediate comparisons are constant-time: no findings. *)
 let same_int (a [@secret]) (b : int) = a = b [@@oblivious]
 let same_char (c [@secret]) (d : char) = c <> d [@@oblivious]
+
+(* An abbreviation chain ending in a non-immediate is still flagged:
+   expansion must not turn every alias into an exemption. *)
+type digest = string
+type fingerprint = digest
+
+let same_digest (a [@secret] : fingerprint) (b : fingerprint) =
+  a = b (* EXPECT: secret-compare *)
+  [@@oblivious]

@@ -22,5 +22,23 @@ let balanced_touch (bit [@secret]) pages =
   [@leak_ok "balanced branch: both arms write exactly one slot of a local array"]
   [@@oblivious]
 
+(* Abbreviations of immediate types compare in constant time: the
+   exemption expands the manifest chain before deciding immediacy. *)
+type node_id = int
+type id_alias = node_id
+
+let same_node (a [@secret] : node_id) (b : node_id) = a = b [@@oblivious]
+let same_alias (a [@secret] : id_alias) (b : id_alias) = a <> b [@@oblivious]
+
+(* The compiler-generated default-select of an optional argument
+   ([?(pos = 0)]) is not a secret branch: the discriminator is whether
+   the caller supplied the argument — call-site syntax, public. *)
+let at ?(pos = 0) (buf [@secret]) = Bytes.get buf pos [@@oblivious]
+
+(* The regression shape of the one historical baseline entry: a secret
+   supplied *as* the optional argument must not count as steering the
+   default-select (whole-program mode applies [at]'s summary here). *)
+let read_at (i [@secret]) buf = at ~pos:i buf [@@oblivious]
+
 (* Non-oblivious helpers are out of scope: effects are fine here. *)
 let debug_print x = Printf.printf "x=%d\n" x

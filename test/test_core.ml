@@ -199,12 +199,16 @@ let test_response_time_algebra () =
     { Response_time.pir_seconds = 1.0;
       comm_seconds = 2.0;
       server_cpu_seconds = 0.5;
-      client_seconds = 0.25 }
+      client_seconds = 0.25;
+      queue_seconds = 0.5 }
   in
-  Alcotest.(check (float 1e-9)) "total" 3.75 (Response_time.total a);
+  Alcotest.(check (float 1e-9)) "total" 4.25 (Response_time.total a);
+  Alcotest.(check (float 1e-9)) "with_queue replaces"
+    1.25
+    (Response_time.with_queue ~seconds:1.25 a).Response_time.queue_seconds;
   let m = Response_time.mean [ a; Response_time.zero ] in
   Alcotest.(check (float 1e-9)) "mean" 0.5 m.Response_time.pir_seconds;
-  Alcotest.(check (float 1e-9)) "mean total" 1.875 (Response_time.total m)
+  Alcotest.(check (float 1e-9)) "mean total" 2.125 (Response_time.total m)
 
 let test_obf_returns_real_path () =
   let obf = Obf.create ~cost ~seed:7 g in

@@ -172,7 +172,7 @@ let check_fixture name () =
 let test_good_audit () =
   let r = Lint.analyze_cmt (fixture_cmt "fx_good") in
   Alcotest.(check (list string)) "no read errors" [] r.errors;
-  Alcotest.(check int) "five audited functions" 5 (List.length r.audits);
+  Alcotest.(check int) "nine audited functions" 9 (List.length r.audits);
   Alcotest.(check bool) "one justified site" true
     (List.exists (fun (a : Finding.audit) -> a.justified = 1) r.audits);
   (* debug_print is not [@@oblivious], so its printf must not appear *)
@@ -219,6 +219,15 @@ let test_interproc_chain () =
            (fun (fr : Finding.frame) -> Filename.basename fr.fr_file)
            f.Finding.chain)
   | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
+
+(* fx_good must stay clean in whole-program mode too: [read_at] passes a
+   secret as [at]'s optional argument, so [at]'s summary must not carry a
+   sink for the compiler-generated default-select ([?(pos = 0)]), and the
+   abbreviation exemption must hold with summaries applied. *)
+let test_good_whole_program () =
+  let r = Lint.run_program ~root:"." (interproc_cmts [ "fx_good" ]) in
+  Alcotest.(check (list string)) "no read errors" [] r.errors;
+  Alcotest.(check (list finding_pair)) "clean" [] (found_pairs r)
 
 (* Without linking, the same module is vacuously clean: the flow exists
    only in the whole-program view. *)
@@ -399,7 +408,9 @@ let () =
             (check_fixture "fx_regression_audit");
           Alcotest.test_case "exit codes" `Quick test_exit_codes ] );
       ( "interproc",
-        [ Alcotest.test_case "cross-module chain" `Quick test_interproc_chain;
+        [ Alcotest.test_case "good is clean whole-program" `Quick
+            test_good_whole_program;
+          Alcotest.test_case "cross-module chain" `Quick test_interproc_chain;
           Alcotest.test_case "per-module is blind" `Quick
             test_interproc_per_module_blind;
           Alcotest.test_case "unanalyzed module" `Quick test_unanalyzed_module ] );
