@@ -23,6 +23,7 @@ let all_experiments : (string * string * (Harness.env -> unit)) list =
     ("resilience", "resilience: retry cost under fault injection", Experiments.resilience);
     ("batch", "batched serving: response vs batch width", Experiments.batch);
     ("serve", "multi-tenant serving: adaptive vs fixed batch width", Experiments.serve);
+    ("pipeline", "pipelined serving: decode/fetch overlap vs synchronous", Experiments.pipeline);
     ("replication", "replicated serving: availability under chaos", Experiments.replication);
     ("kernels", "bechamel kernel micro-benchmarks", fun env -> Kernels.run env) ]
 

@@ -409,6 +409,16 @@ let serve_cmd =
          & info [ "policy" ] ~docv:"POLICY"
              ~doc:"$(b,adaptive) or $(b,fixed:W) (fill-or-timeout at width W).")
   in
+  let pipeline_arg =
+    Arg.(value & opt int 0
+         & info [ "pipeline" ] ~docv:"DEPTH"
+             ~doc:"Execute batches through the effects-based pipeline with up \
+                   to $(docv) batches in flight (fetch overlaps earlier \
+                   batches' decode).  Uses the fixed width of \
+                   $(b,--policy fixed:W), or $(b,--max-width) under the \
+                   adaptive policy.  0 (default) disables pipelining; 1 is \
+                   the synchronous schedule.")
+  in
   let percentile sorted q =
     let n = Array.length sorted in
     if n = 0 then nan
@@ -417,7 +427,7 @@ let serve_cmd =
       sorted.(max 0 (min (n - 1) (rank - 1)))
   in
   let run preset preset_scale gr co seed page_size tenants count arrivals slo min_width
-      max_width policy faults fault_seed metrics =
+      max_width policy pipeline faults fault_seed metrics =
     let policy =
       match String.lowercase_ascii policy with
       | "adaptive" -> Psp_serve.Scheduler.Adaptive
@@ -430,6 +440,18 @@ let serve_cmd =
               | Some w when w >= 1 -> Psp_serve.Scheduler.Fixed w
               | _ -> failwith (Printf.sprintf "bad --policy %S: fixed:W needs W >= 1" p))
           | _ -> failwith (Printf.sprintf "unknown --policy %S" p))
+    in
+    let policy =
+      if pipeline < 0 then failwith "--pipeline needs DEPTH >= 0"
+      else if pipeline = 0 then policy
+      else
+        let width =
+          match policy with
+          | Psp_serve.Scheduler.Fixed w -> w
+          | Psp_serve.Scheduler.Adaptive | Psp_serve.Scheduler.Pipelined _ ->
+              max_width
+        in
+        Psp_serve.Scheduler.Pipelined { width; depth = pipeline }
     in
     let process =
       match Psp_netgen.Workload.arrival_of_string arrivals with
@@ -475,7 +497,9 @@ let serve_cmd =
       (List.length built)
       (match policy with
       | Psp_serve.Scheduler.Adaptive -> "adaptive"
-      | Psp_serve.Scheduler.Fixed w -> Printf.sprintf "fixed:%d" w)
+      | Psp_serve.Scheduler.Fixed w -> Printf.sprintf "fixed:%d" w
+      | Psp_serve.Scheduler.Pipelined { width; depth } ->
+          Printf.sprintf "pipelined:%dx%d" width depth)
       slo;
     let unavailable = ref 0 in
     List.iter
@@ -568,7 +592,8 @@ let serve_cmd =
     Term.(
       const run $ preset_arg $ preset_scale $ gr_arg $ co_arg $ seed_arg
       $ page_size_arg $ tenants_arg $ count $ arrivals_arg $ slo_arg $ min_width_arg
-      $ max_width_arg $ policy_arg $ fault_arg $ fault_seed_arg $ metrics_arg)
+      $ max_width_arg $ policy_arg $ pipeline_arg $ fault_arg $ fault_seed_arg
+      $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* trace *)

@@ -1,0 +1,240 @@
+(* Effects-based pipelined session executor.
+
+   Each submitted batch runs as a fiber under a deep effect handler.
+   The engine (via the {!pacing} adapter) performs [Yield (Fetch _)] /
+   [Yield (Decode _)] to report its public phase costs and [Release]
+   at its release point — strictly after the last server-visible
+   operation of the walk.  The handler parks the continuation there;
+   the remaining tail (solve, result assembly) is client-local, so
+   running it later cannot reorder anything the server observes.  Real
+   execution order is: fiber i runs to its release point, then fiber
+   i+1 starts; parked tails are resumed by window pressure (at most
+   [depth] outstanding), [await] or [drain].
+
+   The *reported* timeline is modeled, not measured: a serial server
+   resource (fetch intervals never overlap each other) plus a bounded
+   window (batch i's fetch waits for batch i-depth's completion).
+   Depth 1 collapses to the synchronous schedule.  All inputs to the
+   model — ready instants, accounted fetch seconds, plan-fixed decode
+   volumes — are public, so scheduling decisions never touch query
+   content. *)
+
+module Obs = Psp_obs.Obs
+module Engine = Psp_core.Engine
+
+type phase = Fetch of float | Decode of float
+
+type _ Effect.t +=
+  | Yield : phase -> unit Effect.t
+  | Release : unit Effect.t
+
+let yield p = Effect.perform (Yield p)
+let release () = Effect.perform Release
+
+let pacing ~decode_seconds =
+  { Engine.on_server = (fun ~seconds -> yield (Fetch seconds));
+    on_decode = (fun ~bytes -> yield (Decode (decode_seconds ~bytes)));
+    on_release = release }
+
+(* One handler slice ends either with the fiber's value or with its
+   continuation parked at the release point. *)
+type 'a slice =
+  | Slice_done of 'a
+  | Slice_parked of (unit, 'a slice) Effect.Deep.continuation
+
+type 'a state =
+  | Parked of (unit, 'a slice) Effect.Deep.continuation
+  | Finished of 'a
+  | Poisoned  (* running, or its tail raised *)
+
+type 'a job = {
+  j_ready : float;
+  mutable j_fetch : float;  (* summed Fetch yields *)
+  mutable j_decode : float;  (* summed Decode yields *)
+  mutable j_started : float;
+  mutable j_fetch_end : float;
+  mutable j_completed : float;
+  mutable j_overlap : float;
+  mutable j_ctx : Obs.context;  (* the fiber's span stack while parked *)
+  mutable j_state : 'a state;
+}
+
+type 'a t = {
+  t_depth : int;
+  mutable t_server_free : float;  (* end of the last scheduled fetch interval *)
+  mutable t_window : 'a job list;  (* last [<= depth] scheduled jobs, oldest first *)
+  mutable t_parked : 'a job list;  (* released fibers, oldest first *)
+  mutable t_makespan : float;
+  mutable t_total_decode : float;
+  mutable t_total_overlap : float;
+}
+
+(* Instruments are interned at module load, so they exist — and the
+   telemetry shape is identical — in every configuration that links
+   this library, used or not.  The counter value (one per submitted
+   batch) and the histogram sample count (exactly one observation per
+   job, at window eviction or drain) depend only on how many batches
+   ran, never on the depth; gauge values and histogram magnitudes are
+   excluded from Obs.shape by design. *)
+let m_depth = Obs.gauge "pipeline.depth"
+let m_batches = Obs.counter "pipeline.batches"
+let m_overlap = Obs.histogram "pipeline.overlap_seconds"
+let m_overlap_fraction = Obs.gauge "pipeline.overlap_fraction"
+
+let create ?(depth = 2) () =
+  if depth < 1 then invalid_arg "Pipeline.create: depth >= 1";
+  Obs.set m_depth (float_of_int depth);
+  { t_depth = depth;
+    t_server_free = 0.0;
+    t_window = [];
+    t_parked = [];
+    t_makespan = 0.0;
+    t_total_decode = 0.0;
+    t_total_overlap = 0.0 }
+
+let depth t = t.t_depth
+
+(* Every slice of a fiber — first run and resumed tail alike — executes
+   on the job's own span stack; the executor's stack is restored on the
+   way out, exceptions included.  Obs.switch shifts the parked spans'
+   entry snapshots, so time and allocation spent by other fibers while
+   this one was parked are never attributed to its spans. *)
+let run_slice job thunk =
+  let outer = Obs.switch job.j_ctx in
+  match thunk () with
+  | st ->
+      job.j_ctx <- Obs.switch outer;
+      st
+  | exception e ->
+      job.j_ctx <- Obs.switch outer;
+      raise e
+
+let first_slice job f =
+  let open Effect.Deep in
+  run_slice job (fun () ->
+      match_with f ()
+        { retc = (fun v -> Slice_done v);
+          exnc = raise;
+          effc =
+            (fun (type b) (eff : b Effect.t) ->
+              match eff with
+              | Yield p ->
+                  Some
+                    (fun (k : (b, _) continuation) ->
+                      (match p with
+                      | Fetch s ->
+                          if s < 0.0 then
+                            invalid_arg "Pipeline: negative fetch seconds";
+                          job.j_fetch <- job.j_fetch +. s
+                      | Decode s ->
+                          if s < 0.0 then
+                            invalid_arg "Pipeline: negative decode seconds";
+                          job.j_decode <- job.j_decode +. s);
+                      continue k ())
+              | Release -> Some (fun (k : (b, _) continuation) -> Slice_parked k)
+              | _ -> None) })
+
+(* Resume the oldest parked tail to completion. *)
+let resume_tail t =
+  match t.t_parked with
+  | [] -> ()
+  | job :: rest -> (
+      t.t_parked <- rest;
+      match job.j_state with
+      | Parked k -> (
+          job.j_state <- Poisoned;
+          match run_slice job (fun () -> Effect.Deep.continue k ()) with
+          | Slice_done v -> job.j_state <- Finished v
+          | Slice_parked _ -> failwith "Pipeline: fiber released twice")
+      | Finished _ | Poisoned -> ())
+
+(* Place the job on the modeled timeline.  The window gate is the
+   completion instant of the job [depth] submissions ago (the window
+   list holds exactly the last [depth] scheduled jobs); overlap is the
+   intersection of this fetch interval with the decode intervals still
+   in the window. *)
+let schedule t job =
+  let window_gate =
+    if List.length t.t_window >= t.t_depth then (List.hd t.t_window).j_completed
+    else neg_infinity
+  in
+  let s = Float.max job.j_ready (Float.max t.t_server_free window_gate) in
+  let e = s +. job.j_fetch in
+  let c = e +. job.j_decode in
+  job.j_started <- s;
+  job.j_fetch_end <- e;
+  job.j_completed <- c;
+  t.t_server_free <- e;
+  if c > t.t_makespan then t.t_makespan <- c;
+  t.t_total_decode <- t.t_total_decode +. job.j_decode;
+  List.iter
+    (fun w ->
+      let lo = Float.max s w.j_fetch_end and hi = Float.min e w.j_completed in
+      if hi > lo then begin
+        w.j_overlap <- w.j_overlap +. (hi -. lo);
+        t.t_total_overlap <- t.t_total_overlap +. (hi -. lo)
+      end)
+    t.t_window;
+  t.t_window <- t.t_window @ [ job ];
+  match t.t_window with
+  | oldest :: rest when List.length t.t_window > t.t_depth ->
+      Obs.observe m_overlap oldest.j_overlap;
+      t.t_window <- rest
+  | _ -> ()
+
+let submit t ~ready f =
+  if not (ready >= 0.0) then invalid_arg "Pipeline.submit: ready must be >= 0";
+  (* Keep the real in-flight window within [depth]: at depth 1 this
+     resumes the previous tail before the new fetch pass runs — the
+     synchronous execution order, exactly. *)
+  while List.length t.t_parked >= t.t_depth do
+    resume_tail t
+  done;
+  let job =
+    { j_ready = ready;
+      j_fetch = 0.0;
+      j_decode = 0.0;
+      j_started = 0.0;
+      j_fetch_end = 0.0;
+      j_completed = 0.0;
+      j_overlap = 0.0;
+      j_ctx = Obs.context ();
+      j_state = Poisoned }
+  in
+  (match first_slice job f with
+  | Slice_done v -> job.j_state <- Finished v
+  | Slice_parked k ->
+      job.j_state <- Parked k;
+      t.t_parked <- t.t_parked @ [ job ]);
+  schedule t job;
+  Obs.incr m_batches;
+  job
+
+let rec await t job =
+  match job.j_state with
+  | Finished v -> v
+  | Parked _ ->
+      resume_tail t;
+      await t job
+  | Poisoned -> failwith "Pipeline.await: fiber failed"
+
+let drain t =
+  while t.t_parked <> [] do
+    resume_tail t
+  done;
+  List.iter (fun w -> Obs.observe m_overlap w.j_overlap) t.t_window;
+  t.t_window <- [];
+  let frac =
+    if t.t_total_decode > 0.0 then t.t_total_overlap /. t.t_total_decode else 0.0
+  in
+  Obs.set m_overlap_fraction frac
+
+let result job = match job.j_state with Finished v -> Some v | _ -> None
+let started_at job = job.j_started
+let fetch_finished_at job = job.j_fetch_end
+let completed_at job = job.j_completed
+let fetch_seconds job = job.j_fetch
+let decode_seconds job = job.j_decode
+let overlap_seconds job = job.j_overlap
+let in_flight t = List.length t.t_parked
+let makespan t = t.t_makespan

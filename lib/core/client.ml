@@ -161,8 +161,8 @@ let query ?(pad = true) ?(retry = default_retry) server ~sx:(sx [@secret])
 (* Batched serving: N same-plan queries walk the plan in lockstep, each
    fetch slot becoming one merged oblivious-store pass (Batcher). *)
 
-let query_batch ?(pad = true) ?(retry = default_retry) server
-    (queries : endpoints array) =
+let query_batch ?(pad = true) ?(retry = default_retry)
+    ?(pacing = Engine.sequential) server (queries : endpoints array) =
   (let width = Array.length queries in
    if width = 0 then [||]
    else begin
@@ -200,7 +200,7 @@ let query_batch ?(pad = true) ?(retry = default_retry) server
               | Some scheme ->
                   let ctx = { Engine.header; psize; pad } in
                   let qs = Array.map (locate header) queries in
-                  `Answers (Engine.run_batch scheme batcher ~policy:retry ctx qs)
+                  `Answers (Engine.run_batch ~pacing scheme batcher ~policy:retry ctx qs)
             with
            | v -> Ok v
            | exception Engine.Gave_up { point; attempts } ->
@@ -374,8 +374,8 @@ let query_nodes ?pad ?retry server g (s [@secret]) (t [@secret]) =
   query ?pad ?retry server ~sx ~sy ~tx ~ty
   [@@oblivious]
 
-let query_nodes_batch ?pad ?retry server g (pairs [@secret]) =
-  query_batch ?pad ?retry server
+let query_nodes_batch ?pad ?retry ?pacing server g (pairs [@secret]) =
+  query_batch ?pad ?retry ?pacing server
     (Array.map
        (fun (s, t) ->
          let sx, sy = Psp_graph.Graph.coords g s in

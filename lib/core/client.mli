@@ -91,6 +91,7 @@ val query :
 val query_batch :
   ?pad:bool ->
   ?retry:retry_policy ->
+  ?pacing:Engine.pacing ->
   Psp_pir.Server.t ->
   endpoints array ->
   result array
@@ -103,7 +104,12 @@ val query_batch :
     batch's wall-clock.  The batch width is public.  A batch-granular
     fault that exhausts the retry budget degrades {e every} member to
     [Unavailable] identically.  An empty array returns an empty array
-    without contacting the server. *)
+    without contacting the server.
+
+    [pacing] (default {!Engine.sequential}) threads the engine's phase
+    reports to an execution scheduler; {!Psp_async.Pipeline} suspends
+    the call at the engine's release point through it.  It changes
+    nothing about what the server observes. *)
 
 (** {1 Replicated serving}
 
@@ -194,6 +200,7 @@ val query_nodes :
 val query_nodes_batch :
   ?pad:bool ->
   ?retry:retry_policy ->
+  ?pacing:Engine.pacing ->
   Psp_pir.Server.t ->
   Psp_graph.Graph.t ->
   (int * int) array ->

@@ -91,17 +91,63 @@ type transport = {
   next_round : unit -> unit;
   fetch : file:string -> int array -> bytes array;
   on_retry : backoff:float -> unit;
+  accounted : unit -> float;
 }
 
 let session_transport session =
   { next_round = (fun () -> Session.next_round session);
     fetch = (fun ~file pages -> [| Session.fetch session ~file ~page:pages.(0) |]);
-    on_retry = (fun ~backoff -> Session.note_retry session ~backoff) }
+    on_retry = (fun ~backoff -> Session.note_retry session ~backoff);
+    accounted = (fun () -> Session.accounted_seconds session) }
 
 let batcher_transport batcher =
   { next_round = (fun () -> Batcher.next_round batcher);
     fetch = (fun ~file pages -> Batcher.fetch batcher ~file ~pages);
-    on_retry = (fun ~backoff -> Batcher.note_retry batcher ~backoff) }
+    on_retry = (fun ~backoff -> Batcher.note_retry batcher ~backoff);
+    accounted =
+      (fun () ->
+        Array.fold_left
+          (fun acc s -> acc +. Session.accounted_seconds s)
+          0.0 (Batcher.sessions batcher)) }
+
+(* ------------------------------------------------------------------ *)
+(* Pacing: how a walk reports its phase boundaries to an execution
+   scheduler.  A pipelined executor (Psp_async.Pipeline) threads a
+   record whose [on_release] suspends the running fiber at the release
+   point — after the last server-visible operation, before the
+   client-local solve — so the next batch's PIR pass can start while
+   this batch decodes.  Everything reported is public: the accounted
+   server seconds are plan-determined aggregates, and the decode byte
+   count is plan-fixed (slot count x page size, overflow excluded) by
+   construction.  The default is inert, so sequential callers pay
+   nothing. *)
+
+type pacing = {
+  on_server : seconds:float -> unit;
+      (* total server-side accounted seconds at the release point *)
+  on_decode : bytes:int -> unit;
+      (* plan-fixed delivered byte volume the client decodes *)
+  on_release : unit -> unit;
+      (* the suspension point: server done, client tail remains *)
+}
+
+let sequential =
+  { on_server = (fun ~seconds:_ -> ());
+    on_decode = (fun ~bytes:_ -> ());
+    on_release = (fun () -> ()) }
+
+(* Plan-fixed fetch slots per member: the sum of the public step list's
+   window counts.  Overflow fetches are deliberately excluded — their
+   count is query-dependent (the documented access-pattern cost of the
+   unpadded/overflow modes), so pricing them would leak. *)
+let plan_slots ctx =
+  List.fold_left
+    (fun acc step ->
+      match step with
+      | QP.Fetch_window { count; _ } -> acc + count
+      | QP.Next_round | QP.Decode_barrier _ -> acc)
+    0
+    (QP.steps ctx.header.H.plan ~pages_per_region:ctx.header.H.pages_per_region)
 
 (* ------------------------------------------------------------------ *)
 (* The walker: one engine drives every scheme over the public step list,
@@ -189,18 +235,32 @@ let walk (type s) (module S : SCHEME with type state = s) transport ~policy ctx
      access-pattern cost; the loop stops as soon as no member needs real data"]
   [@@oblivious]
 
-let run_transport (module S : SCHEME) transport ~policy ctx queries =
+let run_transport (module S : SCHEME) transport ~policy ~pacing ctx queries =
   let states = Array.map (S.init ctx) queries in
-  walk (module S) transport ~policy ctx states;
+  (* Phase reports are unconditional — every walk reports exactly once,
+     including walks aborted by retry exhaustion or replica failure, so
+     an execution scheduler's accounting never depends on the outcome.
+     The release point sits after the last server-visible operation
+     (the overflow loop included): a suspended fiber has nothing left
+     to say to the server, so resuming it later cannot reorder the
+     server-visible schedule. *)
+  (match walk (module S) transport ~policy ctx states with
+  | () -> pacing.on_server ~seconds:(transport.accounted ())
+  | exception e ->
+      pacing.on_server ~seconds:(transport.accounted ());
+      raise e);
+  pacing.on_decode ~bytes:(Array.length queries * plan_slots ctx * ctx.psize);
+  pacing.on_release ();
   Obs.with_span "solve" (fun () -> Array.map S.answer states)
   [@@oblivious]
 
 let run scheme session ~policy ctx q =
-  (run_transport scheme (session_transport session) ~policy ctx [| q |]).(0)
+  (run_transport scheme (session_transport session) ~policy ~pacing:sequential ctx
+     [| q |]).(0)
   [@@oblivious]
 
-let run_batch scheme batcher ~policy ctx queries =
+let run_batch ?(pacing = sequential) scheme batcher ~policy ctx queries =
   if Array.length queries <> Psp_pir.Batcher.width batcher then
     invalid_arg "Engine.run_batch: one query per batcher session required";
-  run_transport scheme (batcher_transport batcher) ~policy ctx queries
+  run_transport scheme (batcher_transport batcher) ~policy ~pacing ctx queries
   [@@oblivious]

@@ -85,6 +85,44 @@ val with_retry :
     traces stay indistinguishable under any fixed fault schedule.
     @raise Gave_up when the budget is exhausted. *)
 
+(** {2 Pacing: phase reports for pipelined execution}
+
+    The walk has two phases with different resources: a {e server}
+    phase (every PIR round, the overflow loop included) bounded by the
+    serial SCP, and a {e client tail} (trailing decode plus the solve
+    over the accumulated store) that only burns handheld CPU.  A
+    {!pacing} record lets an execution scheduler see the boundary: the
+    engine reports the accounted server seconds and the plan-fixed
+    decode byte volume, then calls [on_release] {e after} the last
+    server-visible operation and {e before} the solve.
+    {!Psp_async.Pipeline} implements [on_release] as an effect that
+    suspends the running fiber there, so the next batch's PIR pass
+    overlaps this batch's tail.  Because a released walk has nothing
+    left to say to the server, resuming the tail later cannot reorder
+    the server-visible schedule — only wall-clock timing changes.
+
+    Everything reported is public: accounted seconds are
+    plan-determined cost aggregates, and the byte count is the public
+    step list's slot count times the page size (overflow fetches are
+    deliberately excluded — their count is query-dependent).  Reports
+    fire exactly once per walk, on aborted walks too, so a scheduler's
+    accounting never depends on the outcome. *)
+
+type pacing = {
+  on_server : seconds:float -> unit;
+      (** total server-side accounted seconds at the release point
+          ({!Psp_pir.Server.Session.accounted_seconds} summed over the
+          transport's sessions) *)
+  on_decode : bytes:int -> unit;
+      (** plan-fixed byte volume the client-side decode consumes:
+          members × plan slots × page size *)
+  on_release : unit -> unit;
+      (** the suspension point: server done, client tail remains *)
+}
+
+val sequential : pacing
+(** The inert default: all three hooks do nothing. *)
+
 val run :
   scheme ->
   Psp_pir.Server.Session.t ->
@@ -97,6 +135,7 @@ val run :
     database. *)
 
 val run_batch :
+  ?pacing:pacing ->
   scheme ->
   Psp_pir.Batcher.t ->
   policy:retry_policy ->

@@ -60,5 +60,6 @@ let query ?(placement = Uniform) t ~set_size ~s ~t_node =
       comm_seconds = comm;
       server_cpu_seconds = server_cpu;
       client_seconds = 0.0;
+      decode_seconds = 0.0;
       queue_seconds = 0.0 },
     !result )

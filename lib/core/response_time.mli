@@ -10,6 +10,12 @@ type t = {
   comm_seconds : float;  (** simulated transfer time (3G link) *)
   server_cpu_seconds : float;  (** plaintext server work (OBF only) *)
   client_seconds : float;  (** client-side decode + Dijkstra *)
+  decode_seconds : float;
+      (** modeled handheld decode time for the plan-fixed delivered byte
+          volume ({!Psp_pir.Cost_model.decode_seconds}); reported
+          separately by the pipelined scheduler, whose overlap analysis
+          needs the decode phase distinguished from [client_seconds]
+          (the measured host-CPU share); 0 elsewhere *)
   queue_seconds : float;
       (** time spent waiting in the serving frontend's queue before the
           batch that served the query was dispatched
@@ -41,6 +47,11 @@ val of_replicated : Client.replicated -> t array
 val with_queue : seconds:float -> t -> t
 (** Replace the queueing component (the scheduler charges it once per
     served query).
+    @raise Invalid_argument when [seconds < 0]. *)
+
+val with_decode : seconds:float -> t -> t
+(** Replace the modeled-decode component (the pipelined scheduler
+    charges it once per served query).
     @raise Invalid_argument when [seconds < 0]. *)
 
 val add : t -> t -> t

@@ -9,6 +9,7 @@ type t = {
   scp_memory : int;
   pir_memory_factor : int;
   pir_calibration : float;
+  client_decode_rate : float;
 }
 
 let ibm4764 =
@@ -21,7 +22,8 @@ let ibm4764 =
     rtt = 0.7;
     scp_memory = 32 * 1024 * 1024;
     pir_memory_factor = 10;
-    pir_calibration = 0.26 }
+    pir_calibration = 0.26;
+    client_decode_rate = 2.0e5 }
 
 let page_op_seconds t =
   let p = float_of_int t.page_size in
@@ -83,6 +85,27 @@ let pir_batch_fetch_seconds t ~file_pages ~levels ~batch =
    are functions of public quantities only — arrival timestamps, batch
    widths and the layout constants above — so the scheduler's decisions
    never have anything secret to read. *)
+
+(* Client-side decode of a batch's delivered pages (decrypt, CRC,
+   record parse) on the handheld's CPU.  The byte count priced here must
+   be plan-fixed — slot count x page size, never the delivered real
+   payloads — so the decode schedule the pipelined executor plans
+   against stays a public quantity. *)
+let decode_seconds t ~bytes =
+  if bytes < 0 then invalid_arg "Cost_model.decode_seconds: bytes >= 0";
+  float_of_int bytes /. t.client_decode_rate
+
+(* The steady-state response estimate of a depth-d pipelined stream of
+   identical batches: completions are spaced max(fetch, (fetch +
+   decode)/d) apart — the serial SCP bounds the spacing below by the
+   fetch pass, and a window of d in-flight batches divides the full
+   synchronous round (fetch + decode) by d.  depth = 1 reduces exactly
+   to the synchronous sum. *)
+let pipelined_response_seconds ~fetch ~decode ~depth =
+  if depth < 1 then invalid_arg "Cost_model.pipelined_response_seconds: depth >= 1";
+  if fetch < 0.0 || decode < 0.0 then
+    invalid_arg "Cost_model.pipelined_response_seconds: negative phase cost";
+  Float.max fetch ((fetch +. decode) /. float_of_int depth)
 
 let queueing_delay_seconds ~enqueued ~dispatched =
   if dispatched < enqueued then

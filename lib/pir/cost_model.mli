@@ -23,12 +23,16 @@ type t = {
   scp_memory : int;           (** SCP RAM, bytes *)
   pir_memory_factor : int;    (** the c in c·√N *)
   pir_calibration : float;    (** page-ops per retrieval = calibration·log2(N)² *)
+  client_decode_rate : float;
+      (** bytes/second the handheld client decodes delivered pages at
+          (decrypt + CRC + record parse) *)
 }
 
 val ibm4764 : t
 (** Table 2: 4 KByte pages, 11 ms seek, 125 MB/s disk, 80 MB/s SCP I/O,
     10 MB/s SCP crypto, 48 KByte/s & 700 ms RTT 3G link, 32 MByte SCP
-    RAM, c = 10, calibration 0.26 (≈1 s/page on a 1 GByte file). *)
+    RAM, c = 10, calibration 0.26 (≈1 s/page on a 1 GByte file),
+    200 KByte/s client decode (a 2010-era handheld's AES + parse). *)
 
 val page_op_seconds : t -> float
 (** One secure page operation: seek + disk transfer + SCP transfer +
@@ -69,6 +73,23 @@ val pir_batch_fetch_seconds : t -> file_pages:int -> levels:int -> batch:int -> 
     the serving store's hierarchy depth ({!Pyramid_store.level_count},
     or {!pyramid_levels} when simulating; 1 for the square-root store).
     [batch = 1] equals {!pir_fetch_seconds} exactly. *)
+
+val decode_seconds : t -> bytes:int -> float
+(** Client-side decode time (decrypt + CRC + record parse) for [bytes]
+    of delivered pages at {!field-client_decode_rate}.  Callers must
+    price {e plan-fixed} byte counts (slot count × page size), never
+    the real delivered payloads, so the quantity stays public.
+    @raise Invalid_argument when [bytes < 0]. *)
+
+val pipelined_response_seconds : fetch:float -> decode:float -> depth:int -> float
+(** Steady-state per-batch response of a depth-[d] pipelined stream of
+    identical batches: [max fetch ((fetch + decode) / d)] — the serial
+    SCP bounds completion spacing below by the fetch pass, while a
+    window of [d] in-flight batches divides the synchronous round
+    (fetch {e plus} decode) by [d].  [depth = 1] is exactly the
+    synchronous sum, the overlap-free baseline.
+    @raise Invalid_argument when [depth < 1] or a phase cost is
+    negative. *)
 
 val queueing_delay_seconds : enqueued:float -> dispatched:float -> float
 (** [dispatched - enqueued] on the serving frontend's virtual clock —

@@ -456,6 +456,14 @@ module Session = struct
     t.comm_seconds <- t.comm_seconds +. backoff
     [@@oblivious]
 
+  (* Server-side accounted seconds so far: the same pir + comm + cpu
+     total [finish] will report, readable mid-session.  The pipelined
+     executor samples it at the session's release point to place the
+     batch's fetch phase on its virtual timeline — a public aggregate
+     of plan-determined charges. *)
+  let accounted_seconds t =
+    t.pir_seconds +. t.comm_seconds +. t.server_cpu_seconds
+
   let finish t =
     (* simulated cost-model totals: deterministic functions of the plan *)
     Obs.observe m_pir_seconds t.pir_seconds;

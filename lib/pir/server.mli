@@ -176,6 +176,14 @@ module Session : sig
       backoff must depend only on the attempt number (see the
       oblivious-retry argument in DESIGN.md). *)
 
+  val accounted_seconds : t -> float
+  (** Server-side cost accounted so far — [pir + comm + server_cpu],
+      the same total the eventual {!finish} stats report, readable
+      mid-session.  The pipelined executor ({!Psp_async.Pipeline})
+      samples it at a session's release point to place the batch's
+      fetch phase on its virtual timeline.  A public aggregate of
+      plan-determined charges. *)
+
   type stats = {
     rounds : int;
     pir_seconds : float;        (** time inside the PIR protocol *)

@@ -3,8 +3,9 @@ module Server = Psp_pir.Server
 module Cost_model = Psp_pir.Cost_model
 module Client = Psp_core.Client
 module Response_time = Psp_core.Response_time
+module Pipeline = Psp_async.Pipeline
 
-type policy = Adaptive | Fixed of int
+type policy = Adaptive | Fixed of int | Pipelined of { width : int; depth : int }
 
 type config = { min_width : int; max_width : int; slo : float; policy : policy }
 
@@ -54,7 +55,7 @@ type report = {
 
 let decide_width cfg ~age ~depth ~ests =
   match cfg.policy with
-  | Fixed w -> max 1 (min w depth)
+  | Fixed w | Pipelined { width = w; _ } -> max 1 (min w depth)
   | Adaptive ->
       let w = ref (max cfg.min_width (min cfg.max_width depth)) in
       while !w > cfg.min_width && age +. ests.(!w) > cfg.slo do
@@ -69,7 +70,7 @@ let decide_width cfg ~age ~depth ~ests =
 let lane_deadline cfg ~head =
   match cfg.policy with
   | Adaptive -> head
-  | Fixed _ -> head +. cfg.slo
+  | Fixed _ | Pipelined _ -> head +. cfg.slo
   [@@oblivious]
 
 (* ------------------------------------------------------------------ *)
@@ -168,6 +169,10 @@ let run ?pad ?retry cfg ~tenants ~jobs =
   if cfg.slo <= 0.0 then invalid_arg "Scheduler.run: slo must be positive";
   (match cfg.policy with
   | Fixed w when w < 1 -> invalid_arg "Scheduler.run: fixed width must be >= 1"
+  | Pipelined { width; _ } when width < 1 ->
+      invalid_arg "Scheduler.run: pipelined width must be >= 1"
+  | Pipelined { depth; _ } when depth < 1 ->
+      invalid_arg "Scheduler.run: pipelined depth must be >= 1"
   | _ -> ());
   let lanes = Hashtbl.create 8 in
   List.iter
@@ -203,7 +208,11 @@ let run ?pad ?retry cfg ~tenants ~jobs =
       incr next
     done
   in
-  let cap = match cfg.policy with Adaptive -> cfg.max_width | Fixed w -> w in
+  let cap =
+    match cfg.policy with
+    | Adaptive -> cfg.max_width
+    | Fixed w | Pipelined { width = w; _ } -> w
+  in
   let deadline_of name =
     match Queue.head_arrival q name with
     | None -> infinity
@@ -222,6 +231,72 @@ let run ?pad ?retry cfg ~tenants ~jobs =
     let t = Response_time.of_result r in
     t.Response_time.pir_seconds +. t.Response_time.comm_seconds
     +. t.Response_time.server_cpu_seconds
+  in
+  (* Pipelined mode runs each batch as a Psp_async.Pipeline fiber and
+     keeps TWO timelines.  The {e formation} clock is [now], and it
+     advances by fetch + modeled decode per batch — the synchronous
+     schedule — so which jobs are queued when the next batch forms is
+     identical at every depth: batch composition, and with it every
+     member's trace and the server's fetch sequence, is
+     depth-independent by construction.  The {e execution} timeline
+     lives in the executor: batch [i]'s fetch starts at
+     [max ready_i fetch_end_(i-1) completed_(i-depth)], which at depth 1
+     reproduces the formation clock exactly and at depth ≥ 2 overlaps
+     batch [i]'s fetch with earlier batches' decode tails.  Reported
+     latencies come from the execution timeline. *)
+  let pipe =
+    match cfg.policy with
+    | Pipelined { depth; _ } -> Some (Pipeline.create ~depth ())
+    | Adaptive | Fixed _ -> None
+  in
+  let pending = ref [] in
+  let dispatch_pipelined pipe name =
+    let st = lane name in
+    let depth = Queue.depth q name in
+    let head = Option.value ~default:!now (Queue.head_arrival q name) in
+    let width =
+      decide_width cfg ~age:(Float.max 0.0 (!now -. head)) ~depth
+        ~ests:(ests_for st cfg)
+    in
+    let members = Queue.take q name ~max:width in
+    let w = Array.length members in
+    let pairs = Array.map (fun (j : Queue.job) -> (j.Queue.src, j.Queue.dst)) members in
+    let cost = Server.cost st.tn.server in
+    let pacing =
+      Pipeline.pacing ~decode_seconds:(fun ~bytes ->
+          Cost_model.decode_seconds cost ~bytes)
+    in
+    let dispatched = !now in
+    (* The execution timeline may start this batch's fetch as soon as
+       all its members have arrived and the pipeline admits it — the
+       formation instant [dispatched] only decided the membership.
+       (Composition is still future-blind: the members were chosen at
+       the formation clock's due instant; execution merely backdates
+       the fetch to when those members were available.) *)
+    let ready =
+      Array.fold_left
+        (fun acc (j : Queue.job) -> Float.max acc j.Queue.arrival)
+        0.0 members
+    in
+    let job =
+      Pipeline.submit pipe ~ready (fun () ->
+          Client.query_nodes_batch ?pad ?retry ~pacing st.tn.server st.tn.graph
+            pairs)
+    in
+    let fetch = Pipeline.fetch_seconds job in
+    let decode = Pipeline.decode_seconds job in
+    now := !now +. fetch +. decode;
+    Obs.incr st.c_batches;
+    Obs.set st.g_width (float_of_int w);
+    Obs.observe st.h_width (float_of_int w);
+    batches :=
+      { b_tenant = name;
+        b_width = w;
+        b_dispatched = dispatched;
+        b_service = fetch +. decode }
+      :: !batches;
+    learn st ~width:w ~service:fetch;
+    pending := (st, job, members, w, dispatched) :: !pending
   in
   let dispatch name =
     let st = lane name in
@@ -287,7 +362,9 @@ let run ?pad ?retry cfg ~tenants ~jobs =
                 if h name < h best then name else best)
               (List.hd ripe) (List.tl ripe)
           in
-          dispatch oldest;
+          (match pipe with
+          | Some p -> dispatch_pipelined p oldest
+          | None -> dispatch oldest);
           loop ()
       | [] ->
           let horizon =
@@ -303,6 +380,47 @@ let run ?pad ?retry cfg ~tenants ~jobs =
     end
   in
   loop ();
+  (* Pipelined epilogue: force every parked tail (publishing the
+     executor's overlap telemetry), then fill the output slots from the
+     execution timeline.  The tails were already free of server-visible
+     work — the fibers released after their last fetch — so nothing
+     here changes what the server observed. *)
+  let makespan =
+    match pipe with
+    | None -> !now
+    | Some p ->
+        Pipeline.drain p;
+        List.iter
+          (fun (st, job, (members : Queue.job array), w, dispatched) ->
+            let results = Pipeline.await p job in
+            let completed = Pipeline.completed_at job in
+            let decode_share =
+              Pipeline.decode_seconds job /. float_of_int (max 1 w)
+            in
+            Array.iteri
+              (fun k (j : Queue.job) ->
+                let wait =
+                  Cost_model.queueing_delay_seconds ~enqueued:j.Queue.arrival
+                    ~dispatched
+                in
+                let latency = completed -. j.Queue.arrival in
+                Obs.observe st.h_latency latency;
+                out.(j.Queue.index) <-
+                  Some
+                    { job = j;
+                      result = results.(k);
+                      response =
+                        Response_time.with_decode ~seconds:decode_share
+                          (Response_time.with_queue ~seconds:wait
+                             (Response_time.of_result results.(k)));
+                      latency;
+                      width = w;
+                      dispatched;
+                      completed })
+              members)
+          (List.rev !pending);
+        Pipeline.makespan p
+  in
   let served =
     Array.mapi
       (fun i s ->
@@ -314,4 +432,4 @@ let run ?pad ?retry cfg ~tenants ~jobs =
                                (indices must be unique and dense)" i))
       out
   in
-  { served; batches = List.rev !batches; makespan = !now }
+  { served; batches = List.rev !batches; makespan }

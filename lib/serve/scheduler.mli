@@ -39,6 +39,18 @@ type policy =
       (** fill-or-timeout at width [w]: dispatch at depth ≥ w or when
           the head has waited the SLO; the comparison baseline
           benchmarked by [bench --experiment serve] *)
+  | Pipelined of { width : int; depth : int }
+      (** fill-or-timeout at [width] like {!Fixed}, but batches execute
+          through the {!Psp_async.Pipeline} effects executor with up to
+          [depth] batches in flight: batch [i]'s PIR pass overlaps
+          earlier batches' client-side decode tails.  Batch composition
+          is decided on a {e formation} clock that advances by fetch +
+          modeled decode per batch regardless of [depth], so every
+          member's trace and the server's fetch sequence are
+          byte-identical across depths — [depth = 1] {e is} the
+          synchronous schedule; only reported completion instants
+          change (test/test_pipeline.ml asserts both).  Benchmarked by
+          [bench --experiment pipeline]. *)
 
 type config = {
   min_width : int;
@@ -61,10 +73,13 @@ type served = {
   result : Psp_core.Client.result;
   response : Psp_core.Response_time.t;
       (** the member's own cost share with [queue_seconds] set to its
-          dispatch wait *)
+          dispatch wait (and, under {!Pipelined}, [decode_seconds] set
+          to its share of the batch's modeled decode) *)
   latency : float;
       (** completion minus arrival on the virtual clock: queueing wait
-          plus the whole batch's service (members complete together) *)
+          plus the whole batch's service (members complete together);
+          under {!Pipelined} the completion instant comes from the
+          execution timeline, so overlap shortens it *)
   width : int;  (** width of the batch that served it *)
   dispatched : float;
   completed : float;

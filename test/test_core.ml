@@ -200,6 +200,7 @@ let test_response_time_algebra () =
       comm_seconds = 2.0;
       server_cpu_seconds = 0.5;
       client_seconds = 0.25;
+      decode_seconds = 0.0;
       queue_seconds = 0.5 }
   in
   Alcotest.(check (float 1e-9)) "total" 4.25 (Response_time.total a);
